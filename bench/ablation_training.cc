@@ -1,0 +1,122 @@
+// Ablations over the paper's design choices (DESIGN.md §5), all evaluated
+// as the hybrid policy's relative cost at training fraction 0.4:
+//
+//  1. learning-rate schedule: α = 1/(1+visits) (paper) vs fixed α;
+//  2. Boltzmann temperature schedule: paper default vs cold (greedy-ish)
+//     vs slow decay;
+//  3. the process cap N (paper: 20);
+//  4. selection tree on/off and its escalation-seed hardening.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace aer::bench {
+namespace {
+
+struct Variant {
+  std::string name;
+  ExperimentConfig config;
+};
+
+void Run() {
+  Header("ablation_training", "design-choice ablations (not a paper figure)",
+         "Hybrid relative cost and trained coverage at train fraction 0.4 "
+         "under configuration variants.");
+
+  std::vector<Variant> variants;
+  {
+    Variant v{"paper defaults", DefaultExperimentConfig()};
+    variants.push_back(v);
+  }
+  {
+    Variant v{"fixed alpha=0.5", DefaultExperimentConfig()};
+    v.config.trainer.fixed_alpha = 0.5;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"fixed alpha=0.05", DefaultExperimentConfig()};
+    v.config.trainer.fixed_alpha = 0.05;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"cold start (T0=50)", DefaultExperimentConfig()};
+    v.config.trainer.temperature.initial = 50.0;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"slow anneal (decay=0.99995)", DefaultExperimentConfig()};
+    v.config.trainer.temperature.decay = 0.99995;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"cap N=5", DefaultExperimentConfig()};
+    v.config.trainer.max_actions = 5;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"cap N=10", DefaultExperimentConfig()};
+    v.config.trainer.max_actions = 10;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"TD(lambda=0.5)", DefaultExperimentConfig()};
+    v.config.trainer.td_lambda = 0.5;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"Monte-Carlo (lambda=1)", DefaultExperimentConfig()};
+    v.config.trainer.td_lambda = 1.0;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"discount gamma=0.95", DefaultExperimentConfig()};
+    v.config.trainer.gamma = 0.95;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"double Q-learning", DefaultExperimentConfig()};
+    v.config.trainer.double_q = true;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"no selection tree", DefaultExperimentConfig()};
+    v.config.use_selection_tree = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"tree, no escalation seeds", DefaultExperimentConfig()};
+    v.config.tree.seed_escalation_candidates = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"tree, wide branching (0.5)", DefaultExperimentConfig()};
+    v.config.tree.closeness_threshold = 0.5;
+    variants.push_back(v);
+  }
+
+  const BenchDataset& dataset = GetDataset();
+  std::vector<std::string> labels;
+  ChartSeries hybrid_rel{"hybrid rel cost", {}};
+  ChartSeries coverage{"trained coverage", {}};
+  for (const Variant& v : variants) {
+    const ExperimentRunner runner(
+        dataset.clean, dataset.trace.result.log.symptoms(), v.config);
+    const ExperimentResult result = runner.RunOne(0.4);
+    labels.push_back(v.name);
+    hybrid_rel.values.push_back(result.hybrid.overall_relative_cost);
+    coverage.values.push_back(result.trained.overall_coverage);
+    std::printf("  %-30s hybrid rel %.4f, coverage %.4f\n", v.name.c_str(),
+                result.hybrid.overall_relative_cost,
+                result.trained.overall_coverage);
+  }
+  Report("ablation_training", "variant", labels, {hybrid_rel, coverage});
+  Footer();
+}
+
+}  // namespace
+}  // namespace aer::bench
+
+int main() {
+  aer::bench::Run();
+  return 0;
+}

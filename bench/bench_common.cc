@@ -1,0 +1,113 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "common/string_util.h"
+#include "mining/error_type.h"
+
+namespace aer::bench {
+namespace {
+
+std::unique_ptr<BenchDataset> BuildDataset() {
+  auto dataset = std::make_unique<BenchDataset>();
+  dataset->config = TraceConfigFromEnv();
+  dataset->trace = GenerateTrace(dataset->config);
+  dataset->all =
+      SegmentIntoProcesses(dataset->trace.result.log).processes;
+
+  MPatternConfig mining;  // minp = 0.1, the paper's setting
+  const SymptomClustering clustering(dataset->all, mining);
+  dataset->clusters = clustering.clusters().size();
+  const NoiseFilterResult filtered =
+      FilterNoisyProcesses(dataset->all, clustering);
+  dataset->cohesive_fraction = filtered.clean_fraction;
+  dataset->clean.reserve(filtered.clean.size());
+  for (std::size_t i : filtered.clean) {
+    dataset->clean.push_back(dataset->all[i]);
+  }
+  return dataset;
+}
+
+}  // namespace
+
+const BenchDataset& GetDataset() {
+  static const std::unique_ptr<BenchDataset> dataset = BuildDataset();
+  return *dataset;
+}
+
+ExperimentConfig DefaultExperimentConfig() {
+  ExperimentConfig config;
+  config.trainer.max_sweeps = 40000;
+  config.use_selection_tree = true;
+  return config;
+}
+
+const ExperimentRunner& GetExperimentRunner() {
+  static const std::unique_ptr<ExperimentRunner> runner = [] {
+    const BenchDataset& dataset = GetDataset();
+    return std::make_unique<ExperimentRunner>(
+        dataset.clean, dataset.trace.result.log.symptoms(),
+        DefaultExperimentConfig());
+  }();
+  return *runner;
+}
+
+const std::vector<ExperimentResult>& GetExperimentResults() {
+  static const std::vector<ExperimentResult> results =
+      GetExperimentRunner().RunAll();
+  return results;
+}
+
+void Header(const std::string& id, const std::string& paper_item,
+            const std::string& description) {
+  const BenchDataset& dataset = GetDataset();
+  std::printf("================================================================\n");
+  std::printf("%s — reproduces %s\n", id.c_str(), paper_item.c_str());
+  std::printf("  (Zhu & Yuan, \"A Reinforcement Learning Approach to "
+              "Automatic Error Recovery\", DSN 2007)\n");
+  std::printf("%s\n", description.c_str());
+  std::printf("dataset: %d machines, %lld days, %zu processes "
+              "(%zu after noise filtering)\n",
+              dataset.config.sim.num_machines,
+              static_cast<long long>(dataset.config.sim.duration / kDay),
+              dataset.all.size(), dataset.clean.size());
+  std::printf("================================================================\n");
+}
+
+void Footer() { std::printf("\n"); }
+
+void Report(const std::string& csv_name, const std::string& x_name,
+            const std::vector<std::string>& labels,
+            const std::vector<ChartSeries>& series, bool log_scale) {
+  std::printf("\n%s\n", RenderTable(x_name, labels, series).c_str());
+  std::printf("%s\n",
+              (log_scale ? RenderLogBarChart(labels, series)
+                         : RenderBarChart(labels, series))
+                  .c_str());
+
+  CsvWriter csv(CsvDirFromEnv(), csv_name);
+  if (csv.enabled()) {
+    std::vector<std::string> header = {x_name};
+    for (const ChartSeries& s : series) header.push_back(s.name);
+    csv.WriteRow(header);
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      std::vector<std::string> row = {labels[i]};
+      for (const ChartSeries& s : series) {
+        row.push_back(StrFormat("%.6g", s.values[i]));
+      }
+      csv.WriteRow(row);
+    }
+  }
+}
+
+std::vector<std::string> TypeLabels(std::size_t n) {
+  std::vector<std::string> labels;
+  labels.reserve(n);
+  for (std::size_t i = 1; i <= n; ++i) {
+    labels.push_back(StrFormat("%2zu", i));
+  }
+  return labels;
+}
+
+}  // namespace aer::bench

@@ -1,0 +1,58 @@
+// Shared scaffolding for the figure-reproduction benches: one synthetic
+// dataset per process (sized by AER_SCALE), the standard noise-filtering
+// front end, the tests-1-4 experiment runner, and uniform report output
+// (header, numeric table, ASCII chart, optional CSV via AER_CSV_DIR).
+#ifndef AER_BENCH_BENCH_COMMON_H_
+#define AER_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/trace.h"
+#include "common/ascii_chart.h"
+#include "common/csv.h"
+#include "common/string_util.h"
+#include "eval/experiment.h"
+#include "mining/symptom_clusters.h"
+
+namespace aer::bench {
+
+struct BenchDataset {
+  TraceConfig config;
+  TraceDataset trace;
+  // All completed processes, time-ordered.
+  std::vector<RecoveryProcess> all;
+  // Noise-filtered (minp = 0.1) processes, time-ordered.
+  std::vector<RecoveryProcess> clean;
+  std::size_t clusters = 0;
+  double cohesive_fraction = 0.0;
+};
+
+// Builds (once per process) the dataset for the configured scale.
+const BenchDataset& GetDataset();
+
+// The experiment configuration shared by the figure-8..12 benches: tests
+// 1-4, selection-tree policy generation.
+ExperimentConfig DefaultExperimentConfig();
+
+// Runs tests 1-4 once per process and caches the results.
+const std::vector<ExperimentResult>& GetExperimentResults();
+const ExperimentRunner& GetExperimentRunner();
+
+// Report output helpers. Every bench starts with Header(), prints one or
+// more Series blocks and ends with Footer().
+void Header(const std::string& id, const std::string& paper_item,
+            const std::string& description);
+void Footer();
+
+// Prints the table + bar chart and mirrors to CSV when AER_CSV_DIR is set.
+void Report(const std::string& csv_name, const std::string& x_name,
+            const std::vector<std::string>& labels,
+            const std::vector<ChartSeries>& series, bool log_scale = false);
+
+// "1".."40" style labels for per-error-type series (1-based like the paper).
+std::vector<std::string> TypeLabels(std::size_t n);
+
+}  // namespace aer::bench
+
+#endif  // AER_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,100 @@
+// Robustness sweep: how the full pipeline holds up when the environment is
+// dirtier than the calibrated default —
+//   - true cross-fault noise (concurrent unrelated errors polluting
+//     processes, on top of the generic-symptom noise),
+//   - machine heterogeneity (per-machine repair-speed spread inflating the
+//     variance of the per-type cost averages).
+// For each arm: the noise filter's clean fraction, the platform-validation
+// worst deviation (the Figure 7 criterion), and the hybrid savings.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "cluster/user_policy.h"
+#include "mining/error_type.h"
+#include "sim/platform.h"
+
+namespace aer::bench {
+namespace {
+
+struct Arm {
+  std::string name;
+  double cross_fault_noise;
+  double speed_spread;
+};
+
+void Run() {
+  Header("ext_robustness", "robustness sweep (not a paper figure)",
+         "Pipeline health vs cross-fault noise and machine heterogeneity.");
+
+  const std::vector<Arm> arms = {
+      {"baseline", 0.0, 0.0},
+      {"cross-fault 3%", 0.03, 0.0},
+      {"cross-fault 10%", 0.10, 0.0},
+      {"speed spread 0.3", 0.0, 0.3},
+      {"noise 3% + spread 0.3", 0.03, 0.3},
+  };
+
+  std::vector<std::string> labels;
+  ChartSeries clean_frac{"clean fraction", {}};
+  ChartSeries fig7_dev{"fig7 worst dev", {}};
+  ChartSeries hybrid_rel{"hybrid rel cost", {}};
+  for (const Arm& arm : arms) {
+    TraceConfig config = TraceConfigForScale("small");
+    config.sim.num_machines = 800;
+    config.sim.cross_fault_noise_probability = arm.cross_fault_noise;
+    config.sim.machine_speed_spread = arm.speed_spread;
+    const TraceDataset trace = GenerateTrace(config);
+
+    const auto segmented = SegmentIntoProcesses(trace.result.log);
+    MPatternConfig mining;
+    const SymptomClustering clustering(segmented.processes, mining);
+    const auto filtered =
+        FilterNoisyProcesses(segmented.processes, clustering);
+    std::vector<RecoveryProcess> clean;
+    for (std::size_t i : filtered.clean) {
+      clean.push_back(segmented.processes[i]);
+    }
+
+    // Figure-7-style validation on this arm's data.
+    const ErrorTypeCatalog types(clean, 40);
+    const SimulationPlatform platform(clean, types,
+                                      trace.result.log.symptoms());
+    UserDefinedPolicy user(config.escalation);
+    double worst = 0.0;
+    for (const auto& row : platform.ValidateAgainstLog(clean, user)) {
+      if (row.process_count < 20) continue;
+      worst = std::max(worst, std::abs(row.ratio - 1.0));
+    }
+
+    // End-to-end savings.
+    ExperimentConfig experiment = DefaultExperimentConfig();
+    experiment.user_policy = config.escalation;
+    const ExperimentRunner runner(clean, trace.result.log.symptoms(),
+                                  experiment);
+    const ExperimentResult result = runner.RunOne(0.4);
+
+    labels.push_back(arm.name);
+    clean_frac.values.push_back(filtered.clean_fraction);
+    fig7_dev.values.push_back(worst);
+    hybrid_rel.values.push_back(result.hybrid.overall_relative_cost);
+    std::printf("  %-24s clean %.3f, fig7 worst dev %.3f, hybrid rel "
+                "%.4f\n",
+                arm.name.c_str(), filtered.clean_fraction, worst,
+                result.hybrid.overall_relative_cost);
+  }
+  Report("ext_robustness", "arm", labels,
+         {clean_frac, fig7_dev, hybrid_rel});
+
+  std::printf("\nthe mining front end absorbs cross-fault noise (it filters "
+              "polluted processes before training); heterogeneity widens "
+              "the platform's deviation but the savings persist.\n");
+  Footer();
+}
+
+}  // namespace
+}  // namespace aer::bench
+
+int main() {
+  aer::bench::Run();
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 5: "Count of 40 most frequent error types" — the long-tailed
+// frequency distribution of induced error types (initial symptoms) after
+// noise filtering, plus Section 4.1's headline numbers: ~97 observed error
+// types, top 40 covering 98.68% of recovery processes.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "log/log_stats.h"
+#include "mining/error_type.h"
+
+namespace aer::bench {
+namespace {
+
+void Run() {
+  Header("fig05_error_type_counts", "Figure 5 (and Section 4.1)",
+         "Process count per error type, 40 most frequent types.");
+
+  const BenchDataset& dataset = GetDataset();
+  const std::vector<ErrorTypeStat> ranked = RankErrorTypes(dataset.clean);
+  const TopTypesSelection top40 = SelectTopTypes(dataset.clean, 40);
+
+  const std::size_t n = std::min<std::size_t>(40, ranked.size());
+  ChartSeries counts{"count", {}};
+  for (std::size_t i = 0; i < n; ++i) {
+    counts.values.push_back(static_cast<double>(ranked[i].process_count));
+  }
+  Report("fig05_error_type_counts", "type", TypeLabels(n), {counts});
+
+  std::printf("paper: 97 error types after noise filtering; top 40 cover "
+              "98.68%% of processes.\n");
+  std::printf("ours:  %zu error types after noise filtering; top 40 cover "
+              "%.2f%% of processes.\n",
+              ranked.size(), 100.0 * top40.process_coverage);
+  Footer();
+}
+
+}  // namespace
+}  // namespace aer::bench
+
+int main() {
+  aer::bench::Run();
+  return 0;
+}

@@ -1,0 +1,69 @@
+# Plots the paper's figures from the CSV series the benches emit.
+#
+#   mkdir -p csv && AER_CSV_DIR=$PWD/csv sh -c 'for b in build/bench/fig*; do $b; done'
+#   gnuplot -e "csvdir='csv'; outdir='plots'" bench/plot_figures.gp
+#
+# Produces one PNG per figure in <outdir>.
+if (!exists("csvdir")) csvdir = "csv"
+if (!exists("outdir")) outdir = "plots"
+system sprintf("mkdir -p %s", outdir)
+set datafile separator ","
+set terminal pngcairo size 900,520 font "Sans,10"
+set key outside top right
+set grid ytics lc rgb "#dddddd"
+
+set output sprintf("%s/fig03_symptom_sets.png", outdir)
+set title "Fig 3 — cohesive symptom sets vs minp"
+set xlabel "minp"; set ylabel "fraction of processes"
+plot sprintf("%s/fig03_symptom_sets.csv", csvdir) using 1:2 skip 1 \
+     with linespoints title "cohesive"
+
+set output sprintf("%s/fig05_error_type_counts.png", outdir)
+set title "Fig 5 — count of 40 most frequent error types"
+set xlabel "error type (rank)"; set ylabel "processes"
+plot sprintf("%s/fig05_error_type_counts.csv", csvdir) using 0:2 skip 1 \
+     with boxes fs solid 0.6 title "count"
+
+set output sprintf("%s/fig06_downtime_by_type.png", outdir)
+set title "Fig 6 — total downtime per error type (log scale)"
+set xlabel "error type (rank)"; set ylabel "downtime (s)"
+set logscale y
+plot sprintf("%s/fig06_downtime_by_type.csv", csvdir) using 0:2 skip 1 \
+     with boxes fs solid 0.6 title "downtime"
+unset logscale y
+
+set output sprintf("%s/fig07_platform_validation.png", outdir)
+set title "Fig 7 — platform validation: estimated / actual"
+set xlabel "error type (rank)"; set ylabel "ratio"
+set yrange [0.9:1.1]
+plot sprintf("%s/fig07_platform_validation.csv", csvdir) using 0:2 skip 1 \
+     with linespoints title "est/actual", 1 with lines lc rgb "#999999" notitle
+unset yrange
+
+set output sprintf("%s/fig08_trained_relative_cost.png", outdir)
+set title "Fig 8 — trained-policy relative cost per type"
+set xlabel "error type (rank)"; set ylabel "relative cost"
+plot for [c=2:5] sprintf("%s/fig08_trained_relative_cost.csv", csvdir) \
+     using 0:c skip 1 with linespoints title columnheader(c)
+
+set output sprintf("%s/fig10_coverage.png", outdir)
+set title "Fig 10 — trained-policy coverage per type"
+set xlabel "error type (rank)"; set ylabel "coverage"
+set yrange [0.8:1.02]
+plot for [c=2:5] sprintf("%s/fig10_coverage.csv", csvdir) \
+     using 0:c skip 1 with linespoints title columnheader(c)
+unset yrange
+
+set output sprintf("%s/fig13_training_time.png", outdir)
+set title "Fig 13 — sweeps to convergence (log scale)"
+set xlabel "error type (rank)"; set ylabel "sweeps"
+set logscale y
+plot for [c=2:3] sprintf("%s/fig13_training_time.csv", csvdir) \
+     using 0:c skip 1 with linespoints title columnheader(c)
+unset logscale y
+
+set output sprintf("%s/fig14_selection_tree_perf.png", outdir)
+set title "Fig 14 — policy quality, tree vs standard"
+set xlabel "error type (rank)"; set ylabel "relative cost"
+plot for [c=2:3] sprintf("%s/fig14_selection_tree_perf.csv", csvdir) \
+     using 0:c skip 1 with linespoints title columnheader(c)

@@ -1,0 +1,317 @@
+// aerctl — a command-line front end over the library's file-based workflow:
+//
+//   aerctl generate  --out trace.log [--scale small|default|large] [--seed N]
+//   aerctl summarize --log trace.log
+//   aerctl mine      --log trace.log [--minp 0.1]
+//   aerctl train     --log trace.log --out policy.txt [--sweeps N] [--no-tree]
+//   aerctl evaluate  --log trace.log --policy policy.txt [--train-fraction F]
+//   aerctl simulate  --policy policy.txt [--scale ...] [--seed N]
+//
+// `generate` synthesizes a cluster trace; `train` learns a policy and writes
+// it as text; `evaluate` replays it against the held-out tail of a log;
+// `simulate` deploys it online (hybrid) against a fresh simulation and
+// reports the A/B against the user-defined policy. Everything round-trips
+// through ordinary files, the way an operator would wire the system into
+// cron.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "cluster/trace.h"
+#include "rl/policy_diff.h"
+#include "core/policy_generator.h"
+#include "eval/experiment.h"
+#include "log/log_report.h"
+#include "mining/symptom_clusters.h"
+
+namespace {
+
+using namespace aer;
+
+// --- tiny flag parser -------------------------------------------------------
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+        ok_ = false;
+        return;
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";  // boolean flag
+      }
+    }
+  }
+
+  bool ok() const { return ok_; }
+  bool Has(const std::string& key) const { return values_.contains(key); }
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+  long long GetInt(const std::string& key, long long fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoll(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+int Usage() {
+  std::printf(
+      "aerctl — automatic error recovery, end to end\n"
+      "\n"
+      "  aerctl generate  --out trace.log [--scale small|default|large] "
+      "[--seed N]\n"
+      "  aerctl summarize --log trace.log\n"
+      "  aerctl mine      --log trace.log [--minp 0.1]\n"
+      "  aerctl train     --log trace.log --out policy.txt [--sweeps N] "
+      "[--no-tree]\n"
+      "  aerctl evaluate  --log trace.log --policy policy.txt "
+      "[--train-fraction 0.4]\n"
+      "  aerctl simulate  --policy policy.txt [--scale small] [--seed N]\n"
+      "  aerctl diff      --old old.txt --new new.txt [--log recent.log]\n");
+  return 0;
+}
+
+std::optional<RecoveryLog> LoadLog(const std::string& path) {
+  RecoveryLog log;
+  if (!RecoveryLog::ReadFile(path, log)) {
+    std::fprintf(stderr, "error: cannot read log %s\n", path.c_str());
+    return std::nullopt;
+  }
+  return log;
+}
+
+// --- subcommands -------------------------------------------------------------
+
+int Generate(const Flags& flags) {
+  const std::string out = flags.Get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "generate: --out is required\n");
+    return 1;
+  }
+  TraceConfig config = TraceConfigForScale(flags.Get("scale", "small"));
+  config.sim.seed = static_cast<std::uint64_t>(
+      flags.GetInt("seed", static_cast<long long>(config.sim.seed)));
+  const TraceDataset dataset = GenerateTrace(config);
+  dataset.result.log.WriteFile(out);
+  std::printf("wrote %zu entries (%lld recovery processes, %d machines, "
+              "%lld days) to %s\n",
+              dataset.result.log.size(),
+              static_cast<long long>(dataset.result.processes_completed),
+              config.sim.num_machines,
+              static_cast<long long>(config.sim.duration / kDay), out.c_str());
+  return 0;
+}
+
+int Summarize(const Flags& flags) {
+  const auto log = LoadLog(flags.Get("log", ""));
+  if (!log.has_value()) return 1;
+  const LogReport report = BuildLogReport(*log);
+  std::printf("%s", FormatLogReport(report, log->symptoms()).c_str());
+  return 0;
+}
+
+int Mine(const Flags& flags) {
+  const auto log = LoadLog(flags.Get("log", ""));
+  if (!log.has_value()) return 1;
+  const SegmentationResult segmented = SegmentIntoProcesses(*log);
+  MPatternConfig config;
+  config.minp = flags.GetDouble("minp", 0.1);
+  const SymptomClustering clustering(segmented.processes, config);
+  const NoiseFilterResult filtered =
+      FilterNoisyProcesses(segmented.processes, clustering);
+  std::printf("minp %.2f: %zu symptom clusters, %.2f%% of processes "
+              "cohesive (%zu noisy filtered)\n",
+              config.minp, clustering.clusters().size(),
+              100.0 * filtered.clean_fraction, filtered.noisy.size());
+  std::printf("largest clusters:\n");
+  std::vector<const ItemSet*> by_size;
+  for (const ItemSet& c : clustering.clusters()) by_size.push_back(&c);
+  std::sort(by_size.begin(), by_size.end(),
+            [](const ItemSet* a, const ItemSet* b) {
+              return a->size() > b->size();
+            });
+  for (std::size_t i = 0; i < by_size.size() && i < 5; ++i) {
+    std::string names;
+    for (SymptomId s : *by_size[i]) {
+      names += log->symptoms().Name(s) + " ";
+    }
+    std::printf("  { %s}\n", names.c_str());
+  }
+  return 0;
+}
+
+int Train(const Flags& flags) {
+  const auto log = LoadLog(flags.Get("log", ""));
+  if (!log.has_value()) return 1;
+  const std::string out = flags.Get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "train: --out is required\n");
+    return 1;
+  }
+  PolicyGeneratorConfig config;
+  config.trainer.max_sweeps = flags.GetInt("sweeps", 40000);
+  config.use_selection_tree = !flags.Has("no-tree");
+  const PolicyGenerator generator(config);
+  PolicyGenerationReport report;
+  const TrainedPolicy policy = generator.Generate(*log, &report);
+  {
+    std::ofstream os(out);
+    policy.Write(os);
+  }
+  std::printf("trained %zu per-type rules from %zu clean processes "
+              "(%zu clusters, %.2f%% type coverage); wrote %s\n",
+              policy.num_types(), report.clean_processes,
+              report.symptom_clusters, 100.0 * report.type_coverage,
+              out.c_str());
+  return 0;
+}
+
+int Evaluate(const Flags& flags) {
+  const auto log = LoadLog(flags.Get("log", ""));
+  if (!log.has_value()) return 1;
+  TrainedPolicy policy;
+  {
+    std::ifstream is(flags.Get("policy", ""));
+    if (!is.good() || !TrainedPolicy::Read(is, policy)) {
+      std::fprintf(stderr, "error: cannot read policy\n");
+      return 1;
+    }
+  }
+  const double fraction = flags.GetDouble("train-fraction", 0.4);
+
+  const SegmentationResult segmented = SegmentIntoProcesses(*log);
+  MPatternConfig mining;
+  const SymptomClustering clustering(segmented.processes, mining);
+  const NoiseFilterResult filtered =
+      FilterNoisyProcesses(segmented.processes, clustering);
+  std::vector<RecoveryProcess> clean;
+  for (std::size_t i : filtered.clean) {
+    clean.push_back(segmented.processes[i]);
+  }
+  const ErrorTypeCatalog types(clean, 40);
+  const TrainTestSplit split = SplitByTime(clean, fraction);
+  const SimulationPlatform platform(split.test, types, log->symptoms());
+  const PolicyEvaluator evaluator(platform);
+
+  const EvalSummary trained = evaluator.EvaluateTrained(policy, split.test);
+  UserDefinedPolicy user;
+  HybridPolicy hybrid(policy, user);
+  const EvalSummary hybrid_eval = evaluator.EvaluateFull(hybrid, split.test);
+
+  std::printf("evaluated on the last %.0f%% of the log (%zu processes):\n",
+              100.0 * (1.0 - fraction), split.test.size());
+  std::printf("  trained policy: %.2f%% of original downtime, coverage "
+              "%.2f%%\n",
+              100.0 * trained.overall_relative_cost,
+              100.0 * trained.overall_coverage);
+  std::printf("  hybrid policy:  %.2f%% of original downtime, coverage "
+              "%.2f%%\n",
+              100.0 * hybrid_eval.overall_relative_cost,
+              100.0 * hybrid_eval.overall_coverage);
+  return 0;
+}
+
+int Diff(const Flags& flags) {
+  const auto load = [](const std::string& path,
+                       TrainedPolicy& out) -> bool {
+    std::ifstream is(path);
+    return is.good() && TrainedPolicy::Read(is, out);
+  };
+  TrainedPolicy old_policy;
+  TrainedPolicy new_policy;
+  if (!load(flags.Get("old", ""), old_policy) ||
+      !load(flags.Get("new", ""), new_policy)) {
+    std::fprintf(stderr, "diff: --old and --new must be readable policies\n");
+    return 1;
+  }
+  if (!flags.Has("log")) {
+    std::printf("%s", FormatPolicyDiff(DiffPolicies(old_policy, new_policy))
+                          .c_str());
+    return 0;
+  }
+  const auto log = LoadLog(flags.Get("log", ""));
+  if (!log.has_value()) return 1;
+  const SegmentationResult segmented = SegmentIntoProcesses(*log);
+  const ErrorTypeCatalog types(segmented.processes, 40);
+  const SimulationPlatform platform(segmented.processes, types,
+                                    log->symptoms());
+  std::printf("%s",
+              FormatPolicyDiff(DiffPolicies(old_policy, new_policy, platform,
+                                            segmented.processes))
+                  .c_str());
+  return 0;
+}
+
+int Simulate(const Flags& flags) {
+  TrainedPolicy policy;
+  {
+    std::ifstream is(flags.Get("policy", ""));
+    if (!is.good() || !TrainedPolicy::Read(is, policy)) {
+      std::fprintf(stderr, "error: cannot read policy\n");
+      return 1;
+    }
+  }
+  TraceConfig config = TraceConfigForScale(flags.Get("scale", "small"));
+  config.sim.seed = static_cast<std::uint64_t>(
+      flags.GetInt("seed", static_cast<long long>(config.sim.seed) + 1));
+  const FaultCatalog catalog = MakeDefaultCatalog(config.catalog);
+
+  ClusterSimulator sim_a(config.sim, catalog);
+  UserDefinedPolicy user_a(config.escalation);
+  const SimulationResult arm_a = sim_a.Run(user_a);
+
+  ClusterSimulator sim_b(config.sim, catalog);
+  UserDefinedPolicy user_b(config.escalation);
+  HybridPolicy hybrid(policy, user_b);
+  const SimulationResult arm_b = sim_b.Run(hybrid);
+
+  const double mean_a = static_cast<double>(arm_a.total_downtime) /
+                        static_cast<double>(arm_a.processes_completed);
+  const double mean_b = static_cast<double>(arm_b.total_downtime) /
+                        static_cast<double>(arm_b.processes_completed);
+  std::printf("online A/B over %lld/%lld incidents:\n",
+              static_cast<long long>(arm_a.processes_completed),
+              static_cast<long long>(arm_b.processes_completed));
+  std::printf("  user-defined:  %.0f s mean downtime\n", mean_a);
+  std::printf("  hybrid:        %.0f s mean downtime (%.1f%% of user)\n",
+              mean_b, 100.0 * mean_b / mean_a);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (!flags.ok()) return 1;
+  if (command == "generate") return Generate(flags);
+  if (command == "summarize") return Summarize(flags);
+  if (command == "mine") return Mine(flags);
+  if (command == "train") return Train(flags);
+  if (command == "evaluate") return Evaluate(flags);
+  if (command == "simulate") return Simulate(flags);
+  if (command == "diff") return Diff(flags);
+  std::fprintf(stderr, "unknown command: %s\n\n", command.c_str());
+  Usage();
+  return 1;
+}

@@ -1,0 +1,382 @@
+#include "cluster/cluster_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/check.h"
+
+namespace aer {
+namespace {
+
+enum class EventKind : int {
+  kFaultArrival = 0,
+  kSymptom = 1,
+  kChooseAction = 2,  // detection complete or decision gap elapsed
+  kActionDone = 3,
+};
+
+struct Event {
+  SimTime time = 0;
+  std::uint64_t seq = 0;  // tie-break: strict FIFO among equal times
+  EventKind kind = EventKind::kFaultArrival;
+  MachineId machine = 0;
+  int process_seq = 0;       // guards stale per-machine events
+  SymptomId symptom = kInvalidSymptom;  // kSymptom
+  RepairAction action = RepairAction::kTryNop;  // kActionDone
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+struct MachineState {
+  bool healthy = true;
+  double speed = 1.0;  // action-duration multiplier (machine heterogeneity)
+  int process_seq = 0;
+  int fault_index = -1;
+  bool noisy = false;
+  std::vector<RepairAction> tried;
+  std::vector<SymptomId> emitted;  // realized symptoms (for re-emission)
+  SimTime process_start = 0;
+  SimTime last_action_start = 0;
+  SimTime last_recovery_end = -1;
+  int pool_pos = -1;  // index in the healthy pool, -1 if not in it
+};
+
+}  // namespace
+
+ClusterSimulator::ClusterSimulator(ClusterSimConfig config,
+                                   FaultCatalog catalog)
+    : config_(config), catalog_(std::move(catalog)) {
+  AER_CHECK_GT(config_.num_machines, 0);
+  AER_CHECK_GT(config_.duration, 0);
+  AER_CHECK_GT(config_.machine_mtbf_days, 0.0);
+  AER_CHECK_GE(config_.max_actions_per_process, 1);
+  AER_CHECK_LE(config_.min_decision_gap_s, config_.max_decision_gap_s);
+  AER_CHECK_GE(config_.diurnal_amplitude, 0.0);
+  AER_CHECK_LT(config_.diurnal_amplitude, 1.0);
+  catalog_.Validate();
+}
+
+SimulationResult ClusterSimulator::Run(RecoveryPolicy& policy) {
+  SimulationResult result;
+  Rng rng(config_.seed);
+
+  // Intern all catalog symptom names up-front so ids are stable regardless
+  // of emission order.
+  SymptomTable& symtab = result.log.symptoms();
+  std::vector<SymptomId> primary(catalog_.faults.size());
+  std::vector<std::vector<SymptomId>> aux(catalog_.faults.size());
+  for (std::size_t f = 0; f < catalog_.faults.size(); ++f) {
+    primary[f] = symtab.Intern(catalog_.faults[f].primary_symptom);
+    for (const SecondarySymptom& s : catalog_.faults[f].secondary_symptoms) {
+      aux[f].push_back(symtab.Intern(s.name));
+    }
+  }
+  std::vector<SymptomId> generic(catalog_.generic_symptoms.size());
+  for (std::size_t g = 0; g < catalog_.generic_symptoms.size(); ++g) {
+    generic[g] = symtab.Intern(catalog_.generic_symptoms[g].name);
+  }
+
+  // Fault sampling: cumulative rates.
+  std::vector<double> cum_rate;
+  cum_rate.reserve(catalog_.faults.size());
+  double total_rate = 0.0;
+  for (const FaultType& f : catalog_.faults) {
+    total_rate += f.relative_rate;
+    cum_rate.push_back(total_rate);
+  }
+
+  std::vector<MachineState> machines(
+      static_cast<std::size_t>(config_.num_machines));
+  std::vector<MachineId> healthy_pool(
+      static_cast<std::size_t>(config_.num_machines));
+  for (int m = 0; m < config_.num_machines; ++m) {
+    healthy_pool[static_cast<std::size_t>(m)] = m;
+    machines[static_cast<std::size_t>(m)].pool_pos = m;
+    if (config_.machine_speed_spread > 0.0) {
+      machines[static_cast<std::size_t>(m)].speed =
+          std::max(0.1, 1.0 + config_.machine_speed_spread *
+                                  (2.0 * rng.NextDouble() - 1.0));
+    }
+  }
+  const auto pool_remove = [&](MachineId m) {
+    MachineState& st = machines[static_cast<std::size_t>(m)];
+    AER_CHECK_GE(st.pool_pos, 0);
+    const MachineId last = healthy_pool.back();
+    healthy_pool[static_cast<std::size_t>(st.pool_pos)] = last;
+    machines[static_cast<std::size_t>(last)].pool_pos = st.pool_pos;
+    healthy_pool.pop_back();
+    st.pool_pos = -1;
+  };
+  const auto pool_add = [&](MachineId m) {
+    MachineState& st = machines[static_cast<std::size_t>(m)];
+    AER_CHECK_EQ(st.pool_pos, -1);
+    st.pool_pos = static_cast<int>(healthy_pool.size());
+    healthy_pool.push_back(m);
+  };
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue;
+  std::uint64_t seq = 0;
+  const auto push = [&](Event e) {
+    e.seq = seq++;
+    queue.push(e);
+  };
+
+  // Global Poisson fault arrivals across the fleet; the optional diurnal
+  // modulation is applied by thinning against the peak rate, which keeps
+  // the mean rate equal to fleet_rate.
+  const double fleet_rate =  // faults per second across all machines
+      static_cast<double>(config_.num_machines) /
+      (config_.machine_mtbf_days * static_cast<double>(kDay));
+  const double peak_rate = fleet_rate * (1.0 + config_.diurnal_amplitude);
+  const auto accept_arrival = [&](SimTime t) {
+    if (config_.diurnal_amplitude == 0.0) return true;
+    const double rate =
+        fleet_rate *
+        (1.0 + config_.diurnal_amplitude *
+                   std::sin(2.0 * 3.14159265358979323846 *
+                            static_cast<double>(t % kDay) /
+                            static_cast<double>(kDay)));
+    return rng.NextDouble() < rate / peak_rate;
+  };
+  const auto schedule_next_arrival = [&](SimTime now) {
+    const SimTime dt =
+        std::max<SimTime>(1, static_cast<SimTime>(
+                                 rng.NextExponential(1.0 / peak_rate)));
+    if (now + dt <= config_.duration) {
+      push({.time = now + dt, .kind = EventKind::kFaultArrival});
+    }
+  };
+  schedule_next_arrival(0);
+
+  const auto sample_fault = [&]() -> std::size_t {
+    const double u = rng.NextDouble() * total_rate;
+    const auto it = std::lower_bound(cum_rate.begin(), cum_rate.end(), u);
+    return static_cast<std::size_t>(
+        std::min<std::ptrdiff_t>(it - cum_rate.begin(),
+                                 static_cast<std::ptrdiff_t>(cum_rate.size()) - 1));
+  };
+
+  // Chooses and initiates the next repair action for a machine in recovery.
+  const auto start_action = [&](SimTime now, MachineId m) {
+    MachineState& st = machines[static_cast<std::size_t>(m)];
+    const FaultType& fault =
+        catalog_.faults[static_cast<std::size_t>(st.fault_index)];
+
+    RepairAction action;
+    if (static_cast<int>(st.tried.size()) >=
+        config_.max_actions_per_process - 1) {
+      // The paper's N cap: end the process by requesting manual repair.
+      action = RepairAction::kRma;
+    } else {
+      RecoveryContext ctx;
+      ctx.machine = m;
+      ctx.initial_symptom = primary[static_cast<std::size_t>(st.fault_index)];
+      ctx.initial_symptom_name = fault.primary_symptom;
+      ctx.tried = st.tried;
+      ctx.process_start = st.process_start;
+      ctx.now = now;
+      ctx.last_recovery_end = st.last_recovery_end;
+      action = policy.ChooseAction(ctx);
+    }
+
+    st.tried.push_back(action);
+    st.last_action_start = now;
+    result.log.Append(LogEntry::Action(now, m, action));
+    const ActionResponse& resp =
+        fault.responses[static_cast<std::size_t>(ActionIndex(action))];
+    const SimTime duration = std::max<SimTime>(
+        1, static_cast<SimTime>(
+               st.speed * rng.NextLogNormalWithMean(resp.mean_duration_s,
+                                                    resp.duration_sigma)));
+    push({.time = now + duration,
+          .kind = EventKind::kActionDone,
+          .machine = m,
+          .process_seq = st.process_seq,
+          .action = action});
+  };
+
+  while (!queue.empty()) {
+    const Event e = queue.top();
+    queue.pop();
+
+    switch (e.kind) {
+      case EventKind::kFaultArrival: {
+        schedule_next_arrival(e.time);
+        if (!accept_arrival(e.time)) break;  // thinned (off-peak)
+        if (healthy_pool.empty()) {
+          ++result.fault_arrivals_skipped;
+          break;
+        }
+        const MachineId m = healthy_pool[rng.NextBounded(healthy_pool.size())];
+        pool_remove(m);
+        MachineState& st = machines[static_cast<std::size_t>(m)];
+        st.healthy = false;
+        ++st.process_seq;
+        st.fault_index = static_cast<int>(sample_fault());
+        st.noisy = false;
+        st.tried.clear();
+        st.emitted.clear();
+        st.process_start = e.time;
+
+        const std::size_t f = static_cast<std::size_t>(st.fault_index);
+        const FaultType& fault = catalog_.faults[f];
+
+        // Primary symptom opens the process.
+        result.log.Append(LogEntry::Symptom(e.time, m, primary[f]));
+        st.emitted.push_back(primary[f]);
+
+        // Detection completes after the monitoring delay; all secondary
+        // symptoms land inside that window.
+        const SimTime detect_delay = std::max<SimTime>(
+            30, static_cast<SimTime>(rng.NextLogNormalWithMean(
+                    config_.mean_detection_delay_s,
+                    config_.detection_delay_sigma)));
+        for (std::size_t a = 0; a < fault.secondary_symptoms.size(); ++a) {
+          if (!rng.NextBool(fault.secondary_symptoms[a].probability)) continue;
+          const SimTime offset = 1 + static_cast<SimTime>(rng.NextBounded(
+                                         static_cast<std::uint64_t>(
+                                             std::max<SimTime>(detect_delay - 1, 1))));
+          push({.time = e.time + offset,
+                .kind = EventKind::kSymptom,
+                .machine = m,
+                .process_seq = st.process_seq,
+                .symptom = aux[f][a]});
+          st.emitted.push_back(aux[f][a]);
+        }
+
+        // Generic machine-level noise symptoms (Section 3.1's noisy cases).
+        for (std::size_t g = 0; g < generic.size(); ++g) {
+          if (!rng.NextBool(catalog_.generic_symptoms[g].probability)) continue;
+          st.noisy = true;
+          const SimTime offset = 1 + static_cast<SimTime>(rng.NextBounded(
+                                         static_cast<std::uint64_t>(
+                                             std::max<SimTime>(detect_delay - 1, 1))));
+          push({.time = e.time + offset,
+                .kind = EventKind::kSymptom,
+                .machine = m,
+                .process_seq = st.process_seq,
+                .symptom = generic[g]});
+        }
+
+        // Optional true cross-fault noise: symptoms of an unrelated fault
+        // leak into this process (concurrent error on the same machine).
+        if (rng.NextBool(config_.cross_fault_noise_probability)) {
+          const std::size_t other = sample_fault();
+          if (other != f) {
+            st.noisy = true;
+            const SimTime offset = 1 + static_cast<SimTime>(rng.NextBounded(
+                                           static_cast<std::uint64_t>(
+                                               std::max<SimTime>(detect_delay - 1, 1))));
+            push({.time = e.time + offset,
+                  .kind = EventKind::kSymptom,
+                  .machine = m,
+                  .process_seq = st.process_seq,
+                  .symptom = primary[other]});
+          }
+        }
+
+        push({.time = e.time + detect_delay,
+              .kind = EventKind::kChooseAction,
+              .machine = m,
+              .process_seq = st.process_seq});
+        break;
+      }
+
+      case EventKind::kSymptom: {
+        const MachineState& st = machines[static_cast<std::size_t>(e.machine)];
+        if (st.healthy || st.process_seq != e.process_seq) break;  // stale
+        result.log.Append(LogEntry::Symptom(e.time, e.machine, e.symptom));
+        break;
+      }
+
+      case EventKind::kChooseAction: {
+        MachineState& st = machines[static_cast<std::size_t>(e.machine)];
+        if (st.healthy || st.process_seq != e.process_seq) break;
+        start_action(e.time, e.machine);
+        break;
+      }
+
+      case EventKind::kActionDone: {
+        MachineState& st = machines[static_cast<std::size_t>(e.machine)];
+        if (st.healthy || st.process_seq != e.process_seq) break;
+        const FaultType& fault =
+            catalog_.faults[static_cast<std::size_t>(st.fault_index)];
+        const double cure_p =
+            fault.responses[static_cast<std::size_t>(ActionIndex(e.action))]
+                .cure_probability;
+        const bool cured = rng.NextBool(cure_p);
+
+        // Result monitoring: report the outcome to the policy (the tried
+        // span excludes the action whose outcome is being reported).
+        {
+          RecoveryContext ctx;
+          ctx.machine = e.machine;
+          ctx.initial_symptom =
+              primary[static_cast<std::size_t>(st.fault_index)];
+          ctx.initial_symptom_name = fault.primary_symptom;
+          AER_CHECK(!st.tried.empty());
+          ctx.tried = std::span<const RepairAction>(st.tried.data(),
+                                                    st.tried.size() - 1);
+          ctx.process_start = st.process_start;
+          ctx.now = e.time;
+          ctx.last_recovery_end = st.last_recovery_end;
+          policy.OnActionOutcome(ctx, e.action,
+                                 e.time - st.last_action_start, cured);
+        }
+
+        if (cured) {
+          result.log.Append(LogEntry::Success(e.time, e.machine));
+          result.ground_truth.push_back({.machine = e.machine,
+                                         .start = st.process_start,
+                                         .end = e.time,
+                                         .fault_index = st.fault_index,
+                                         .noisy = st.noisy});
+          ++result.processes_completed;
+          result.total_downtime += e.time - st.process_start;
+          st.healthy = true;
+          st.last_recovery_end = e.time;
+          pool_add(e.machine);
+          break;
+        }
+        // Failed: often another symptom shows up while the operators watch,
+        // then the next action is chosen after a decision gap.
+        if (rng.NextBool(config_.symptom_reemit_probability) &&
+            !st.emitted.empty()) {
+          const SymptomId s =
+              st.emitted[rng.NextBounded(st.emitted.size())];
+          const SimTime offset = 5 + static_cast<SimTime>(rng.NextBounded(50));
+          push({.time = e.time + offset,
+                .kind = EventKind::kSymptom,
+                .machine = e.machine,
+                .process_seq = st.process_seq,
+                .symptom = s});
+        }
+        const SimTime gap =
+            config_.min_decision_gap_s +
+            static_cast<SimTime>(rng.NextBounded(static_cast<std::uint64_t>(
+                config_.max_decision_gap_s - config_.min_decision_gap_s + 1)));
+        push({.time = e.time + gap,
+              .kind = EventKind::kChooseAction,
+              .machine = e.machine,
+              .process_seq = st.process_seq});
+        break;
+      }
+    }
+  }
+
+  result.log.SortByTime();
+  std::stable_sort(result.ground_truth.begin(), result.ground_truth.end(),
+                   [](const ProcessGroundTruth& a, const ProcessGroundTruth& b) {
+                     if (a.start != b.start) return a.start < b.start;
+                     return a.machine < b.machine;
+                   });
+  return result;
+}
+
+}  // namespace aer

@@ -1,0 +1,44 @@
+#include "cluster/fault_model.h"
+
+#include "common/check.h"
+
+namespace aer {
+
+void FaultType::Validate() const {
+  AER_CHECK(!name.empty());
+  AER_CHECK(!primary_symptom.empty());
+  AER_CHECK_GT(relative_rate, 0.0);
+  double prev_cure = 0.0;
+  for (int i = 0; i < kNumActions; ++i) {
+    const ActionResponse& r = responses[static_cast<std::size_t>(i)];
+    AER_CHECK_GE(r.cure_probability, 0.0);
+    AER_CHECK_LE(r.cure_probability, 1.0);
+    // Hypothesis 2: a stronger action can replace a weaker one, so its cure
+    // probability must not be lower.
+    AER_CHECK_GE(r.cure_probability, prev_cure);
+    prev_cure = r.cure_probability;
+    AER_CHECK_GT(r.mean_duration_s, 0.0);
+    AER_CHECK_GE(r.duration_sigma, 0.0);
+  }
+  // Manual repair always succeeds.
+  AER_CHECK_EQ(responses[static_cast<std::size_t>(ActionIndex(RepairAction::kRma))]
+                   .cure_probability,
+               1.0);
+  for (const SecondarySymptom& s : secondary_symptoms) {
+    AER_CHECK(!s.name.empty());
+    AER_CHECK_GT(s.probability, 0.0);
+    AER_CHECK_LE(s.probability, 1.0);
+  }
+}
+
+void FaultCatalog::Validate() const {
+  AER_CHECK(!faults.empty());
+  for (const FaultType& f : faults) f.Validate();
+  for (const SecondarySymptom& s : generic_symptoms) {
+    AER_CHECK(!s.name.empty());
+    AER_CHECK_GT(s.probability, 0.0);
+    AER_CHECK_LE(s.probability, 1.0);
+  }
+}
+
+}  // namespace aer

@@ -1,0 +1,70 @@
+// Ground-truth fault model for the synthetic cluster.
+//
+// The paper's recovery log comes from a proprietary production cluster; this
+// model is the substitution documented in DESIGN.md. A FaultType describes
+// one root cause: the symptoms it emits, how each repair action responds to
+// it (cure probability + duration distribution), and how often it occurs.
+//
+// Invariants mirror the paper's hypotheses: cure probability is monotone
+// non-decreasing in action strength (a stronger action does at least what a
+// weaker one does), and RMA — manual human repair — always cures.
+#ifndef AER_CLUSTER_FAULT_MODEL_H_
+#define AER_CLUSTER_FAULT_MODEL_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "log/action.h"
+
+namespace aer {
+
+// How one repair action behaves against one fault type.
+struct ActionResponse {
+  // P(this action cures the fault).
+  double cure_probability = 0.0;
+  // Mean wall time of executing the action and observing its effect, sec.
+  double mean_duration_s = 60.0;
+  // Log-normal shape parameter of the duration distribution.
+  double duration_sigma = 0.3;
+};
+
+// A secondary symptom emitted alongside the fault's primary symptom.
+struct SecondarySymptom {
+  std::string name;
+  // Per-process emission probability.
+  double probability = 1.0;
+};
+
+struct FaultType {
+  std::string name;
+  // The first symptom this fault raises; the pipeline uses it as the error
+  // type. Unique per fault in the default catalog.
+  std::string primary_symptom;
+  std::vector<SecondarySymptom> secondary_symptoms;
+  // Indexed by ActionIndex().
+  std::array<ActionResponse, kNumActions> responses;
+  // Relative occurrence weight (normalized across the catalog when sampling).
+  double relative_rate = 1.0;
+
+  // Checks the model invariants; aborts on violation.
+  void Validate() const;
+};
+
+// A catalog of fault types, the unit the simulator samples from.
+struct FaultCatalog {
+  std::vector<FaultType> faults;
+
+  // Machine-level "generic" symptoms every process can emit with a small
+  // probability regardless of its fault (event-log churn, watchdog noise,
+  // co-occurring unrelated errors). They belong to no fault's symptom set,
+  // so processes containing them span multiple mined clusters — the noisy
+  // ~3% the paper filters out in Section 3.1.
+  std::vector<SecondarySymptom> generic_symptoms;
+
+  void Validate() const;
+};
+
+}  // namespace aer
+
+#endif  // AER_CLUSTER_FAULT_MODEL_H_

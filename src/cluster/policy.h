@@ -1,0 +1,66 @@
+// The recovery-policy interface shared by the online cluster simulator and
+// the offline replay platform.
+//
+// A policy sees exactly what the paper's error-recovery component sees: the
+// error type (initial symptom) of the open recovery process and the repair
+// actions already tried — plus, for the *online* production policy only,
+// machine history that is not reconstructible from the recovery log (the
+// paper notes "we could not refer to all the information considered by the
+// user-defined policy from the log"; this field is how we reproduce that
+// information gap, and with it Figure 7's <5% validation deviation).
+#ifndef AER_CLUSTER_POLICY_H_
+#define AER_CLUSTER_POLICY_H_
+
+#include <span>
+#include <string_view>
+
+#include "common/sim_time.h"
+#include "log/log_entry.h"
+
+namespace aer {
+
+struct RecoveryContext {
+  MachineId machine = 0;
+  // Initial symptom of the open process, as an id in the *current run's*
+  // symptom table plus its stable string name (policies trained on a
+  // different log match by name).
+  SymptomId initial_symptom = kInvalidSymptom;
+  std::string_view initial_symptom_name;
+  // Repair actions already tried in this process, oldest first.
+  std::span<const RepairAction> tried;
+  SimTime process_start = 0;
+  SimTime now = 0;
+  // End time of this machine's previous recovery process, or -1 if unknown.
+  // Only populated by the online simulator; offline replay passes -1.
+  SimTime last_recovery_end = -1;
+};
+
+class RecoveryPolicy {
+ public:
+  virtual ~RecoveryPolicy() = default;
+
+  // Chooses the next repair action. Must be a pure function of the context
+  // (the framework owns all state), so a policy can be replayed offline.
+  virtual RepairAction ChooseAction(const RecoveryContext& context) = 0;
+
+  // Result monitoring: the framework reports how the chosen action went.
+  // `context.tried` holds the actions tried *before* `action`; `cost` is the
+  // wall time from initiating the action to observing its result. Stateless
+  // policies ignore this; learning policies (rl/online_policy.h) use it as
+  // their reinforcement signal.
+  virtual void OnActionOutcome(const RecoveryContext& context,
+                               RepairAction action, SimTime cost,
+                               bool cured) {
+    (void)context;
+    (void)action;
+    (void)cost;
+    (void)cured;
+  }
+
+  // Human-readable policy name for reports.
+  virtual std::string_view name() const = 0;
+};
+
+}  // namespace aer
+
+#endif  // AER_CLUSTER_POLICY_H_

@@ -1,0 +1,38 @@
+// One-call generation of a complete synthetic recovery-log dataset: build
+// the default fault catalog, run the cluster simulator under the
+// user-defined policy, return the log plus ground truth. This is the
+// stand-in for "collect half a year of logs from the production cluster".
+#ifndef AER_CLUSTER_TRACE_H_
+#define AER_CLUSTER_TRACE_H_
+
+#include <string_view>
+
+#include "cluster/cluster_sim.h"
+#include "cluster/fault_catalog.h"
+#include "cluster/user_policy.h"
+
+namespace aer {
+
+struct TraceConfig {
+  CatalogConfig catalog;
+  ClusterSimConfig sim;
+  EscalationConfig escalation;
+};
+
+struct TraceDataset {
+  FaultCatalog catalog;
+  SimulationResult result;
+};
+
+TraceDataset GenerateTrace(const TraceConfig& config = {});
+
+// Scales the simulated fleet/time: "small" for unit tests (~2k processes),
+// "default" for benches (~18k), "large" for overnight runs (~45k).
+TraceConfig TraceConfigForScale(std::string_view scale);
+
+// Reads AER_SCALE from the environment ("default" if unset/unknown).
+TraceConfig TraceConfigFromEnv();
+
+}  // namespace aer
+
+#endif  // AER_CLUSTER_TRACE_H_

@@ -1,0 +1,40 @@
+#include "cluster/user_policy.h"
+
+#include "common/check.h"
+
+namespace aer {
+
+UserDefinedPolicy::UserDefinedPolicy(EscalationConfig config)
+    : config_(config) {
+  for (int tries : config_.max_tries) AER_CHECK_GE(tries, 0);
+  AER_CHECK_GT(config_.max_tries[kNumActions - 1], 0);
+}
+
+RepairAction UserDefinedPolicy::ChooseAction(const RecoveryContext& context) {
+  // Count previous tries per level.
+  std::array<int, kNumActions> tries = {};
+  for (RepairAction a : context.tried) {
+    ++tries[static_cast<std::size_t>(ActionIndex(a))];
+  }
+
+  // Recurring failure: the machine just came out of a recovery, so skip the
+  // pure-observation level. Offline replays pass last_recovery_end = -1 and
+  // never take this branch.
+  int start_level = 0;
+  if (context.last_recovery_end >= 0 &&
+      context.process_start - context.last_recovery_end <
+          config_.recurring_failure_window) {
+    start_level = 1;
+  }
+
+  for (int level = start_level; level < kNumActions; ++level) {
+    if (tries[static_cast<std::size_t>(level)] <
+        config_.max_tries[static_cast<std::size_t>(level)]) {
+      return ActionFromIndex(level);
+    }
+  }
+  // Every level exhausted (only possible with tiny max_tries): manual repair.
+  return RepairAction::kRma;
+}
+
+}  // namespace aer

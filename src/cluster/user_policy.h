@@ -1,0 +1,47 @@
+// The user-defined recovery policy of the production system (Section 4.1):
+// "mainly tries the cheapest action enabled by the state".
+//
+// Concretely: escalate through the actions in strength order, allowing a
+// bounded number of tries per level, then fall through to manual repair
+// (RMA). The *online* instance additionally consults machine history — a
+// machine that failed again shortly after a recovery skips the TRYNOP level,
+// because watching it again is known to be futile. That history is not part
+// of the recovery log, so the offline replay of this policy (used to
+// validate the simulation platform, Figure 7) runs without it; the small
+// divergence this causes is exactly the paper's "we could only expect an
+// approximate result".
+#ifndef AER_CLUSTER_USER_POLICY_H_
+#define AER_CLUSTER_USER_POLICY_H_
+
+#include <array>
+
+#include "cluster/policy.h"
+
+namespace aer {
+
+struct EscalationConfig {
+  // Maximum tries of each action level within one recovery process; RMA is
+  // effectively unlimited (it always cures in practice).
+  std::array<int, kNumActions> max_tries = {1, 2, 2, 1000};
+  // A process starting within this window after the machine's previous
+  // recovery skips level 0 (recurring failure; online only).
+  SimTime recurring_failure_window = 6 * kHour;
+};
+
+class UserDefinedPolicy final : public RecoveryPolicy {
+ public:
+  explicit UserDefinedPolicy(EscalationConfig config = {});
+
+  RepairAction ChooseAction(const RecoveryContext& context) override;
+
+  std::string_view name() const override { return "user-defined"; }
+
+  const EscalationConfig& config() const { return config_; }
+
+ private:
+  EscalationConfig config_;
+};
+
+}  // namespace aer
+
+#endif  // AER_CLUSTER_USER_POLICY_H_

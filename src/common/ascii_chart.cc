@@ -1,0 +1,106 @@
+#include "common/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace aer {
+namespace {
+
+constexpr char kGlyphs[] = {'#', '*', '+', 'o', 'x', '='};
+
+double MaxValue(const std::vector<ChartSeries>& series) {
+  double mx = 0.0;
+  for (const auto& s : series) {
+    for (double v : s.values) mx = std::max(mx, v);
+  }
+  return mx;
+}
+
+std::size_t MaxLabelWidth(const std::vector<std::string>& labels) {
+  std::size_t w = 0;
+  for (const auto& l : labels) w = std::max(w, l.size());
+  return w;
+}
+
+std::string Bars(const std::vector<std::string>& labels,
+                 const std::vector<ChartSeries>& series, int width,
+                 bool log_scale) {
+  for (const auto& s : series) {
+    AER_CHECK_EQ(s.values.size(), labels.size());
+  }
+  std::ostringstream os;
+  const double mx = MaxValue(series);
+  const double log_mx = mx > 0 ? std::log10(std::max(mx, 1.0)) : 1.0;
+  const std::size_t lw = MaxLabelWidth(labels);
+
+  // Legend (only when several series share the chart).
+  if (series.size() > 1) {
+    for (std::size_t si = 0; si < series.size(); ++si) {
+      os << "  " << kGlyphs[si % sizeof(kGlyphs)] << " = "
+         << series[si].name << "\n";
+    }
+  }
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    for (std::size_t si = 0; si < series.size(); ++si) {
+      const double v = series[si].values[i];
+      int n = 0;
+      if (mx > 0 && v > 0) {
+        if (log_scale) {
+          const double lv = std::log10(std::max(v, 1.0));
+          n = static_cast<int>(std::lround(lv / log_mx * width));
+        } else {
+          n = static_cast<int>(std::lround(v / mx * width));
+        }
+      }
+      os << "  ";
+      // Print the label on the first series row only.
+      if (si == 0) {
+        os << labels[i] << std::string(lw - labels[i].size(), ' ');
+      } else {
+        os << std::string(lw, ' ');
+      }
+      os << " |" << std::string(static_cast<std::size_t>(n),
+                                kGlyphs[si % sizeof(kGlyphs)]);
+      os << " " << StrFormat("%.4g", v) << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string RenderBarChart(const std::vector<std::string>& labels,
+                           const std::vector<ChartSeries>& series, int width) {
+  return Bars(labels, series, width, /*log_scale=*/false);
+}
+
+std::string RenderLogBarChart(const std::vector<std::string>& labels,
+                              const std::vector<ChartSeries>& series,
+                              int width) {
+  return Bars(labels, series, width, /*log_scale=*/true);
+}
+
+std::string RenderTable(const std::string& x_name,
+                        const std::vector<std::string>& labels,
+                        const std::vector<ChartSeries>& series) {
+  for (const auto& s : series) {
+    AER_CHECK_EQ(s.values.size(), labels.size());
+  }
+  std::ostringstream os;
+  const std::size_t lw = std::max(x_name.size(), MaxLabelWidth(labels));
+  os << "  " << x_name << std::string(lw - x_name.size(), ' ');
+  for (const auto& s : series) os << "  " << StrFormat("%14s", s.name.c_str());
+  os << "\n";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    os << "  " << labels[i] << std::string(lw - labels[i].size(), ' ');
+    for (const auto& s : series) os << "  " << StrFormat("%14.6g", s.values[i]);
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace aer

@@ -1,0 +1,36 @@
+// ASCII renderings of the paper's figures for the bench binaries. Each bench
+// prints the exact numeric series plus a coarse bar chart so the *shape* of
+// the reproduced figure is visible directly in the terminal output.
+#ifndef AER_COMMON_ASCII_CHART_H_
+#define AER_COMMON_ASCII_CHART_H_
+
+#include <string>
+#include <vector>
+
+namespace aer {
+
+// One named series of y-values over a shared x-axis of labels.
+struct ChartSeries {
+  std::string name;
+  std::vector<double> values;
+};
+
+// Renders a horizontal bar chart: one row per x label; multiple series render
+// as grouped bars with distinct glyphs. `width` is the bar area in columns.
+std::string RenderBarChart(const std::vector<std::string>& labels,
+                           const std::vector<ChartSeries>& series,
+                           int width = 60);
+
+// Renders a log-scale bar chart (base 10); zero/negative values show as empty.
+std::string RenderLogBarChart(const std::vector<std::string>& labels,
+                              const std::vector<ChartSeries>& series,
+                              int width = 60);
+
+// Renders a fixed-width numeric table (header + one row per label).
+std::string RenderTable(const std::string& x_name,
+                        const std::vector<std::string>& labels,
+                        const std::vector<ChartSeries>& series);
+
+}  // namespace aer
+
+#endif  // AER_COMMON_ASCII_CHART_H_

@@ -1,0 +1,38 @@
+// Lightweight invariant-checking macros.
+//
+// AER_CHECK is always on (also in release builds): the library is a research
+// artifact and silent state corruption would invalidate experiment results.
+// Failures print the condition and location and abort, so a violated invariant
+// is caught at the point of damage rather than in a downstream figure.
+#ifndef AER_COMMON_CHECK_H_
+#define AER_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace aer::internal {
+
+[[noreturn]] inline void CheckFailed(const char* cond, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "AER_CHECK failed: %s at %s:%d\n", cond, file, line);
+  std::abort();
+}
+
+}  // namespace aer::internal
+
+#define AER_CHECK(cond)                                        \
+  do {                                                         \
+    if (!(cond)) {                                             \
+      ::aer::internal::CheckFailed(#cond, __FILE__, __LINE__); \
+    }                                                          \
+  } while (0)
+
+// Checks with a relation, printing both operand expressions.
+#define AER_CHECK_LE(a, b) AER_CHECK((a) <= (b))
+#define AER_CHECK_LT(a, b) AER_CHECK((a) < (b))
+#define AER_CHECK_GE(a, b) AER_CHECK((a) >= (b))
+#define AER_CHECK_GT(a, b) AER_CHECK((a) > (b))
+#define AER_CHECK_EQ(a, b) AER_CHECK((a) == (b))
+#define AER_CHECK_NE(a, b) AER_CHECK((a) != (b))
+
+#endif  // AER_COMMON_CHECK_H_

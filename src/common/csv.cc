@@ -1,0 +1,39 @@
+#include "common/csv.h"
+
+#include <cstdlib>
+
+namespace aer {
+
+CsvWriter::CsvWriter(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return;
+  out_.open(dir + "/" + name + ".csv");
+}
+
+std::string CsvWriter::Escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (!out_.is_open()) return;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << Escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvDirFromEnv() {
+  const char* dir = std::getenv("AER_CSV_DIR");
+  return dir != nullptr ? dir : "";
+}
+
+}  // namespace aer

@@ -1,0 +1,34 @@
+// Minimal CSV emission for bench outputs. Every figure bench prints a
+// human-readable table to stdout and, when AER_CSV_DIR is set, also writes a
+// machine-readable CSV so the series can be re-plotted.
+#ifndef AER_COMMON_CSV_H_
+#define AER_COMMON_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace aer {
+
+class CsvWriter {
+ public:
+  // Opens `<dir>/<name>.csv` for writing; silently becomes a no-op writer if
+  // `dir` is empty (the common case when AER_CSV_DIR is unset).
+  CsvWriter(const std::string& dir, const std::string& name);
+
+  void WriteRow(const std::vector<std::string>& fields);
+
+  bool enabled() const { return out_.is_open(); }
+
+ private:
+  static std::string Escape(const std::string& field);
+
+  std::ofstream out_;
+};
+
+// Reads the AER_CSV_DIR environment variable ("" if unset).
+std::string CsvDirFromEnv();
+
+}  // namespace aer
+
+#endif  // AER_COMMON_CSV_H_

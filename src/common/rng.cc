@@ -1,0 +1,69 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aer {
+
+double Rng::NextExponential(double mean) {
+  AER_CHECK_GT(mean, 0.0);
+  // 1 - NextDouble() is in (0, 1], so the log is finite.
+  return -mean * std::log(1.0 - NextDouble());
+}
+
+double Rng::NextGaussian() {
+  const double u1 = 1.0 - NextDouble();  // (0, 1]
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+double Rng::NextLogNormalWithMean(double mean, double sigma) {
+  AER_CHECK_GT(mean, 0.0);
+  AER_CHECK_GE(sigma, 0.0);
+  // If X = exp(N(mu, sigma^2)) then E[X] = exp(mu + sigma^2/2); solve for mu
+  // so the sample mean matches the requested mean.
+  const double mu = std::log(mean) - 0.5 * sigma * sigma;
+  return std::exp(mu + sigma * NextGaussian());
+}
+
+std::size_t Rng::NextWeighted(std::span<const double> weights) {
+  AER_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    AER_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  AER_CHECK_GT(total, 0.0);
+  double x = NextDouble() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  return weights.size() - 1;  // numeric edge: fell off the end
+}
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double s) {
+  AER_CHECK_GT(n, 0u);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(std::size_t k) const {
+  AER_CHECK_LT(k, cdf_.size());
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace aer

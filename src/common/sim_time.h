@@ -1,0 +1,41 @@
+// Simulated wall-clock time for the cluster simulator and the recovery log.
+//
+// All timestamps in the system are SimTime: integral seconds since the start
+// of the trace. Using integers keeps logs exactly reproducible across
+// platforms and makes (de)serialization lossless.
+#ifndef AER_COMMON_SIM_TIME_H_
+#define AER_COMMON_SIM_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace aer {
+
+// Seconds since trace start. Signed so durations (differences) are natural.
+using SimTime = std::int64_t;
+
+// Common duration constants, in seconds.
+inline constexpr SimTime kSecond = 1;
+inline constexpr SimTime kMinute = 60;
+inline constexpr SimTime kHour = 3600;
+inline constexpr SimTime kDay = 86400;
+
+// Formats a timestamp as "d:hh:mm:ss" for human-readable log dumps.
+inline std::string FormatSimTime(SimTime t) {
+  const bool neg = t < 0;
+  if (neg) t = -t;
+  const SimTime days = t / kDay;
+  const SimTime hours = (t % kDay) / kHour;
+  const SimTime minutes = (t % kHour) / kMinute;
+  const SimTime seconds = t % kMinute;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s%lld:%02lld:%02lld:%02lld",
+                neg ? "-" : "", static_cast<long long>(days),
+                static_cast<long long>(hours), static_cast<long long>(minutes),
+                static_cast<long long>(seconds));
+  return buf;
+}
+
+}  // namespace aer
+
+#endif  // AER_COMMON_SIM_TIME_H_

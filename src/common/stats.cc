@@ -1,0 +1,104 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace aer {
+
+void RunningStat::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = count_ + other.count_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) /
+                         static_cast<double>(n);
+  mean_ += delta * static_cast<double>(other.count_) / static_cast<double>(n);
+  count_ = n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+LogHistogram::LogHistogram(double base, double growth, int bucket_count)
+    : base_(base), growth_(growth) {
+  AER_CHECK_GT(base, 0.0);
+  AER_CHECK_GT(growth, 1.0);
+  AER_CHECK_GT(bucket_count, 0);
+  counts_.assign(static_cast<size_t>(bucket_count) + 1, 0);
+}
+
+double LogHistogram::bucket_lower(int i) const {
+  AER_CHECK_GE(i, 0);
+  if (i == 0) return 0.0;
+  return base_ * std::pow(growth_, i - 1);
+}
+
+void LogHistogram::Add(double x) {
+  ++total_;
+  if (x < base_) {
+    ++counts_[0];
+    return;
+  }
+  const int idx =
+      1 + static_cast<int>(std::floor(std::log(x / base_) / std::log(growth_)));
+  const int clamped =
+      std::min(idx, static_cast<int>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(clamped)];
+}
+
+double LogHistogram::ApproxQuantile(double q) const {
+  AER_CHECK_GE(q, 0.0);
+  AER_CHECK_LE(q, 1.0);
+  if (total_ == 0) return 0.0;
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (int i = 0; i < static_cast<int>(counts_.size()); ++i) {
+    const double next = cum + static_cast<double>(counts_[static_cast<size_t>(i)]);
+    if (next >= target && counts_[static_cast<size_t>(i)] > 0) {
+      const double lo = bucket_lower(i);
+      const double hi =
+          (i + 1 < static_cast<int>(counts_.size())) ? bucket_lower(i + 1) : lo * growth_;
+      const double frac =
+          (target - cum) / static_cast<double>(counts_[static_cast<size_t>(i)]);
+      return lo + frac * (hi - lo);
+    }
+    cum = next;
+  }
+  return bucket_lower(static_cast<int>(counts_.size()) - 1);
+}
+
+std::string LogHistogram::ToString() const {
+  std::ostringstream os;
+  for (int i = 0; i < static_cast<int>(counts_.size()); ++i) {
+    if (counts_[static_cast<size_t>(i)] == 0) continue;
+    os << "[" << bucket_lower(i) << ", "
+       << (i + 1 < static_cast<int>(counts_.size()) ? bucket_lower(i + 1)
+                                                    : bucket_lower(i) * growth_)
+       << "): " << counts_[static_cast<size_t>(i)] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace aer

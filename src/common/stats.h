@@ -1,0 +1,70 @@
+// Small statistics helpers shared by the cost model, the evaluator and the
+// benches: an online mean/variance accumulator (Welford) and a log-bucketed
+// histogram for duration distributions.
+#ifndef AER_COMMON_STATS_H_
+#define AER_COMMON_STATS_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace aer {
+
+// Online accumulator: mean / variance / min / max without storing samples.
+class RunningStat {
+ public:
+  void Add(double x);
+
+  std::int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return count_ > 0 ? mean_ * count_ : 0.0; }
+
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+  // Merges another accumulator into this one (parallel Welford).
+  void Merge(const RunningStat& other);
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Histogram with geometrically growing bucket bounds, suited to repair
+// durations that span seconds to days.
+class LogHistogram {
+ public:
+  // Buckets: [0, base), [base, base*growth), ... `bucket_count` buckets plus
+  // an overflow bucket.
+  LogHistogram(double base, double growth, int bucket_count);
+
+  void Add(double x);
+
+  std::int64_t total_count() const { return total_; }
+  int bucket_count() const { return static_cast<int>(counts_.size()); }
+  std::int64_t bucket(int i) const { return counts_[static_cast<size_t>(i)]; }
+  // Lower bound of bucket i (0 for the first).
+  double bucket_lower(int i) const;
+
+  // Approximate quantile by linear interpolation within the bucket.
+  double ApproxQuantile(double q) const;
+
+  std::string ToString() const;
+
+ private:
+  double base_;
+  double growth_;
+  std::vector<std::int64_t> counts_;  // last bucket = overflow
+  std::int64_t total_ = 0;
+};
+
+}  // namespace aer
+
+#endif  // AER_COMMON_STATS_H_

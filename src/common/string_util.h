@@ -1,0 +1,38 @@
+// String helpers used by log (de)serialization and the bench reporters.
+#ifndef AER_COMMON_STRING_UTIL_H_
+#define AER_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aer {
+
+// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string_view> Split(std::string_view s, char delim);
+
+// Trims ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+// Strict integer parse of the whole string; nullopt on any junk.
+std::optional<std::int64_t> ParseInt64(std::string_view s);
+
+// Strict double parse of the whole string; nullopt on any junk.
+std::optional<double> ParseDouble(std::string_view s);
+
+// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace aer
+
+#endif  // AER_COMMON_STRING_UTIL_H_

@@ -1,0 +1,53 @@
+#include "core/policy_generator.h"
+
+#include "common/check.h"
+
+namespace aer {
+
+PolicyGenerator::PolicyGenerator(PolicyGeneratorConfig config)
+    : config_(std::move(config)) {}
+
+TrainedPolicy PolicyGenerator::Generate(const RecoveryLog& log,
+                                        PolicyGenerationReport* report) const {
+  // 1. Segment the log into recovery processes.
+  const SegmentationResult segmented = SegmentIntoProcesses(log);
+  AER_CHECK(!segmented.processes.empty());
+
+  // 2. Cluster symptoms and drop noisy (multi-error) processes.
+  const SymptomClustering clustering(segmented.processes, config_.mining);
+  const NoiseFilterResult filtered =
+      FilterNoisyProcesses(segmented.processes, clustering);
+  std::vector<RecoveryProcess> clean;
+  clean.reserve(filtered.clean.size());
+  for (std::size_t i : filtered.clean) {
+    clean.push_back(segmented.processes[i]);
+  }
+  AER_CHECK(!clean.empty());
+
+  // 3. Induce error types from initial symptoms; keep the frequent ones.
+  const ErrorTypeCatalog types(clean, config_.max_types);
+
+  // 4. Train per-type policies on the simulation platform.
+  const SimulationPlatform platform(clean, types, log.symptoms(),
+                                    config_.trainer.max_actions);
+  const QLearningTrainer trainer(platform, clean, config_.trainer);
+  QLearningTrainer::TrainingOutput output;
+  if (config_.use_selection_tree) {
+    output = SelectionTreeTrainer(trainer, config_.tree).TrainAll();
+  } else {
+    output = trainer.TrainAll();
+  }
+
+  if (report != nullptr) {
+    report->total_processes = segmented.processes.size();
+    report->clean_processes = filtered.clean.size();
+    report->noisy_processes = filtered.noisy.size();
+    report->symptom_clusters = clustering.clusters().size();
+    report->error_types = types.num_types();
+    report->type_coverage = types.coverage();
+    report->training = std::move(output.per_type);
+  }
+  return std::move(output.policy);
+}
+
+}  // namespace aer

@@ -1,0 +1,66 @@
+// PolicyGenerator — the paper's offline policy-generation component (the
+// lower half of Figure 1) as a single public entry point:
+//
+//   recovery log  ->  segmentation  ->  m-pattern symptom clustering
+//                 ->  noise filtering  ->  error-type induction
+//                 ->  Q-learning on the simulation platform
+//                 ->  deployable TrainedPolicy
+//
+// Typical use:
+//
+//   aer::RecoveryLog log = ...;                 // from the monitored system
+//   aer::PolicyGenerator generator;
+//   aer::PolicyGenerationReport report;
+//   aer::TrainedPolicy policy = generator.Generate(log, &report);
+//   aer::UserDefinedPolicy fallback;
+//   aer::HybridPolicy deployable(policy, fallback);   // covers every state
+#ifndef AER_CORE_POLICY_GENERATOR_H_
+#define AER_CORE_POLICY_GENERATOR_H_
+
+#include "eval/experiment.h"
+#include "mining/error_type.h"
+#include "rl/selection_tree.h"
+
+namespace aer {
+
+struct PolicyGeneratorConfig {
+  // Symptom clustering / noise filtering (Section 3.1).
+  MPatternConfig mining;
+  // Keep the most frequent error types only (Section 4.1 keeps 40).
+  std::size_t max_types = 40;
+  // Q-learning (Section 3.3).
+  TrainerConfig trainer;
+  // Generate policies through the selection tree (Section 5.3): much faster
+  // convergence for the same result, so it is the default.
+  bool use_selection_tree = true;
+  SelectionTreeConfig tree;
+};
+
+struct PolicyGenerationReport {
+  std::size_t total_processes = 0;
+  std::size_t clean_processes = 0;
+  std::size_t noisy_processes = 0;
+  std::size_t symptom_clusters = 0;
+  std::size_t error_types = 0;
+  double type_coverage = 0.0;  // processes covered by the kept types
+  std::vector<TypeTrainingResult> training;
+};
+
+class PolicyGenerator {
+ public:
+  explicit PolicyGenerator(PolicyGeneratorConfig config = {});
+
+  // Learns a recovery policy from the log. The log must contain completed
+  // recovery processes (symptoms, actions, Success markers).
+  TrainedPolicy Generate(const RecoveryLog& log,
+                         PolicyGenerationReport* report = nullptr) const;
+
+  const PolicyGeneratorConfig& config() const { return config_; }
+
+ private:
+  PolicyGeneratorConfig config_;
+};
+
+}  // namespace aer
+
+#endif  // AER_CORE_POLICY_GENERATOR_H_

@@ -1,0 +1,91 @@
+#include "core/recovery_manager.h"
+
+#include "common/check.h"
+
+namespace aer {
+
+RecoveryManager::RecoveryManager(RecoveryPolicy& policy,
+                                 RecoveryManagerConfig config)
+    : policy_(policy), config_(config) {
+  AER_CHECK_GE(config_.max_actions_per_process, 1);
+}
+
+void RecoveryManager::OnSymptom(SimTime time, MachineId machine,
+                                std::string_view symptom) {
+  const SymptomId id = log_.symptoms().Intern(symptom);
+  log_.Append(LogEntry::Symptom(time, machine, id));
+  if (!open_.contains(machine)) {
+    OpenProcess process;
+    process.start = time;
+    process.initial_symptom = id;
+    const auto it = last_recovery_end_.find(machine);
+    process.last_recovery_end =
+        it != last_recovery_end_.end() ? it->second : -1;
+    open_.emplace(machine, std::move(process));
+  }
+}
+
+std::optional<RepairAction> RecoveryManager::OnRecoveryNeeded(
+    SimTime time, MachineId machine) {
+  const auto it = open_.find(machine);
+  if (it == open_.end()) return std::nullopt;
+  OpenProcess& process = it->second;
+
+  RepairAction action;
+  if (static_cast<int>(process.tried.size()) >=
+      config_.max_actions_per_process - 1) {
+    action = RepairAction::kRma;
+    ++stats_.manual_repairs_forced;
+  } else {
+    RecoveryContext ctx;
+    ctx.machine = machine;
+    ctx.initial_symptom = process.initial_symptom;
+    ctx.initial_symptom_name = log_.symptoms().Name(process.initial_symptom);
+    ctx.tried = process.tried;
+    ctx.process_start = process.start;
+    ctx.now = time;
+    ctx.last_recovery_end = process.last_recovery_end;
+    action = policy_.ChooseAction(ctx);
+  }
+
+  process.tried.push_back(action);
+  process.last_action_start = time;
+  log_.Append(LogEntry::Action(time, machine, action));
+  ++stats_.actions_taken;
+  return action;
+}
+
+void RecoveryManager::OnActionResult(SimTime time, MachineId machine,
+                                     bool healthy) {
+  const auto it = open_.find(machine);
+  AER_CHECK(it != open_.end());
+  OpenProcess& process = it->second;
+
+  // Result monitoring: feed the outcome back to the policy.
+  if (!process.tried.empty() && process.last_action_start >= 0) {
+    RecoveryContext ctx;
+    ctx.machine = machine;
+    ctx.initial_symptom = process.initial_symptom;
+    ctx.initial_symptom_name = log_.symptoms().Name(process.initial_symptom);
+    ctx.tried = std::span<const RepairAction>(process.tried.data(),
+                                              process.tried.size() - 1);
+    ctx.process_start = process.start;
+    ctx.now = time;
+    ctx.last_recovery_end = process.last_recovery_end;
+    policy_.OnActionOutcome(ctx, process.tried.back(),
+                            time - process.last_action_start, healthy);
+  }
+
+  if (!healthy) return;  // caller drives the next OnRecoveryNeeded
+  log_.Append(LogEntry::Success(time, machine));
+  ++stats_.processes_completed;
+  stats_.total_downtime += time - it->second.start;
+  last_recovery_end_[machine] = time;
+  open_.erase(it);
+}
+
+bool RecoveryManager::HasOpenProcess(MachineId machine) const {
+  return open_.contains(machine);
+}
+
+}  // namespace aer

@@ -1,0 +1,82 @@
+// RecoveryManager — the online automatic-recovery framework (the upper half
+// of Figure 1): event monitoring feeds symptoms in, fault detection requests
+// a repair decision, error recovery consults the pluggable policy and
+// enforces the N-cap, and everything observable is appended to a recovery
+// log (the input of the next offline training round — this closes the
+// paper's feedback loop and is what lets the system "adapt to the change of
+// the environment without human involvement").
+//
+// The manager is deliberately transport-agnostic: callers (a production
+// event bus, or the cluster simulator in the examples) push timestamped
+// events and execute the returned actions.
+#ifndef AER_CORE_RECOVERY_MANAGER_H_
+#define AER_CORE_RECOVERY_MANAGER_H_
+
+#include <optional>
+#include <unordered_map>
+
+#include "cluster/policy.h"
+#include "log/recovery_log.h"
+
+namespace aer {
+
+struct RecoveryManagerConfig {
+  // The paper's N: the last permitted action of a process is manual repair.
+  int max_actions_per_process = 20;
+};
+
+class RecoveryManager {
+ public:
+  // `policy` must outlive the manager.
+  RecoveryManager(RecoveryPolicy& policy, RecoveryManagerConfig config = {});
+
+  // Event monitoring: a symptom was observed on a machine. Opens a recovery
+  // process if none is active; records the symptom either way.
+  void OnSymptom(SimTime time, MachineId machine, std::string_view symptom);
+
+  // Fault detection: the machine needs (another) repair action now. Returns
+  // the action the caller must execute, or nullopt if no process is open.
+  // Records the action and enforces the N-cap (the N-th action is RMA).
+  std::optional<RepairAction> OnRecoveryNeeded(SimTime time,
+                                               MachineId machine);
+
+  // Result monitoring: the outcome of the last action. `healthy` closes the
+  // process (records Success); otherwise the caller should follow up with
+  // OnRecoveryNeeded.
+  void OnActionResult(SimTime time, MachineId machine, bool healthy);
+
+  bool HasOpenProcess(MachineId machine) const;
+  std::size_t open_process_count() const { return open_.size(); }
+
+  // The log of everything this manager observed and decided; feed it back
+  // into PolicyGenerator to close the loop.
+  const RecoveryLog& log() const { return log_; }
+
+  struct Stats {
+    std::int64_t processes_completed = 0;
+    std::int64_t actions_taken = 0;
+    std::int64_t manual_repairs_forced = 0;  // N-cap hits
+    SimTime total_downtime = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct OpenProcess {
+    SimTime start = 0;
+    SymptomId initial_symptom = kInvalidSymptom;
+    std::vector<RepairAction> tried;
+    SimTime last_recovery_end = -1;
+    SimTime last_action_start = -1;
+  };
+
+  RecoveryPolicy& policy_;
+  RecoveryManagerConfig config_;
+  RecoveryLog log_;
+  std::unordered_map<MachineId, OpenProcess> open_;
+  std::unordered_map<MachineId, SimTime> last_recovery_end_;
+  Stats stats_;
+};
+
+}  // namespace aer
+
+#endif  // AER_CORE_RECOVERY_MANAGER_H_

@@ -1,0 +1,31 @@
+// Percentile bootstrap for the evaluation's headline statistic — the ratio
+// of summed policy cost to summed actual cost over the test processes. The
+// paper reports point estimates only; a reproduction should know how wide
+// its error bars are before calling a shape "matched".
+#ifndef AER_EVAL_BOOTSTRAP_H_
+#define AER_EVAL_BOOTSTRAP_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+
+namespace aer {
+
+struct BootstrapInterval {
+  double point = 0.0;  // Σ numerator / Σ denominator on the full sample
+  double low = 0.0;
+  double high = 0.0;
+  int resamples = 0;
+  double confidence = 0.0;
+};
+
+// Pairs are (numerator_i, denominator_i) for one process: (policy cost,
+// actual cost). Resamples pairs with replacement and takes the percentile
+// interval of the ratio of sums. Deterministic for a given seed.
+BootstrapInterval BootstrapRatioCI(
+    std::span<const std::pair<double, double>> pairs, int resamples = 2000,
+    double confidence = 0.95, std::uint64_t seed = 1);
+
+}  // namespace aer
+
+#endif  // AER_EVAL_BOOTSTRAP_H_

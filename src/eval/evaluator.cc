@@ -1,0 +1,99 @@
+#include "eval/evaluator.h"
+
+#include "common/check.h"
+
+namespace aer {
+
+PolicyEvaluator::PolicyEvaluator(const SimulationPlatform& platform)
+    : platform_(platform) {}
+
+EvalSummary PolicyEvaluator::EvaluateTrained(
+    const TrainedPolicy& policy, std::span<const RecoveryProcess> test) const {
+  std::vector<TypeEvalRow> rows(platform_.types().num_types());
+  std::vector<std::pair<double, double>> samples;
+  for (const RecoveryProcess& p : test) {
+    if (p.attempts().empty()) continue;
+    const ErrorTypeId type = platform_.types().Classify(p);
+    if (type == kInvalidErrorType) continue;
+    TypeEvalRow& row = rows[static_cast<std::size_t>(type)];
+    ++row.processes;
+
+    const std::string& symptom_name =
+        platform_.symptoms().Name(p.initial_symptom());
+    const TrainedPolicy::TypeEntry* entry = policy.FindType(symptom_name);
+    if (entry == nullptr) continue;  // unhandled: type unseen in training
+
+    ProcessReplay replay(p, type, platform_.estimator(),
+                         platform_.capabilities());
+    int steps = 0;
+    for (RepairAction a : entry->sequence) {
+      if (replay.cured() ||
+          steps >= platform_.max_actions_per_process()) {
+        break;
+      }
+      replay.Step(a);
+      ++steps;
+    }
+    if (!replay.cured()) continue;  // unhandled: learned sequence ran out
+
+    ++row.handled;
+    row.actual_cost += static_cast<double>(p.downtime());
+    row.policy_cost += replay.total_cost();
+    samples.push_back({replay.total_cost(),
+                       static_cast<double>(p.downtime())});
+  }
+  return Finalize(std::move(rows), std::move(samples));
+}
+
+EvalSummary PolicyEvaluator::EvaluateFull(
+    RecoveryPolicy& policy, std::span<const RecoveryProcess> test) const {
+  std::vector<TypeEvalRow> rows(platform_.types().num_types());
+  std::vector<std::pair<double, double>> samples;
+  for (const RecoveryProcess& p : test) {
+    if (p.attempts().empty()) continue;
+    const ErrorTypeId type = platform_.types().Classify(p);
+    if (type == kInvalidErrorType) continue;
+    TypeEvalRow& row = rows[static_cast<std::size_t>(type)];
+    ++row.processes;
+    ++row.handled;
+    const double cost = platform_.ReplayPolicy(p, policy).cost;
+    row.actual_cost += static_cast<double>(p.downtime());
+    row.policy_cost += cost;
+    samples.push_back({cost, static_cast<double>(p.downtime())});
+  }
+  return Finalize(std::move(rows), std::move(samples));
+}
+
+EvalSummary PolicyEvaluator::Finalize(
+    std::vector<TypeEvalRow> rows,
+    std::vector<std::pair<double, double>> samples) const {
+  EvalSummary summary;
+  summary.samples = std::move(samples);
+  for (std::size_t t = 0; t < rows.size(); ++t) {
+    TypeEvalRow& row = rows[t];
+    row.type = static_cast<ErrorTypeId>(t);
+    row.relative_cost =
+        row.actual_cost > 0 ? row.policy_cost / row.actual_cost : 0.0;
+    row.coverage = row.processes > 0
+                       ? static_cast<double>(row.handled) /
+                             static_cast<double>(row.processes)
+                       : 0.0;
+    summary.total_processes += row.processes;
+    summary.total_handled += row.handled;
+    summary.total_actual_cost += row.actual_cost;
+    summary.total_policy_cost += row.policy_cost;
+  }
+  summary.overall_relative_cost =
+      summary.total_actual_cost > 0
+          ? summary.total_policy_cost / summary.total_actual_cost
+          : 0.0;
+  summary.overall_coverage =
+      summary.total_processes > 0
+          ? static_cast<double>(summary.total_handled) /
+                static_cast<double>(summary.total_processes)
+          : 0.0;
+  summary.rows = std::move(rows);
+  return summary;
+}
+
+}  // namespace aer

@@ -1,0 +1,73 @@
+// Policy evaluation on a held-out portion of the recovery log (Section 5).
+//
+// For each test process the candidate policy is replayed on the simulation
+// platform and its estimated downtime is compared with the actual logged
+// downtime. Two accounting modes mirror the paper's experiments:
+//
+//  - Trained-policy mode (Figures 8-10): a process the trained policy cannot
+//    finish (unknown type, or its learned sequence runs out uncured) is
+//    *unhandled*; unhandled costs are excluded on both sides and coverage is
+//    reported per type.
+//  - Full-policy mode (Figures 7, 11, 12): any RecoveryPolicy — the
+//    user-defined one or the hybrid — finishes every process (the N cap
+//    forces manual repair), so all processes count.
+#ifndef AER_EVAL_EVALUATOR_H_
+#define AER_EVAL_EVALUATOR_H_
+
+#include <span>
+#include <vector>
+
+#include "rl/policy.h"
+#include "sim/platform.h"
+
+namespace aer {
+
+struct TypeEvalRow {
+  ErrorTypeId type = kInvalidErrorType;
+  std::int64_t processes = 0;  // classified test processes of this type
+  std::int64_t handled = 0;
+  double actual_cost = 0.0;  // logged downtime, handled processes only
+  double policy_cost = 0.0;  // estimated downtime, handled processes only
+  // policy_cost / actual_cost (0 when the type has no handled processes).
+  double relative_cost = 0.0;
+  double coverage = 0.0;  // handled / processes
+};
+
+struct EvalSummary {
+  std::vector<TypeEvalRow> rows;  // indexed by ErrorTypeId
+  // One (policy cost, actual cost) pair per counted process, in test order;
+  // feed to BootstrapRatioCI for error bars on overall_relative_cost.
+  std::vector<std::pair<double, double>> samples;
+  std::int64_t total_processes = 0;
+  std::int64_t total_handled = 0;
+  double total_actual_cost = 0.0;
+  double total_policy_cost = 0.0;
+  double overall_relative_cost = 0.0;
+  double overall_coverage = 0.0;
+};
+
+class PolicyEvaluator {
+ public:
+  // `platform` should be built over the same processes passed to the
+  // Evaluate* calls, so both policies are priced from the test split's own
+  // statistics.
+  explicit PolicyEvaluator(const SimulationPlatform& platform);
+
+  // Trained-policy accounting (handled/unhandled).
+  EvalSummary EvaluateTrained(const TrainedPolicy& policy,
+                              std::span<const RecoveryProcess> test) const;
+
+  // Full accounting for a complete policy.
+  EvalSummary EvaluateFull(RecoveryPolicy& policy,
+                           std::span<const RecoveryProcess> test) const;
+
+ private:
+  EvalSummary Finalize(std::vector<TypeEvalRow> rows,
+                       std::vector<std::pair<double, double>> samples) const;
+
+  const SimulationPlatform& platform_;
+};
+
+}  // namespace aer
+
+#endif  // AER_EVAL_EVALUATOR_H_

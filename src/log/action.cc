@@ -1,0 +1,34 @@
+#include "log/action.h"
+
+#include "common/check.h"
+
+namespace aer {
+
+RepairAction ActionFromIndex(int index) {
+  AER_CHECK_GE(index, 0);
+  AER_CHECK_LT(index, kNumActions);
+  return static_cast<RepairAction>(index);
+}
+
+std::string_view ActionName(RepairAction a) {
+  switch (a) {
+    case RepairAction::kTryNop:
+      return "TRYNOP";
+    case RepairAction::kReboot:
+      return "REBOOT";
+    case RepairAction::kReimage:
+      return "REIMAGE";
+    case RepairAction::kRma:
+      return "RMA";
+  }
+  AER_CHECK(false);
+}
+
+std::optional<RepairAction> ParseAction(std::string_view name) {
+  for (RepairAction a : kAllActions) {
+    if (ActionName(a) == name) return a;
+  }
+  return std::nullopt;
+}
+
+}  // namespace aer

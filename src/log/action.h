@@ -1,0 +1,49 @@
+// Repair actions and their strength order.
+//
+// The paper's production system has exactly four repair actions, totally
+// ordered by "strength": a stronger action performs at least everything a
+// weaker one does (Section 3.3, hypothesis 2). RMA ("return to manufacturer"
+// i.e. manual human repair) is the strongest and always succeeds.
+#ifndef AER_LOG_ACTION_H_
+#define AER_LOG_ACTION_H_
+
+#include <array>
+#include <optional>
+#include <string_view>
+
+namespace aer {
+
+enum class RepairAction : int {
+  kTryNop = 0,   // watch the machine; do nothing
+  kReboot = 1,   // reboot the machine
+  kReimage = 2,  // rebuild the operating system
+  kRma = 3,      // hand the machine to a human technician
+};
+
+inline constexpr int kNumActions = 4;
+
+inline constexpr std::array<RepairAction, kNumActions> kAllActions = {
+    RepairAction::kTryNop, RepairAction::kReboot, RepairAction::kReimage,
+    RepairAction::kRma};
+
+// Strength is exactly the enum order; kept as a named function because call
+// sites reason about "strength", not enum arithmetic.
+constexpr int ActionStrength(RepairAction a) { return static_cast<int>(a); }
+
+// True if `a` is at least as strong as `b` (hypothesis 2: a can replace b).
+constexpr bool AtLeastAsStrong(RepairAction a, RepairAction b) {
+  return ActionStrength(a) >= ActionStrength(b);
+}
+
+constexpr int ActionIndex(RepairAction a) { return static_cast<int>(a); }
+
+RepairAction ActionFromIndex(int index);
+
+std::string_view ActionName(RepairAction a);
+
+// Parses the log-file spelling ("TRYNOP", "REBOOT", ...); nullopt otherwise.
+std::optional<RepairAction> ParseAction(std::string_view name);
+
+}  // namespace aer
+
+#endif  // AER_LOG_ACTION_H_

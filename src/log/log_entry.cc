@@ -1,0 +1,19 @@
+#include "log/log_entry.h"
+
+#include "common/check.h"
+
+namespace aer {
+
+std::string DescribeEntry(const LogEntry& entry, const SymptomTable& symptoms) {
+  switch (entry.kind) {
+    case EntryKind::kSymptom:
+      return "error:" + symptoms.Name(entry.symptom);
+    case EntryKind::kAction:
+      return std::string(ActionName(entry.action));
+    case EntryKind::kSuccess:
+      return "Success";
+  }
+  AER_CHECK(false);
+}
+
+}  // namespace aer

@@ -1,0 +1,67 @@
+// A single recovery-log entry: <time, machine name, description>.
+//
+// Matches the paper's Section 4.1: the description is either an error
+// symptom, a repair action, or a report of successful recovery.
+#ifndef AER_LOG_LOG_ENTRY_H_
+#define AER_LOG_LOG_ENTRY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/sim_time.h"
+#include "log/action.h"
+#include "log/symptom.h"
+
+namespace aer {
+
+using MachineId = std::int32_t;
+
+enum class EntryKind : int {
+  kSymptom = 0,  // an error symptom was observed
+  kAction = 1,   // a repair action was initiated
+  kSuccess = 2,  // the machine reported healthy (recovery complete)
+};
+
+struct LogEntry {
+  SimTime time = 0;
+  MachineId machine = 0;
+  EntryKind kind = EntryKind::kSymptom;
+  // Valid when kind == kSymptom.
+  SymptomId symptom = kInvalidSymptom;
+  // Valid when kind == kAction.
+  RepairAction action = RepairAction::kTryNop;
+
+  static LogEntry Symptom(SimTime t, MachineId m, SymptomId s) {
+    LogEntry e;
+    e.time = t;
+    e.machine = m;
+    e.kind = EntryKind::kSymptom;
+    e.symptom = s;
+    return e;
+  }
+  static LogEntry Action(SimTime t, MachineId m, RepairAction a) {
+    LogEntry e;
+    e.time = t;
+    e.machine = m;
+    e.kind = EntryKind::kAction;
+    e.action = a;
+    return e;
+  }
+  static LogEntry Success(SimTime t, MachineId m) {
+    LogEntry e;
+    e.time = t;
+    e.machine = m;
+    e.kind = EntryKind::kSuccess;
+    return e;
+  }
+
+  friend bool operator==(const LogEntry&, const LogEntry&) = default;
+};
+
+// Renders the description column as it appears in the paper's Table 1
+// ("error:<symptom name>", "REBOOT", "Success").
+std::string DescribeEntry(const LogEntry& entry, const SymptomTable& symptoms);
+
+}  // namespace aer
+
+#endif  // AER_LOG_LOG_ENTRY_H_

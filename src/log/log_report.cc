@@ -1,0 +1,51 @@
+#include "log/log_report.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace aer {
+
+LogReport BuildLogReport(const RecoveryLog& log, std::size_t top_k) {
+  LogReport report;
+  report.entries = log.size();
+  const SegmentationResult segmented = SegmentIntoProcesses(log);
+  report.processes = segmented.processes.size();
+  report.incomplete = segmented.incomplete;
+  report.orphan_entries = segmented.orphan_entries;
+  report.total_downtime = TotalDowntime(segmented.processes);
+  report.mean_downtime_s =
+      report.processes > 0
+          ? static_cast<double>(report.total_downtime) /
+                static_cast<double>(report.processes)
+          : 0.0;
+  std::vector<ErrorTypeStat> ranked = RankErrorTypes(segmented.processes);
+  report.error_types = ranked.size();
+  if (ranked.size() > top_k) ranked.resize(top_k);
+  report.top_types = std::move(ranked);
+  return report;
+}
+
+std::string FormatLogReport(const LogReport& report,
+                            const SymptomTable& symptoms) {
+  std::ostringstream os;
+  os << StrFormat("entries:             %zu\n", report.entries);
+  os << StrFormat("recovery processes:  %zu (+%d incomplete, %d orphan "
+                  "entries)\n",
+                  report.processes, report.incomplete,
+                  report.orphan_entries);
+  os << StrFormat("total downtime:      %.3f Msec (mean %.0f s / process)\n",
+                  static_cast<double>(report.total_downtime) / 1e6,
+                  report.mean_downtime_s);
+  os << StrFormat("error types:         %zu; top %zu by count:\n",
+                  report.error_types, report.top_types.size());
+  for (const ErrorTypeStat& stat : report.top_types) {
+    os << StrFormat("  %-28s %6lld processes, %8.3f Msec downtime\n",
+                    symptoms.Name(stat.type).c_str(),
+                    static_cast<long long>(stat.process_count),
+                    static_cast<double>(stat.total_downtime) / 1e6);
+  }
+  return os.str();
+}
+
+}  // namespace aer

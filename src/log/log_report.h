@@ -1,0 +1,33 @@
+// Human-readable summaries of a recovery log: entry/process counts,
+// downtime totals, and the most expensive/most frequent error types. Used
+// by the aerctl CLI and handy for operational dashboards.
+#ifndef AER_LOG_LOG_REPORT_H_
+#define AER_LOG_LOG_REPORT_H_
+
+#include <string>
+
+#include "log/log_stats.h"
+
+namespace aer {
+
+struct LogReport {
+  std::size_t entries = 0;
+  std::size_t processes = 0;
+  int incomplete = 0;
+  int orphan_entries = 0;
+  SimTime total_downtime = 0;
+  double mean_downtime_s = 0.0;
+  std::size_t error_types = 0;
+  // Top error types by process count (rank order).
+  std::vector<ErrorTypeStat> top_types;
+};
+
+LogReport BuildLogReport(const RecoveryLog& log, std::size_t top_k = 5);
+
+// Multi-line text rendering; `symptoms` must be the log's own table.
+std::string FormatLogReport(const LogReport& report,
+                            const SymptomTable& symptoms);
+
+}  // namespace aer
+
+#endif  // AER_LOG_LOG_REPORT_H_

@@ -1,0 +1,60 @@
+#include "log/log_stats.h"
+
+#include <algorithm>
+
+namespace aer {
+
+std::unordered_map<SymptomId, std::vector<std::size_t>> GroupByErrorType(
+    const std::vector<RecoveryProcess>& processes) {
+  std::unordered_map<SymptomId, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < processes.size(); ++i) {
+    groups[processes[i].initial_symptom()].push_back(i);
+  }
+  return groups;
+}
+
+std::vector<ErrorTypeStat> RankErrorTypes(
+    const std::vector<RecoveryProcess>& processes) {
+  std::unordered_map<SymptomId, ErrorTypeStat> stats;
+  for (const RecoveryProcess& p : processes) {
+    ErrorTypeStat& s = stats[p.initial_symptom()];
+    s.type = p.initial_symptom();
+    ++s.process_count;
+    s.total_downtime += p.downtime();
+  }
+  std::vector<ErrorTypeStat> out;
+  out.reserve(stats.size());
+  for (const auto& [type, s] : stats) out.push_back(s);
+  std::sort(out.begin(), out.end(),
+            [](const ErrorTypeStat& a, const ErrorTypeStat& b) {
+              if (a.process_count != b.process_count) {
+                return a.process_count > b.process_count;
+              }
+              return a.type < b.type;
+            });
+  return out;
+}
+
+TopTypesSelection SelectTopTypes(const std::vector<RecoveryProcess>& processes,
+                                 std::size_t k) {
+  const std::vector<ErrorTypeStat> ranked = RankErrorTypes(processes);
+  TopTypesSelection sel;
+  std::int64_t covered = 0;
+  for (std::size_t i = 0; i < ranked.size() && i < k; ++i) {
+    sel.types.push_back(ranked[i].type);
+    covered += ranked[i].process_count;
+  }
+  sel.process_coverage =
+      processes.empty()
+          ? 0.0
+          : static_cast<double>(covered) / static_cast<double>(processes.size());
+  return sel;
+}
+
+SimTime TotalDowntime(const std::vector<RecoveryProcess>& processes) {
+  SimTime total = 0;
+  for (const RecoveryProcess& p : processes) total += p.downtime();
+  return total;
+}
+
+}  // namespace aer

@@ -1,0 +1,45 @@
+// Per-error-type statistics over an ensemble of recovery processes: process
+// counts and total downtime (the data behind the paper's Figures 5 and 6) and
+// the top-K frequent-type selection of Section 4.1.
+#ifndef AER_LOG_LOG_STATS_H_
+#define AER_LOG_LOG_STATS_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "log/recovery_process.h"
+
+namespace aer {
+
+// Groups process indices by error type (initial symptom).
+std::unordered_map<SymptomId, std::vector<std::size_t>> GroupByErrorType(
+    const std::vector<RecoveryProcess>& processes);
+
+struct ErrorTypeStat {
+  SymptomId type = kInvalidSymptom;
+  std::int64_t process_count = 0;
+  SimTime total_downtime = 0;
+};
+
+// One stat per error type, sorted by descending process count (ties broken
+// by symptom id so the ranking is deterministic). This ordering defines the
+// "error type 1..40" x-axis used throughout the paper's figures.
+std::vector<ErrorTypeStat> RankErrorTypes(
+    const std::vector<RecoveryProcess>& processes);
+
+struct TopTypesSelection {
+  std::vector<SymptomId> types;   // the K most frequent error types, in rank order
+  double process_coverage = 0.0;  // fraction of processes they account for
+};
+
+// Selects the `k` most frequent types (Section 4.1 keeps the top 40, which
+// cover 98.68% of the paper's processes).
+TopTypesSelection SelectTopTypes(const std::vector<RecoveryProcess>& processes,
+                                 std::size_t k);
+
+// Sum of downtime over all processes.
+SimTime TotalDowntime(const std::vector<RecoveryProcess>& processes);
+
+}  // namespace aer
+
+#endif  // AER_LOG_LOG_STATS_H_

@@ -1,0 +1,91 @@
+#include "log/recovery_log.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace aer {
+
+void RecoveryLog::SortByTime() {
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const LogEntry& a, const LogEntry& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.machine < b.machine;
+                   });
+}
+
+void RecoveryLog::Merge(const RecoveryLog& other) {
+  // Remap the other table's symptom ids into ours.
+  std::vector<SymptomId> remap(other.symptoms_.size(), kInvalidSymptom);
+  for (SymptomId id = 0; id < static_cast<SymptomId>(other.symptoms_.size());
+       ++id) {
+    remap[static_cast<std::size_t>(id)] =
+        symptoms_.Intern(other.symptoms_.Name(id));
+  }
+  entries_.reserve(entries_.size() + other.entries_.size());
+  for (LogEntry e : other.entries_) {
+    if (e.kind == EntryKind::kSymptom) {
+      e.symptom = remap[static_cast<std::size_t>(e.symptom)];
+    }
+    entries_.push_back(e);
+  }
+}
+
+void RecoveryLog::Write(std::ostream& os) const {
+  for (const LogEntry& e : entries_) {
+    os << e.time << '\t' << 'm' << e.machine << '\t'
+       << DescribeEntry(e, symptoms_) << '\n';
+  }
+}
+
+void RecoveryLog::WriteFile(const std::string& path) const {
+  std::ofstream os(path);
+  AER_CHECK(os.good());
+  Write(os);
+  AER_CHECK(os.good());
+}
+
+bool RecoveryLog::Read(std::istream& is, RecoveryLog& out) {
+  out = RecoveryLog();
+  std::string line;
+  while (std::getline(is, line)) {
+    if (Trim(line).empty()) continue;
+    const auto fields = Split(line, '\t');
+    if (fields.size() != 3) return false;
+    const auto time = ParseInt64(fields[0]);
+    if (!time.has_value()) return false;
+    std::string_view machine_field = fields[1];
+    if (machine_field.empty() || machine_field.front() != 'm') return false;
+    const auto machine = ParseInt64(machine_field.substr(1));
+    if (!machine.has_value()) return false;
+    const std::string_view desc = Trim(fields[2]);
+
+    LogEntry e;
+    e.time = *time;
+    e.machine = static_cast<MachineId>(*machine);
+    if (desc == "Success") {
+      e.kind = EntryKind::kSuccess;
+    } else if (StartsWith(desc, "error:")) {
+      e.kind = EntryKind::kSymptom;
+      e.symptom = out.symptoms_.Intern(desc.substr(6));
+    } else if (auto action = ParseAction(desc); action.has_value()) {
+      e.kind = EntryKind::kAction;
+      e.action = *action;
+    } else {
+      return false;
+    }
+    out.entries_.push_back(e);
+  }
+  return true;
+}
+
+bool RecoveryLog::ReadFile(const std::string& path, RecoveryLog& out) {
+  std::ifstream is(path);
+  if (!is.good()) return false;
+  return Read(is, out);
+}
+
+}  // namespace aer

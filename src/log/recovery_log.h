@@ -1,0 +1,56 @@
+// The recovery log: a time-ordered sequence of LogEntry plus the symptom
+// intern table, with lossless text (de)serialization in the paper's
+// <time, machine, description> format.
+#ifndef AER_LOG_RECOVERY_LOG_H_
+#define AER_LOG_RECOVERY_LOG_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "log/log_entry.h"
+#include "log/symptom.h"
+
+namespace aer {
+
+class RecoveryLog {
+ public:
+  RecoveryLog() = default;
+
+  void Append(const LogEntry& entry) { entries_.push_back(entry); }
+
+  // Stable sort by (time, machine); entries of one machine at equal times
+  // keep insertion order so symptom-then-action sequences survive.
+  void SortByTime();
+
+  const std::vector<LogEntry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  SymptomTable& symptoms() { return symptoms_; }
+  const SymptomTable& symptoms() const { return symptoms_; }
+
+  // Appends all of `other`'s entries, re-interning its symptom names into
+  // this log's table (ids are remapped). Use for multi-period training:
+  // merge last quarter's log into the accumulated history, re-sort, retrain.
+  void Merge(const RecoveryLog& other);
+
+  // Text serialization: one entry per line, "<time>\t<machine>\t<desc>".
+  void Write(std::ostream& os) const;
+  void WriteFile(const std::string& path) const;
+
+  // Parses a log written by Write(); aborts the parse (returns false) on the
+  // first malformed line. Symptom names are re-interned, so round-tripping
+  // preserves entry equality up to symptom-id renumbering; ids are identical
+  // when the log was written by this class (first-seen order).
+  static bool Read(std::istream& is, RecoveryLog& out);
+  static bool ReadFile(const std::string& path, RecoveryLog& out);
+
+ private:
+  std::vector<LogEntry> entries_;
+  SymptomTable symptoms_;
+};
+
+}  // namespace aer
+
+#endif  // AER_LOG_RECOVERY_LOG_H_

@@ -1,0 +1,118 @@
+#include "log/recovery_process.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace aer {
+
+RecoveryProcess::RecoveryProcess(MachineId machine,
+                                 std::vector<SymptomEvent> symptoms,
+                                 std::vector<ActionAttempt> attempts,
+                                 SimTime success_time)
+    : machine_(machine),
+      symptoms_(std::move(symptoms)),
+      attempts_(std::move(attempts)),
+      success_time_(success_time) {
+  AER_CHECK(!symptoms_.empty());
+  AER_CHECK_GE(success_time_, symptoms_.front().time);
+}
+
+SimTime RecoveryProcess::detection_delay() const {
+  if (attempts_.empty()) return downtime();
+  return attempts_.front().start - start_time();
+}
+
+RepairAction RecoveryProcess::final_action() const {
+  AER_CHECK(!attempts_.empty());
+  return attempts_.back().action;
+}
+
+std::vector<SymptomId> RecoveryProcess::DistinctSymptoms() const {
+  std::vector<SymptomId> out;
+  out.reserve(symptoms_.size());
+  for (const SymptomEvent& e : symptoms_) out.push_back(e.symptom);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+namespace {
+
+// Per-machine accumulator for the currently open process.
+struct OpenProcess {
+  std::vector<SymptomEvent> symptoms;
+  std::vector<ActionAttempt> attempts;
+  bool open = false;
+};
+
+}  // namespace
+
+SegmentationResult SegmentIntoProcesses(const RecoveryLog& log) {
+  // Work on a time-sorted copy of the entry list (cheap: entries are PODs).
+  std::vector<LogEntry> entries = log.entries();
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const LogEntry& a, const LogEntry& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.machine < b.machine;
+                   });
+
+  SegmentationResult result;
+  std::unordered_map<MachineId, OpenProcess> open;
+
+  const auto close_attempt = [](OpenProcess& p, SimTime now) {
+    if (!p.attempts.empty()) {
+      ActionAttempt& last = p.attempts.back();
+      last.cost = now - last.start;
+    }
+  };
+
+  for (const LogEntry& e : entries) {
+    OpenProcess& p = open[e.machine];
+    switch (e.kind) {
+      case EntryKind::kSymptom:
+        if (!p.open) {
+          p.open = true;
+          p.symptoms.clear();
+          p.attempts.clear();
+        }
+        p.symptoms.push_back({e.time, e.symptom});
+        break;
+      case EntryKind::kAction:
+        if (!p.open) {
+          ++result.orphan_entries;
+          break;
+        }
+        close_attempt(p, e.time);
+        p.attempts.push_back({e.action, e.time, /*cost=*/0, /*cured=*/false});
+        break;
+      case EntryKind::kSuccess:
+        if (!p.open) {
+          ++result.orphan_entries;
+          break;
+        }
+        close_attempt(p, e.time);
+        if (!p.attempts.empty()) p.attempts.back().cured = true;
+        result.processes.emplace_back(e.machine, std::move(p.symptoms),
+                                      std::move(p.attempts), e.time);
+        p = OpenProcess{};
+        break;
+    }
+  }
+
+  for (const auto& [machine, p] : open) {
+    if (p.open) ++result.incomplete;
+  }
+
+  std::stable_sort(result.processes.begin(), result.processes.end(),
+                   [](const RecoveryProcess& a, const RecoveryProcess& b) {
+                     if (a.start_time() != b.start_time()) {
+                       return a.start_time() < b.start_time();
+                     }
+                     return a.machine() < b.machine();
+                   });
+  return result;
+}
+
+}  // namespace aer

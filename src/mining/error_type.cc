@@ -1,0 +1,79 @@
+#include "mining/error_type.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "log/log_stats.h"
+
+namespace aer {
+
+NoiseFilterResult FilterNoisyProcesses(
+    std::span<const RecoveryProcess> processes,
+    const SymptomClustering& clustering) {
+  NoiseFilterResult result;
+  for (std::size_t i = 0; i < processes.size(); ++i) {
+    if (clustering.IsCohesive(processes[i])) {
+      result.clean.push_back(i);
+    } else {
+      result.noisy.push_back(i);
+    }
+  }
+  result.clean_fraction =
+      processes.empty()
+          ? 0.0
+          : static_cast<double>(result.clean.size()) /
+                static_cast<double>(processes.size());
+  return result;
+}
+
+ErrorTypeCatalog::ErrorTypeCatalog(
+    std::span<const RecoveryProcess> processes, std::size_t max_types) {
+  std::unordered_map<SymptomId, std::int64_t> counts;
+  for (const RecoveryProcess& p : processes) {
+    ++counts[p.initial_symptom()];
+  }
+  std::vector<TypeInfo> all;
+  all.reserve(counts.size());
+  for (const auto& [symptom, count] : counts) {
+    all.push_back({symptom, count});
+  }
+  std::sort(all.begin(), all.end(), [](const TypeInfo& a, const TypeInfo& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.symptom < b.symptom;
+  });
+  if (all.size() > max_types) all.resize(max_types);
+  types_ = std::move(all);
+
+  std::int64_t covered = 0;
+  for (std::size_t i = 0; i < types_.size(); ++i) {
+    by_symptom_[types_[i].symptom] = static_cast<ErrorTypeId>(i);
+    covered += types_[i].count;
+  }
+  coverage_ = processes.empty()
+                  ? 0.0
+                  : static_cast<double>(covered) /
+                        static_cast<double>(processes.size());
+}
+
+ErrorTypeId ErrorTypeCatalog::Classify(const RecoveryProcess& process) const {
+  return ClassifySymptom(process.initial_symptom());
+}
+
+ErrorTypeId ErrorTypeCatalog::ClassifySymptom(SymptomId initial_symptom) const {
+  const auto it = by_symptom_.find(initial_symptom);
+  return it == by_symptom_.end() ? kInvalidErrorType : it->second;
+}
+
+SymptomId ErrorTypeCatalog::symptom_of(ErrorTypeId t) const {
+  AER_CHECK_GE(t, 0);
+  AER_CHECK_LT(static_cast<std::size_t>(t), types_.size());
+  return types_[static_cast<std::size_t>(t)].symptom;
+}
+
+std::int64_t ErrorTypeCatalog::count_of(ErrorTypeId t) const {
+  AER_CHECK_GE(t, 0);
+  AER_CHECK_LT(static_cast<std::size_t>(t), types_.size());
+  return types_[static_cast<std::size_t>(t)].count;
+}
+
+}  // namespace aer

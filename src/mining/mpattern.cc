@@ -1,0 +1,167 @@
+#include "mining/mpattern.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace aer {
+namespace {
+
+// Enumerates all size-k subsets of `txn` and invokes `fn` on each. `txn` is
+// sorted, so emitted subsets are sorted too. Recursion depth is bounded by k
+// (<= max_pattern_size).
+template <typename Fn>
+void ForEachSubset(const Transaction& txn, std::size_t k, std::size_t start,
+                   ItemSet& scratch, const Fn& fn) {
+  if (scratch.size() == k) {
+    fn(scratch);
+    return;
+  }
+  // Not enough items left to complete the subset?
+  const std::size_t needed = k - scratch.size();
+  for (std::size_t i = start; i + needed <= txn.size(); ++i) {
+    scratch.push_back(txn[i]);
+    ForEachSubset(txn, k, i + 1, scratch, fn);
+    scratch.pop_back();
+  }
+}
+
+}  // namespace
+
+MPatternMiner::MPatternMiner(MPatternConfig config) : config_(config) {
+  AER_CHECK_GT(config_.minp, 0.0);
+  AER_CHECK_LE(config_.minp, 1.0);
+  AER_CHECK_GE(config_.min_support, 1);
+  AER_CHECK_GE(config_.max_pattern_size, 1u);
+}
+
+std::int64_t MPatternMiner::Support(const ItemSet& items,
+                                    std::span<const Transaction> transactions) {
+  std::int64_t support = 0;
+  for (const Transaction& txn : transactions) {
+    if (std::includes(txn.begin(), txn.end(), items.begin(), items.end())) {
+      ++support;
+    }
+  }
+  return support;
+}
+
+std::vector<ItemSet> MPatternMiner::MineAll(
+    std::span<const Transaction> transactions) const {
+  // Item supports.
+  std::unordered_map<SymptomId, std::int64_t> item_support;
+  for (const Transaction& txn : transactions) {
+    AER_CHECK(std::is_sorted(txn.begin(), txn.end()));
+    for (SymptomId item : txn) ++item_support[item];
+  }
+
+  // Level 1: every sufficiently-supported single item is trivially an
+  // m-pattern (sup(X)/sup(i) == 1).
+  std::vector<ItemSet> result;
+  std::vector<ItemSet> level;
+  for (const auto& [item, sup] : item_support) {
+    if (sup >= config_.min_support) level.push_back({item});
+  }
+  std::sort(level.begin(), level.end());
+
+  const auto is_mpattern = [&](const ItemSet& items,
+                               std::int64_t support) {
+    if (support < config_.min_support) return false;
+    for (SymptomId item : items) {
+      const double dep = static_cast<double>(support) /
+                         static_cast<double>(item_support.at(item));
+      if (dep < config_.minp) return false;
+    }
+    return true;
+  };
+
+  while (!level.empty()) {
+    result.insert(result.end(), level.begin(), level.end());
+    if (level.front().size() >= config_.max_pattern_size) break;
+    const std::size_t k = level.front().size() + 1;
+
+    // Candidate generation: join patterns sharing a (k-2)-prefix, then prune
+    // candidates with a non-pattern (k-1)-subset (downward closure).
+    std::set<ItemSet> prev(level.begin(), level.end());
+    std::set<ItemSet> candidates;
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      for (std::size_t j = i + 1; j < level.size(); ++j) {
+        const ItemSet& a = level[i];
+        const ItemSet& b = level[j];
+        if (!std::equal(a.begin(), a.end() - 1, b.begin(), b.end() - 1)) {
+          // level is sorted lexicographically, so once prefixes diverge no
+          // later j matches either.
+          break;
+        }
+        ItemSet joined(a);
+        joined.push_back(b.back());
+        bool all_subsets_present = true;
+        ItemSet subset(joined.begin() + 1, joined.end());
+        for (std::size_t drop = 0; drop < joined.size(); ++drop) {
+          // subset = joined minus element `drop`.
+          if (drop > 0) subset[drop - 1] = joined[drop - 1];
+          if (!prev.contains(subset)) {
+            all_subsets_present = false;
+            break;
+          }
+        }
+        if (all_subsets_present) candidates.insert(std::move(joined));
+      }
+    }
+    if (candidates.empty()) break;
+
+    // Support counting: enumerate size-k subsets of each transaction and
+    // count hits against the candidate set.
+    std::map<ItemSet, std::int64_t> counts;
+    ItemSet scratch;
+    scratch.reserve(k);
+    for (const Transaction& txn : transactions) {
+      if (txn.size() < k) continue;
+      ForEachSubset(txn, k, 0, scratch, [&](const ItemSet& subset) {
+        if (candidates.contains(subset)) ++counts[subset];
+      });
+    }
+
+    std::vector<ItemSet> next;
+    for (const auto& [items, support] : counts) {
+      if (is_mpattern(items, support)) next.push_back(items);
+    }
+    std::sort(next.begin(), next.end());
+    level = std::move(next);
+  }
+
+  std::sort(result.begin(), result.end(), [](const ItemSet& a, const ItemSet& b) {
+    if (a.size() != b.size()) return a.size() < b.size();
+    return a < b;
+  });
+  return result;
+}
+
+std::vector<ItemSet> MPatternMiner::MineMaximal(
+    std::span<const Transaction> transactions) const {
+  const std::vector<ItemSet> all = MineAll(transactions);
+
+  // Downward closure: a pattern is non-maximal iff some mined pattern of
+  // size+1 contains it, so it suffices to mark the immediate subsets of every
+  // pattern.
+  std::set<ItemSet> non_maximal;
+  for (const ItemSet& p : all) {
+    if (p.size() < 2) continue;
+    ItemSet subset(p.begin() + 1, p.end());
+    for (std::size_t drop = 0; drop < p.size(); ++drop) {
+      if (drop > 0) subset[drop - 1] = p[drop - 1];
+      non_maximal.insert(subset);
+    }
+  }
+
+  std::vector<ItemSet> maximal;
+  for (const ItemSet& p : all) {
+    if (!non_maximal.contains(p)) maximal.push_back(p);
+  }
+  return maximal;
+}
+
+}  // namespace aer

@@ -1,0 +1,68 @@
+// Mutually-dependent pattern (m-pattern) mining, after Ma & Hellerstein,
+// "Mining Mutually Dependent Patterns" (IEEE JSAC 2002) — reference [19] of
+// the paper.
+//
+// An itemset X is an m-pattern at dependence strength `minp` if every item
+// i ∈ X satisfies  P(X | i) = sup(X) / sup(i) ≥ minp:  whenever any one of
+// the items occurs, the whole set co-occurs with probability at least minp.
+// Unlike frequent itemsets, m-patterns capture *infrequent but highly
+// correlated* items — exactly the structure of error symptoms, where a rare
+// fault deterministically emits its own small set of symptoms.
+//
+// m-patterns are downward closed (every subset of an m-pattern is an
+// m-pattern), so we mine level-wise, Apriori style. Transactions here are
+// the distinct-symptom sets of recovery processes and are small (≤ ~16
+// items), so support counting enumerates per-transaction subsets.
+#ifndef AER_MINING_MPATTERN_H_
+#define AER_MINING_MPATTERN_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "log/symptom.h"
+
+namespace aer {
+
+// A transaction: sorted, de-duplicated item (symptom) ids.
+using Transaction = std::vector<SymptomId>;
+
+// An itemset, sorted ascending.
+using ItemSet = std::vector<SymptomId>;
+
+struct MPatternConfig {
+  // Minimum mutual-dependence strength; the paper uses minp = 0.1 for the
+  // final clustering (Section 3.1).
+  double minp = 0.1;
+  // Minimum absolute support: ignore items seen fewer times than this (the
+  // mutual-dependence test is meaningless on single occurrences).
+  std::int64_t min_support = 2;
+  // Safety cap on pattern size; symptom sets per fault are small.
+  std::size_t max_pattern_size = 16;
+};
+
+class MPatternMiner {
+ public:
+  explicit MPatternMiner(MPatternConfig config);
+
+  // All m-patterns of size >= 1 over the transactions, each sorted
+  // ascending; the result is sorted lexicographically within each size,
+  // sizes ascending.
+  std::vector<ItemSet> MineAll(std::span<const Transaction> transactions) const;
+
+  // Only the maximal m-patterns (no mined superset). These act as the
+  // symptom clusters of Section 3.1.
+  std::vector<ItemSet> MineMaximal(
+      std::span<const Transaction> transactions) const;
+
+  // Support of an itemset: number of transactions containing all its items.
+  static std::int64_t Support(const ItemSet& items,
+                              std::span<const Transaction> transactions);
+
+ private:
+  MPatternConfig config_;
+};
+
+}  // namespace aer
+
+#endif  // AER_MINING_MPATTERN_H_

@@ -1,0 +1,86 @@
+#include "mining/symptom_clusters.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace aer {
+
+std::vector<Transaction> BuildSymptomTransactions(
+    std::span<const RecoveryProcess> processes) {
+  std::vector<Transaction> txns;
+  txns.reserve(processes.size());
+  for (const RecoveryProcess& p : processes) {
+    txns.push_back(p.DistinctSymptoms());
+  }
+  return txns;
+}
+
+SymptomClustering::SymptomClustering(
+    std::span<const RecoveryProcess> processes, const MPatternConfig& config) {
+  const std::vector<Transaction> txns = BuildSymptomTransactions(processes);
+  clusters_ = MPatternMiner(config).MineMaximal(txns);
+  for (std::size_t ci = 0; ci < clusters_.size(); ++ci) {
+    for (SymptomId s : clusters_[ci]) {
+      by_symptom_[s].push_back(static_cast<int>(ci));
+    }
+  }
+}
+
+bool SymptomClustering::IsCohesive(const RecoveryProcess& process) const {
+  const std::vector<SymptomId> symptoms = process.DistinctSymptoms();
+  AER_CHECK(!symptoms.empty());
+  // Candidate clusters: those containing the first symptom; the process is
+  // cohesive iff one of them contains every symptom.
+  const auto it = by_symptom_.find(symptoms.front());
+  if (it == by_symptom_.end()) return false;
+  for (int ci : it->second) {
+    const ItemSet& cluster = clusters_[static_cast<std::size_t>(ci)];
+    if (std::includes(cluster.begin(), cluster.end(), symptoms.begin(),
+                      symptoms.end())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double SymptomClustering::CohesiveFraction(
+    std::span<const RecoveryProcess> processes) const {
+  if (processes.empty()) return 0.0;
+  std::int64_t cohesive = 0;
+  for (const RecoveryProcess& p : processes) {
+    if (IsCohesive(p)) ++cohesive;
+  }
+  return static_cast<double>(cohesive) / static_cast<double>(processes.size());
+}
+
+int SymptomClustering::ClusterOf(SymptomId symptom) const {
+  const auto it = by_symptom_.find(symptom);
+  if (it == by_symptom_.end()) return -1;
+  int best = -1;
+  std::size_t best_size = 0;
+  for (int ci : it->second) {
+    const std::size_t size = clusters_[static_cast<std::size_t>(ci)].size();
+    if (size > best_size || (size == best_size && (best == -1 || ci < best))) {
+      best = ci;
+      best_size = size;
+    }
+  }
+  return best;
+}
+
+std::vector<double> CohesiveFractionSweep(
+    std::span<const RecoveryProcess> processes,
+    std::span<const double> minp_values) {
+  std::vector<double> out;
+  out.reserve(minp_values.size());
+  for (double minp : minp_values) {
+    MPatternConfig config;
+    config.minp = minp;
+    const SymptomClustering clustering(processes, config);
+    out.push_back(clustering.CohesiveFraction(processes));
+  }
+  return out;
+}
+
+}  // namespace aer

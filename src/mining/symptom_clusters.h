@@ -1,0 +1,53 @@
+// Symptom clustering on top of m-pattern mining (Section 3.1).
+//
+// The maximal m-patterns over the processes' distinct-symptom sets act as
+// symptom clusters. A process is "cohesive" when all its symptoms fall inside
+// a single cluster — the fraction of cohesive processes versus minp is the
+// paper's Figure 3, and non-cohesive processes are treated as noise.
+#ifndef AER_MINING_SYMPTOM_CLUSTERS_H_
+#define AER_MINING_SYMPTOM_CLUSTERS_H_
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "mining/mpattern.h"
+#include "log/recovery_process.h"
+
+namespace aer {
+
+// The distinct-symptom transactions of an ensemble of processes.
+std::vector<Transaction> BuildSymptomTransactions(
+    std::span<const RecoveryProcess> processes);
+
+class SymptomClustering {
+ public:
+  // Mines maximal m-patterns at the given strength and indexes them.
+  SymptomClustering(std::span<const RecoveryProcess> processes,
+                    const MPatternConfig& config);
+
+  const std::vector<ItemSet>& clusters() const { return clusters_; }
+
+  // True if every distinct symptom of the process lies in one mined cluster.
+  bool IsCohesive(const RecoveryProcess& process) const;
+
+  // Fraction of processes that are cohesive (one Figure 3 data point).
+  double CohesiveFraction(std::span<const RecoveryProcess> processes) const;
+
+  // Index of the largest cluster containing `symptom`, or -1 if none.
+  int ClusterOf(SymptomId symptom) const;
+
+ private:
+  std::vector<ItemSet> clusters_;
+  // symptom -> indices of clusters containing it (clusters can overlap).
+  std::unordered_map<SymptomId, std::vector<int>> by_symptom_;
+};
+
+// Convenience for the Figure 3 sweep: cohesive fraction per minp value.
+std::vector<double> CohesiveFractionSweep(
+    std::span<const RecoveryProcess> processes,
+    std::span<const double> minp_values);
+
+}  // namespace aer
+
+#endif  // AER_MINING_SYMPTOM_CLUSTERS_H_

@@ -1,0 +1,29 @@
+#include "rl/boltzmann.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace aer {
+
+double TemperatureSchedule::at(std::int64_t sweep) const {
+  AER_CHECK_GE(sweep, 0);
+  const double t = initial * std::pow(decay, static_cast<double>(sweep));
+  return t < floor ? floor : t;
+}
+
+std::size_t SampleBoltzmann(std::span<const double> costs, double temperature,
+                            Rng& rng) {
+  AER_CHECK(!costs.empty());
+  AER_CHECK_GT(temperature, 0.0);
+  double min_cost = costs[0];
+  for (double c : costs) min_cost = c < min_cost ? c : min_cost;
+  std::vector<double> weights(costs.size());
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    weights[i] = std::exp(-(costs[i] - min_cost) / temperature);
+  }
+  return rng.NextWeighted(weights);
+}
+
+}  // namespace aer

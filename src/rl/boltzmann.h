@@ -1,0 +1,38 @@
+// Boltzmann (softmax) exploration with an annealed temperature (equation 5):
+//
+//   P(a | s_t)  ∝  exp(-Q(s_t, a) / T)
+//
+// The temperature starts high (near-uniform exploration) and decays as more
+// recovery processes are analyzed, so action selection gradually becomes
+// greedy in the Q values — the paper's exploration/search split.
+#ifndef AER_RL_BOLTZMANN_H_
+#define AER_RL_BOLTZMANN_H_
+
+#include <span>
+
+#include "common/rng.h"
+
+namespace aer {
+
+struct TemperatureSchedule {
+  // Initial temperature, in cost units (seconds of downtime): differences
+  // much smaller than T are explored near-uniformly.
+  double initial = 4000.0;
+  // Multiplicative decay per sweep.
+  double decay = 0.9995;
+  // Exploration floor; keeps every action reachable so the visit-counted
+  // learning rate retains its convergence guarantee.
+  double floor = 20.0;
+
+  double at(std::int64_t sweep) const;
+};
+
+// Samples an index from P(i) ∝ exp(-cost[i]/temperature). Costs are shifted
+// by their minimum before exponentiation for numeric stability, so any
+// finite magnitudes are safe.
+std::size_t SampleBoltzmann(std::span<const double> costs, double temperature,
+                            Rng& rng);
+
+}  // namespace aer
+
+#endif  // AER_RL_BOLTZMANN_H_

@@ -1,0 +1,91 @@
+// Linear Q-function approximation — the paper's future-work item "using
+// generalization functions to approximate the Q-learning values"
+// (Section 7).
+//
+// Instead of one table cell per (state, action), Q(s, a) is a per-(type,
+// action) linear function of state features. Because the state is just the
+// multiset of previously tried actions (plus the error type), the feature
+// vector is tiny: a bias plus the per-action try counts and the total step
+// count. The approximation generalizes across states the table has never
+// visited — a rollout that tried [REBOOT, TRYNOP] shares parameters with
+// [TRYNOP, REBOOT] — at the cost of not representing order effects.
+//
+// ApproxQLearningTrainer mirrors the tabular trainer's episode structure
+// (same platform, same Boltzmann exploration, same N-cap), updates weights
+// by normalized LMS, and extracts one action sequence per type by greedy
+// rollout followed by exact prefix pruning.
+#ifndef AER_RL_LINEAR_Q_H_
+#define AER_RL_LINEAR_Q_H_
+
+#include "rl/qlearning.h"
+
+namespace aer {
+
+class LinearQFunction {
+ public:
+  // bias, count(TRYNOP), count(REBOOT), count(REIMAGE), count(RMA), steps.
+  static constexpr int kNumFeatures = 2 + kNumActions;
+  using FeatureVector = std::array<double, kNumFeatures>;
+
+  static FeatureVector Features(std::span<const RepairAction> tried);
+
+  explicit LinearQFunction(std::size_t num_types);
+
+  double Q(ErrorTypeId type, const FeatureVector& features,
+           RepairAction action) const;
+
+  // Normalized LMS step toward `target`:
+  //   w += alpha * (target - Q) * x / (x . x)
+  void Update(ErrorTypeId type, const FeatureVector& features,
+              RepairAction action, double target, double alpha);
+
+  // Sets the bias weight (used to initialize Q at the one-step success cost,
+  // mirroring the tabular trainer's admissible initialization).
+  void SetBias(ErrorTypeId type, RepairAction action, double value);
+
+  std::size_t num_parameters() const;
+  std::int64_t updates() const { return updates_; }
+
+ private:
+  std::vector<std::array<FeatureVector, kNumActions>> weights_;
+  std::int64_t updates_ = 0;
+};
+
+struct ApproxTrainerConfig {
+  int max_actions = 20;
+  TemperatureSchedule temperature;
+  // Fixed sweep budget per type (no convergence detection: with function
+  // approximation the greedy policy is cheap to extract once at the end).
+  std::int64_t sweeps = 20000;
+  double learning_rate = 0.1;
+  std::uint64_t seed = 4321;
+};
+
+class ApproxQLearningTrainer {
+ public:
+  ApproxQLearningTrainer(const SimulationPlatform& platform,
+                         std::span<const RecoveryProcess> training,
+                         ApproxTrainerConfig config);
+
+  struct Output {
+    TrainedPolicy policy;
+    LinearQFunction q;
+    // Per type (catalog order), the extracted sequence (possibly empty).
+    std::vector<ActionSequence> sequences;
+  };
+
+  Output Train() const;
+
+ private:
+  void TrainType(ErrorTypeId type, LinearQFunction& q) const;
+  ActionSequence ExtractSequence(ErrorTypeId type,
+                                 const LinearQFunction& q) const;
+
+  const SimulationPlatform& platform_;
+  ApproxTrainerConfig config_;
+  std::vector<std::vector<const RecoveryProcess*>> by_type_;
+};
+
+}  // namespace aer
+
+#endif  // AER_RL_LINEAR_Q_H_

@@ -1,0 +1,80 @@
+#include "rl/online_policy.h"
+
+#include <algorithm>
+
+#include "cluster/fault_catalog.h"
+#include "common/check.h"
+
+namespace aer {
+
+OnlineQLearningPolicy::OnlineQLearningPolicy(OnlinePolicyConfig config)
+    : config_(config), rng_(config.seed) {
+  AER_CHECK_GE(config_.max_actions, 2);
+  AER_CHECK_LE(static_cast<std::size_t>(config_.max_actions),
+               kMaxTriedActions);
+}
+
+ErrorTypeId OnlineQLearningPolicy::TypeOf(std::string_view symptom_name) {
+  const auto it = types_.find(std::string(symptom_name));
+  if (it != types_.end()) return it->second;
+  const ErrorTypeId id = static_cast<ErrorTypeId>(types_.size());
+  AER_CHECK_LT(id, kMaxErrorTypes);
+  types_.emplace(symptom_name, id);
+  episodes_per_type_.push_back(0);
+  return id;
+}
+
+double OnlineQLearningPolicy::QOrPrior(StateKey s, RepairAction a) const {
+  if (table_.Has(s, a)) return table_.Q(s, a);
+  // Optimistic one-step prior: the documented default durations.
+  static const ActionDurationDefaults defaults;
+  const double priors[kNumActions] = {defaults.trynop_s, defaults.reboot_s,
+                                      defaults.reimage_s, defaults.rma_s};
+  return priors[static_cast<std::size_t>(ActionIndex(a))];
+}
+
+RepairAction OnlineQLearningPolicy::ChooseAction(
+    const RecoveryContext& context) {
+  if (static_cast<int>(context.tried.size()) >= config_.max_actions - 1) {
+    return RepairAction::kRma;  // the N cap applies online too
+  }
+  const ErrorTypeId type = TypeOf(context.initial_symptom_name);
+  const StateKey s = EncodeState(type, context.tried);
+  const double temperature = config_.temperature.at(
+      episodes_per_type_[static_cast<std::size_t>(type)]);
+
+  std::array<double, kNumActions> costs;
+  for (RepairAction a : kAllActions) {
+    costs[static_cast<std::size_t>(ActionIndex(a))] = QOrPrior(s, a);
+  }
+  return ActionFromIndex(
+      static_cast<int>(SampleBoltzmann(costs, temperature, rng_)));
+}
+
+void OnlineQLearningPolicy::OnActionOutcome(const RecoveryContext& context,
+                                            RepairAction action, SimTime cost,
+                                            bool cured) {
+  const ErrorTypeId type = TypeOf(context.initial_symptom_name);
+  const StateKey s = EncodeState(type, context.tried);
+
+  double future = 0.0;
+  if (!cured && static_cast<int>(context.tried.size()) + 1 <
+                    config_.max_actions) {
+    std::vector<RepairAction> next_tried(context.tried.begin(),
+                                         context.tried.end());
+    next_tried.push_back(action);
+    const StateKey next = EncodeState(type, next_tried);
+    future = QOrPrior(next, kAllActions[0]);
+    for (int i = 1; i < kNumActions; ++i) {
+      future = std::min(future, QOrPrior(next, kAllActions[i]));
+    }
+  }
+  table_.Update(s, action, static_cast<double>(cost) + future);
+
+  if (cured) {
+    ++episodes_completed_;
+    ++episodes_per_type_[static_cast<std::size_t>(type)];
+  }
+}
+
+}  // namespace aer

@@ -1,0 +1,88 @@
+#include "rl/policy.h"
+
+#include <istream>
+#include <ostream>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace aer {
+
+void TrainedPolicy::AddType(TypeEntry entry) {
+  AER_CHECK(!entry.symptom_name.empty());
+  AER_CHECK(!by_name_.contains(entry.symptom_name));
+  by_name_.emplace(entry.symptom_name, entries_.size());
+  entries_.push_back(std::move(entry));
+}
+
+const TrainedPolicy::TypeEntry* TrainedPolicy::FindType(
+    std::string_view symptom_name) const {
+  const auto it = by_name_.find(std::string(symptom_name));
+  return it == by_name_.end() ? nullptr : &entries_[it->second];
+}
+
+std::optional<RepairAction> TrainedPolicy::Lookup(
+    std::string_view symptom_name,
+    std::span<const RepairAction> tried) const {
+  const TypeEntry* entry = FindType(symptom_name);
+  if (entry == nullptr) return std::nullopt;
+  if (tried.size() >= entry->sequence.size()) return std::nullopt;
+  // The tried actions must be exactly this policy's own prefix; anything
+  // else means another policy has already intervened.
+  for (std::size_t i = 0; i < tried.size(); ++i) {
+    if (tried[i] != entry->sequence[i]) return std::nullopt;
+  }
+  return entry->sequence[tried.size()];
+}
+
+RepairAction TrainedPolicy::ChooseAction(const RecoveryContext& context) {
+  return Lookup(context.initial_symptom_name, context.tried)
+      .value_or(RepairAction::kRma);
+}
+
+void TrainedPolicy::Write(std::ostream& os) const {
+  for (const TypeEntry& entry : entries_) {
+    os << entry.symptom_name << '\t';
+    for (std::size_t i = 0; i < entry.sequence.size(); ++i) {
+      if (i > 0) os << ' ';
+      os << ActionName(entry.sequence[i]);
+    }
+    os << '\n';
+  }
+}
+
+bool TrainedPolicy::Read(std::istream& is, TrainedPolicy& out) {
+  out = TrainedPolicy();
+  std::string line;
+  while (std::getline(is, line)) {
+    if (Trim(line).empty()) continue;
+    const auto fields = Split(line, '\t');
+    if (fields.size() != 2) return false;
+    TypeEntry entry;
+    entry.symptom_name = std::string(Trim(fields[0]));
+    if (entry.symptom_name.empty()) return false;
+    for (std::string_view token : Split(fields[1], ' ')) {
+      token = Trim(token);
+      if (token.empty()) continue;
+      const auto action = ParseAction(token);
+      if (!action.has_value()) return false;
+      entry.sequence.push_back(*action);
+    }
+    if (out.by_name_.contains(entry.symptom_name)) return false;
+    out.AddType(std::move(entry));
+  }
+  return true;
+}
+
+HybridPolicy::HybridPolicy(const TrainedPolicy& trained,
+                           RecoveryPolicy& fallback)
+    : trained_(trained), fallback_(fallback) {}
+
+RepairAction HybridPolicy::ChooseAction(const RecoveryContext& context) {
+  const auto action =
+      trained_.Lookup(context.initial_symptom_name, context.tried);
+  if (action.has_value()) return *action;
+  return fallback_.ChooseAction(context);
+}
+
+}  // namespace aer

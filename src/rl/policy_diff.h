@@ -1,0 +1,52 @@
+// Policy diffing: what changed between two trained policies, and what the
+// change is worth. Operators re-train periodically (the closed loop of
+// Figure 1); before rolling a new policy they want to see exactly which
+// error types' rules changed and the estimated downtime impact of each
+// change on recent incidents. `aerctl diff` exposes this on the CLI.
+#ifndef AER_RL_POLICY_DIFF_H_
+#define AER_RL_POLICY_DIFF_H_
+
+#include <optional>
+#include <string>
+
+#include "rl/policy.h"
+#include "sim/platform.h"
+
+namespace aer {
+
+struct PolicyDiffEntry {
+  enum class Kind { kAdded, kRemoved, kChanged };
+  Kind kind = Kind::kChanged;
+  std::string symptom_name;
+  ActionSequence old_sequence;  // empty for kAdded
+  ActionSequence new_sequence;  // empty for kRemoved
+  // Estimated mean cost per incident under each rule, priced against the
+  // evaluation processes (only set when an evaluation log was supplied and
+  // has processes of this type).
+  std::optional<double> old_mean_cost;
+  std::optional<double> new_mean_cost;
+};
+
+struct PolicyDiff {
+  std::vector<PolicyDiffEntry> entries;  // changed/added/removed types only
+  std::size_t unchanged_types = 0;
+};
+
+// Structural diff of the two policies (no costs).
+PolicyDiff DiffPolicies(const TrainedPolicy& old_policy,
+                        const TrainedPolicy& new_policy);
+
+// Structural diff plus per-type impact estimates: each changed rule is
+// priced against `processes` (e.g. the most recent weeks of the log) via
+// the platform's cost model.
+PolicyDiff DiffPolicies(const TrainedPolicy& old_policy,
+                        const TrainedPolicy& new_policy,
+                        const SimulationPlatform& platform,
+                        std::span<const RecoveryProcess> processes);
+
+// Multi-line human-readable rendering.
+std::string FormatPolicyDiff(const PolicyDiff& diff);
+
+}  // namespace aer
+
+#endif  // AER_RL_POLICY_DIFF_H_

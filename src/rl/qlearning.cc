@@ -1,0 +1,281 @@
+#include "rl/qlearning.h"
+
+#include "common/check.h"
+
+namespace aer {
+
+QTable MergeTablesByMean(const QTable& a, const QTable& b) {
+  QTable merged;
+  const auto add = [&merged](const QTable& src, const QTable& other) {
+    for (const auto& [key, entries] : src.raw()) {
+      for (int i = 0; i < kNumActions; ++i) {
+        const RepairAction action = ActionFromIndex(i);
+        if (entries[static_cast<std::size_t>(i)].visits == 0) continue;
+        if (merged.Has(key, action)) continue;  // already merged from `src`
+        const double qa = src.Q(key, action);
+        const double value =
+            other.Has(key, action) ? 0.5 * (qa + other.Q(key, action)) : qa;
+        merged.Update(key, action, value);  // first update adopts the value
+      }
+    }
+  };
+  add(a, b);
+  add(b, a);
+  return merged;
+}
+
+ActionSequence GreedySequence(const QTable& table, ErrorTypeId type,
+                              int max_actions) {
+  ActionSequence sequence;
+  while (static_cast<int>(sequence.size()) < max_actions) {
+    const StateKey s = EncodeState(type, sequence);
+    const auto best = table.BestAction(s);
+    if (!best.has_value()) break;
+    sequence.push_back(*best);
+    if (*best == RepairAction::kRma) break;  // manual repair is absorbing
+  }
+  return sequence;
+}
+
+QLearningTrainer::QLearningTrainer(const SimulationPlatform& platform,
+                                   std::span<const RecoveryProcess> training,
+                                   TrainerConfig config)
+    : platform_(platform),
+      config_(config),
+      by_type_(platform.types().num_types()) {
+  AER_CHECK_GE(config_.max_actions, 2);
+  AER_CHECK_LE(static_cast<std::size_t>(config_.max_actions),
+               kMaxTriedActions);
+  AER_CHECK_GT(config_.check_every, 0);
+  AER_CHECK_GT(config_.stable_checks, 0);
+  AER_CHECK_GT(config_.gamma, 0.0);
+  AER_CHECK_LE(config_.gamma, 1.0);
+  AER_CHECK_GE(config_.td_lambda, 0.0);
+  AER_CHECK_LE(config_.td_lambda, 1.0);
+  for (const RecoveryProcess& p : training) {
+    if (p.attempts().empty()) continue;
+    const ErrorTypeId t = platform.types().Classify(p);
+    if (t == kInvalidErrorType) continue;
+    by_type_[static_cast<std::size_t>(t)].push_back(&p);
+  }
+}
+
+std::span<const RecoveryProcess* const> QLearningTrainer::processes_of(
+    ErrorTypeId type) const {
+  AER_CHECK_GE(type, 0);
+  AER_CHECK_LT(static_cast<std::size_t>(type), by_type_.size());
+  return by_type_[static_cast<std::size_t>(type)];
+}
+
+void QLearningTrainer::RunSweep(
+    ErrorTypeId type, std::span<const RecoveryProcess* const> processes,
+    std::int64_t sweep, QTable& table, Rng& rng, QTable* table_b) const {
+  // SelectProcess: uniform over the type's training processes.
+  const RecoveryProcess& p = *processes[rng.NextBounded(processes.size())];
+  ProcessReplay replay(p, type, platform_.estimator(),
+                       platform_.capabilities());
+
+  const std::vector<RepairAction> allowed =
+      platform_.estimator().ObservedActions(type);
+  AER_CHECK(!allowed.empty());
+  const double temperature = config_.temperature.at(sweep);
+
+  // Unexplored (s, a) pairs are priced at the action's immediate success
+  // cost — the admissible optimistic bound (a cure can never cost less than
+  // executing the action once). Initializing at 0 instead makes long chains
+  // of cheap actions look free, and with α = 1/(1+visits) the inflated
+  // optimism unwinds too slowly to ever recover.
+  std::array<double, kNumActions> init_q;
+  for (RepairAction a : kAllActions) {
+    init_q[static_cast<std::size_t>(ActionIndex(a))] =
+        platform_.estimator().EstimateCost(type, a, /*success=*/true);
+  }
+  const auto q_of = [&](const QTable& q, StateKey s, RepairAction a) {
+    return q.Has(s, a) ? q.Q(s, a)
+                       : init_q[static_cast<std::size_t>(ActionIndex(a))];
+  };
+  // Behaviour values: the single table, or the mean of both under Double Q.
+  const auto q_or_init = [&](StateKey s, RepairAction a) {
+    const double qa = q_of(table, s, a);
+    return table_b == nullptr ? qa : 0.5 * (qa + q_of(*table_b, s, a));
+  };
+  const auto min_q_or_init = [&](StateKey s) {
+    double best = q_or_init(s, allowed.front());
+    for (std::size_t i = 1; i < allowed.size(); ++i) {
+      best = std::min(best, q_or_init(s, allowed[i]));
+    }
+    return best;
+  };
+
+  struct Transition {
+    StateKey state;
+    RepairAction action;
+    double cost;
+    StateKey next;
+    bool terminal;
+  };
+  std::vector<Transition> episode;
+  std::vector<RepairAction> tried;
+
+  // Explore different recovery actions until the simulated machine is
+  // healthy; the last slot is always manual repair.
+  while (!replay.cured()) {
+    const StateKey s = EncodeState(type, tried);
+    RepairAction a;
+    if (static_cast<int>(tried.size()) >= config_.max_actions - 1) {
+      a = RepairAction::kRma;
+    } else {
+      std::vector<double> costs(allowed.size());
+      for (std::size_t i = 0; i < allowed.size(); ++i) {
+        costs[i] = q_or_init(s, allowed[i]);
+      }
+      a = allowed[SampleBoltzmann(costs, temperature, rng)];
+    }
+    const ProcessReplay::StepResult step = replay.Step(a);
+    tried.push_back(a);
+    episode.push_back({s, a, step.cost, EncodeState(type, tried), step.cured});
+  }
+
+  // UpdateQfunction for every two successive states along the sequence
+  // (forward order as in the paper's Figure 2). With td_lambda = 0 the
+  // target is the paper's one-step cost + min-Q; otherwise the forward-view
+  // λ-return mixes all n-step lookaheads of the episode.
+  const double gamma = config_.gamma;
+  const double lambda = config_.td_lambda;
+  const std::size_t T = episode.size();
+
+  if (table_b != nullptr) {
+    // Double Q-learning (TD(0) only): per transition, flip which table is
+    // updated; the selected bootstrap action comes from the updated table,
+    // its value from the other, decoupling selection from valuation.
+    AER_CHECK_EQ(lambda, 0.0);
+    for (std::size_t t = 0; t < T; ++t) {
+      QTable& update_table = rng.NextBool(0.5) ? table : *table_b;
+      QTable& value_table = &update_table == &table ? *table_b : table;
+      double future = 0.0;
+      if (!episode[t].terminal) {
+        RepairAction chosen = allowed.front();
+        double chosen_q = q_of(update_table, episode[t].next, chosen);
+        for (std::size_t i = 1; i < allowed.size(); ++i) {
+          const double q = q_of(update_table, episode[t].next, allowed[i]);
+          if (q < chosen_q) {
+            chosen_q = q;
+            chosen = allowed[i];
+          }
+        }
+        future = q_of(value_table, episode[t].next, chosen);
+      }
+      update_table.Update(episode[t].state, episode[t].action,
+                          episode[t].cost + gamma * future);
+    }
+    return;
+  }
+
+  for (std::size_t t = 0; t < T; ++t) {
+    double target;
+    if (lambda == 0.0) {
+      const double future =
+          episode[t].terminal ? 0.0 : min_q_or_init(episode[t].next);
+      target = episode[t].cost + gamma * future;
+    } else {
+      // G_t^{(n)} accumulated incrementally: costs of steps t..t+n-1 plus
+      // the bootstrapped value at t+n (0 at the terminal). Weights:
+      // (1-λ)·λ^{n-1} for the interior returns, λ^{T-t-1} for the final one
+      // (the remaining mass, so they sum to exactly 1 — and λ = 1 cleanly
+      // degenerates to the Monte-Carlo return).
+      double discounted_costs = 0.0;
+      double discount = 1.0;
+      double lambda_pow = 1.0;  // λ^{n-1}
+      target = 0.0;
+      for (std::size_t n = 1; t + n <= T; ++n) {
+        const Transition& step = episode[t + n - 1];
+        discounted_costs += discount * step.cost;
+        discount *= gamma;
+        const double bootstrap =
+            step.terminal ? 0.0 : min_q_or_init(step.next);
+        const double g_n = discounted_costs + discount * bootstrap;
+        if (t + n == T) {
+          target += lambda_pow * g_n;
+        } else {
+          target += (1.0 - lambda) * lambda_pow * g_n;
+          lambda_pow *= lambda;
+        }
+      }
+    }
+    table.Update(episode[t].state, episode[t].action, target);
+  }
+}
+
+TypeTrainingResult QLearningTrainer::TrainType(ErrorTypeId type,
+                                               QTable* table_out) const {
+  const auto processes = processes_of(type);
+  TypeTrainingResult result;
+  result.type = type;
+  result.training_processes = static_cast<std::int64_t>(processes.size());
+  if (processes.empty()) return result;
+
+  Rng rng(config_.seed ^ (0x9e3779b97f4a7c15ULL *
+                          static_cast<std::uint64_t>(type + 1)));
+  QTable table(config_.fixed_alpha);
+  QTable table_b(config_.fixed_alpha);
+  AER_CHECK(!config_.double_q || config_.td_lambda == 0.0);
+
+  // Under Double Q the generated policy reads the merged (averaged) tables.
+  const auto merged_view = [&]() {
+    return MergeTablesByMean(table, table_b);
+  };
+
+  ActionSequence stable_sequence;
+  std::int64_t stable_since = 0;  // sweep at which stable_sequence appeared
+  int stable_checks = 0;
+
+  std::int64_t sweep = 0;
+  for (; sweep < config_.max_sweeps; ++sweep) {
+    RunSweep(type, processes, sweep, table, rng,
+             config_.double_q ? &table_b : nullptr);
+    if ((sweep + 1) % config_.check_every != 0) continue;
+
+    ActionSequence sequence =
+        config_.double_q
+            ? GreedySequence(merged_view(), type, config_.max_actions)
+            : GreedySequence(table, type, config_.max_actions);
+    if (sequence == stable_sequence) {
+      ++stable_checks;
+    } else {
+      stable_sequence = std::move(sequence);
+      stable_since = sweep + 1;
+      stable_checks = 1;
+    }
+    if (stable_checks >= config_.stable_checks &&
+        sweep + 1 >= config_.min_sweeps) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.sweeps = result.converged ? stable_since : config_.max_sweeps;
+  QTable final_table =
+      config_.double_q ? merged_view() : std::move(table);
+  result.sequence = GreedySequence(final_table, type, config_.max_actions);
+  result.states_explored = final_table.num_states();
+  if (table_out != nullptr) *table_out = std::move(final_table);
+  return result;
+}
+
+QLearningTrainer::TrainingOutput QLearningTrainer::TrainAll() const {
+  TrainingOutput output;
+  for (std::size_t t = 0; t < by_type_.size(); ++t) {
+    const ErrorTypeId type = static_cast<ErrorTypeId>(t);
+    TypeTrainingResult result = TrainType(type);
+    if (!result.sequence.empty()) {
+      output.policy.AddType(
+          {std::string(platform_.symptoms().Name(
+               platform_.types().symptom_of(type))),
+           result.sequence});
+    }
+    output.per_type.push_back(std::move(result));
+  }
+  return output;
+}
+
+}  // namespace aer

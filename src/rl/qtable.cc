@@ -1,0 +1,139 @@
+#include "rl/qtable.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace aer {
+
+bool QTable::Has(StateKey s, RepairAction a) const {
+  const auto it = table_.find(s);
+  return it != table_.end() &&
+         it->second[static_cast<std::size_t>(ActionIndex(a))].visits > 0;
+}
+
+double QTable::Q(StateKey s, RepairAction a) const {
+  const auto it = table_.find(s);
+  AER_CHECK(it != table_.end());
+  const Entry& e = it->second[static_cast<std::size_t>(ActionIndex(a))];
+  AER_CHECK_GT(e.visits, 0);
+  return e.q;
+}
+
+std::int64_t QTable::Visits(StateKey s, RepairAction a) const {
+  const auto it = table_.find(s);
+  if (it == table_.end()) return 0;
+  return it->second[static_cast<std::size_t>(ActionIndex(a))].visits;
+}
+
+void QTable::Update(StateKey s, RepairAction a, double target) {
+  Entry& e = table_[s][static_cast<std::size_t>(ActionIndex(a))];
+  // α = 1/(1+visits): the very first update adopts the target wholesale, so
+  // the table needs no meaningful initial values. (First updates also adopt
+  // the target under a fixed α, for the same reason.)
+  const double alpha =
+      fixed_alpha_ > 0.0 && e.visits > 0
+          ? fixed_alpha_
+          : 1.0 / (1.0 + static_cast<double>(e.visits));
+  e.q = (1.0 - alpha) * e.q + alpha * target;
+  ++e.visits;
+  ++total_updates_;
+}
+
+std::optional<double> QTable::MinQ(StateKey s) const {
+  const auto it = table_.find(s);
+  if (it == table_.end()) return std::nullopt;
+  std::optional<double> best;
+  for (const Entry& e : it->second) {
+    if (e.visits > 0 && (!best.has_value() || e.q < *best)) best = e.q;
+  }
+  return best;
+}
+
+std::optional<RepairAction> QTable::BestAction(StateKey s) const {
+  const auto it = table_.find(s);
+  if (it == table_.end()) return std::nullopt;
+  std::optional<RepairAction> best;
+  double best_q = 0.0;
+  for (int i = 0; i < kNumActions; ++i) {
+    const Entry& e = it->second[static_cast<std::size_t>(i)];
+    if (e.visits > 0 && (!best.has_value() || e.q < best_q)) {
+      best = ActionFromIndex(i);
+      best_q = e.q;
+    }
+  }
+  return best;
+}
+
+std::optional<QTable::BestTwo> QTable::BestTwoActions(StateKey s) const {
+  const auto it = table_.find(s);
+  if (it == table_.end()) return std::nullopt;
+  std::optional<BestTwo> out;
+  for (int i = 0; i < kNumActions; ++i) {
+    const Entry& e = it->second[static_cast<std::size_t>(i)];
+    if (e.visits == 0) continue;
+    if (!out.has_value()) {
+      out = BestTwo{ActionFromIndex(i), e.q, std::nullopt, 0.0};
+    } else if (e.q < out->best_q) {
+      out->second = out->best;
+      out->second_q = out->best_q;
+      out->best = ActionFromIndex(i);
+      out->best_q = e.q;
+    } else if (!out->second.has_value() || e.q < out->second_q) {
+      out->second = ActionFromIndex(i);
+      out->second_q = e.q;
+    }
+  }
+  return out;
+}
+
+void QTable::Write(std::ostream& os) const {
+  std::vector<StateKey> keys;
+  keys.reserve(table_.size());
+  for (const auto& [key, entries] : table_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  for (StateKey key : keys) {
+    const auto& entries = table_.at(key);
+    for (int a = 0; a < kNumActions; ++a) {
+      const Entry& e = entries[static_cast<std::size_t>(a)];
+      if (e.visits == 0) continue;
+      os << StrFormat("%016llx\t%s\t%.17g\t%lld\n",
+                      static_cast<unsigned long long>(key),
+                      std::string(ActionName(ActionFromIndex(a))).c_str(),
+                      e.q, static_cast<long long>(e.visits));
+    }
+  }
+}
+
+bool QTable::Read(std::istream& is, QTable& out) {
+  out = QTable();
+  std::string line;
+  while (std::getline(is, line)) {
+    if (Trim(line).empty()) continue;
+    const auto fields = Split(line, '\t');
+    if (fields.size() != 4) return false;
+    char* end = nullptr;
+    const std::string key_text(Trim(fields[0]));
+    const unsigned long long key = std::strtoull(key_text.c_str(), &end, 16);
+    if (end != key_text.c_str() + key_text.size()) return false;
+    const auto action = ParseAction(Trim(fields[1]));
+    const auto q = ParseDouble(fields[2]);
+    const auto visits = ParseInt64(fields[3]);
+    if (!action.has_value() || !q.has_value() || !visits.has_value() ||
+        *visits <= 0) {
+      return false;
+    }
+    Entry& e = out.table_[key][static_cast<std::size_t>(ActionIndex(*action))];
+    if (e.visits != 0) return false;  // duplicate line
+    e.q = *q;
+    e.visits = *visits;
+    out.total_updates_ += *visits;
+  }
+  return true;
+}
+
+}  // namespace aer

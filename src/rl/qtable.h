@@ -1,0 +1,79 @@
+// Table look-up representation of the Q-function (Section 3.3) with the
+// paper's visit-count learning rate  α_n = 1 / (1 + visits(s, a)),  which
+// makes the update a contraction and guarantees convergence of the Q values.
+#ifndef AER_RL_QTABLE_H_
+#define AER_RL_QTABLE_H_
+
+#include <array>
+#include <iosfwd>
+#include <optional>
+#include <unordered_map>
+
+#include "rl/state.h"
+
+namespace aer {
+
+class QTable {
+ public:
+  struct Entry {
+    double q = 0.0;
+    std::int64_t visits = 0;
+  };
+
+  // Default: the paper's visit-counted learning rate. A positive
+  // `fixed_alpha` switches to a constant rate instead — provided for the
+  // ablation bench; fixed rates lose the convergence guarantee.
+  explicit QTable(double fixed_alpha = 0.0) : fixed_alpha_(fixed_alpha) {}
+
+  // True if (s, a) has been updated at least once.
+  bool Has(StateKey s, RepairAction a) const;
+
+  // Q value of an explored pair; CHECK-fails on unexplored ones.
+  double Q(StateKey s, RepairAction a) const;
+
+  std::int64_t Visits(StateKey s, RepairAction a) const;
+
+  // One Q-learning update toward `target` (= step cost + min over next
+  // state): q ← (1-α) q + α target with α = 1/(1+visits); increments visits.
+  void Update(StateKey s, RepairAction a, double target);
+
+  // Minimum Q over the state's explored actions; nullopt if none explored.
+  std::optional<double> MinQ(StateKey s) const;
+
+  // The explored action with minimal Q (ties: weaker action first, so the
+  // generated policy deterministically prefers the cheaper side of a tie).
+  std::optional<RepairAction> BestAction(StateKey s) const;
+
+  // Best and second-best explored actions, for the selection tree.
+  struct BestTwo {
+    RepairAction best;
+    double best_q;
+    std::optional<RepairAction> second;
+    double second_q = 0.0;
+  };
+  std::optional<BestTwo> BestTwoActions(StateKey s) const;
+
+  std::size_t num_states() const { return table_.size(); }
+  std::int64_t total_updates() const { return total_updates_; }
+
+  // Iteration support for inspection and serialization.
+  const std::unordered_map<StateKey, std::array<Entry, kNumActions>>& raw()
+      const {
+    return table_;
+  }
+
+  // Text checkpointing: one explored (state, action) per line,
+  // "<hex state key>\t<ACTION>\t<q>\t<visits>", sorted for stable diffs.
+  // Read() restores exactly (the fixed-alpha setting is the caller's).
+  void Write(std::ostream& os) const;
+  static bool Read(std::istream& is, QTable& out);
+
+ private:
+  double fixed_alpha_ = 0.0;
+  std::unordered_map<StateKey, std::array<Entry, kNumActions>> table_;
+  std::int64_t total_updates_ = 0;
+};
+
+}  // namespace aer
+
+#endif  // AER_RL_QTABLE_H_

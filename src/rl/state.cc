@@ -1,0 +1,45 @@
+#include "rl/state.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace aer {
+
+StateKey EncodeState(ErrorTypeId type, std::span<const RepairAction> tried) {
+  AER_CHECK_GE(type, 0);
+  AER_CHECK_LT(type, kMaxErrorTypes);
+  AER_CHECK_LE(tried.size(), kMaxTriedActions);
+  StateKey key = static_cast<StateKey>(type);
+  key |= static_cast<StateKey>(tried.size()) << 10;
+  for (std::size_t i = 0; i < tried.size(); ++i) {
+    key |= static_cast<StateKey>(ActionIndex(tried[i])) << (15 + 2 * i);
+  }
+  return key;
+}
+
+DecodedState DecodeState(StateKey key) {
+  DecodedState state;
+  state.type = static_cast<ErrorTypeId>(key & 0x3ff);
+  const std::size_t len = (key >> 10) & 0x1f;
+  state.tried.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    state.tried.push_back(
+        ActionFromIndex(static_cast<int>((key >> (15 + 2 * i)) & 0x3)));
+  }
+  return state;
+}
+
+std::string FormatState(StateKey key) {
+  const DecodedState state = DecodeState(key);
+  std::ostringstream os;
+  os << "T" << state.type << ":[";
+  for (std::size_t i = 0; i < state.tried.size(); ++i) {
+    if (i > 0) os << ' ';
+    os << ActionName(state.tried[i]);
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace aer

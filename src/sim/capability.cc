@@ -1,0 +1,100 @@
+#include "sim/capability.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace aer {
+
+const CapabilityModel& CapabilityModel::TotalOrder() {
+  static const CapabilityModel model = [] {
+    CapabilityModel m;
+    for (int e = 0; e < kNumActions; ++e) {
+      for (int r = 0; r < kNumActions; ++r) {
+        m.covers_[static_cast<std::size_t>(e)][static_cast<std::size_t>(r)] =
+            e >= r;
+      }
+    }
+    m.Validate();
+    return m;
+  }();
+  return model;
+}
+
+const CapabilityModel& CapabilityModel::IdentityOnly() {
+  static const CapabilityModel model = [] {
+    CapabilityModel m;
+    for (int e = 0; e < kNumActions; ++e) {
+      m.covers_[static_cast<std::size_t>(e)][static_cast<std::size_t>(e)] =
+          true;
+    }
+    // Manual repair remains the top element.
+    const auto rma = static_cast<std::size_t>(ActionIndex(RepairAction::kRma));
+    for (int r = 0; r < kNumActions; ++r) {
+      m.covers_[rma][static_cast<std::size_t>(r)] = true;
+    }
+    m.Validate();
+    return m;
+  }();
+  return model;
+}
+
+CapabilityModel CapabilityModel::FromMatrix(
+    const std::array<std::array<bool, kNumActions>, kNumActions>& covers) {
+  CapabilityModel m;
+  m.covers_ = covers;
+  m.Validate();
+  return m;
+}
+
+void CapabilityModel::Validate() const {
+  for (int a = 0; a < kNumActions; ++a) {
+    AER_CHECK(covers_[static_cast<std::size_t>(a)]
+                     [static_cast<std::size_t>(a)]);  // reflexive
+    AER_CHECK(covers_[static_cast<std::size_t>(ActionIndex(
+        RepairAction::kRma))][static_cast<std::size_t>(a)]);
+  }
+}
+
+bool CoversRequirementsUnder(std::span<const RepairAction> executed,
+                             std::span<const RepairAction> required,
+                             const CapabilityModel& model) {
+  if (required.empty()) return true;
+  if (required.size() > executed.size()) return false;
+
+  // Augmenting-path bipartite matching: requirement i may match executed j
+  // iff model.Covers(executed[j], required[i]).
+  std::vector<int> match_of_executed(executed.size(), -1);
+  std::vector<bool> visited;
+
+  // Standard Kuhn's algorithm.
+  struct Dfs {
+    std::span<const RepairAction> executed;
+    std::span<const RepairAction> required;
+    const CapabilityModel& model;
+    std::vector<int>& match_of_executed;
+    std::vector<bool>& visited;
+
+    bool Augment(std::size_t req) {
+      for (std::size_t j = 0; j < executed.size(); ++j) {
+        if (visited[j] || !model.Covers(executed[j], required[req])) continue;
+        visited[j] = true;
+        if (match_of_executed[j] == -1 ||
+            Augment(static_cast<std::size_t>(match_of_executed[j]))) {
+          match_of_executed[j] = static_cast<int>(req);
+          return true;
+        }
+      }
+      return false;
+    }
+  };
+
+  for (std::size_t i = 0; i < required.size(); ++i) {
+    visited.assign(executed.size(), false);
+    Dfs dfs{executed, required, model, match_of_executed, visited};
+    if (!dfs.Augment(i)) return false;
+  }
+  return true;
+}
+
+}  // namespace aer

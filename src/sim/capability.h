@@ -1,0 +1,58 @@
+// Generalized action-relationship model — the paper's future-work item
+// "introducing more complicated relationships among actions" (Section 7).
+//
+// Hypothesis 2 assumes a total order: a stronger action can always replace a
+// weaker one. Real repair actions are not always nested (a REIMAGE wipes
+// the disk but does not power-cycle a wedged NIC the way a REBOOT does).
+// CapabilityModel captures an arbitrary reflexive "covers" relation with
+// manual repair as the universal top element; the total order remains the
+// default used everywhere unless a caller opts in.
+#ifndef AER_SIM_CAPABILITY_H_
+#define AER_SIM_CAPABILITY_H_
+
+#include <array>
+#include <span>
+
+#include "log/action.h"
+
+namespace aer {
+
+class CapabilityModel {
+ public:
+  // The paper's hypothesis 2: covers(a, b) <=> strength(a) >= strength(b).
+  static const CapabilityModel& TotalOrder();
+
+  // Only an action of the same kind (or manual repair) replaces an action:
+  // hypothesis 2 switched off, used by the ablation bench.
+  static const CapabilityModel& IdentityOnly();
+
+  // Arbitrary relation; Validate()d: must be reflexive and RMA must cover
+  // everything (manual repair fixes anything a machine action fixes).
+  static CapabilityModel FromMatrix(
+      const std::array<std::array<bool, kNumActions>, kNumActions>& covers);
+
+  // True if executing `executed` satisfies a requirement for `required`.
+  bool Covers(RepairAction executed, RepairAction required) const {
+    return covers_[static_cast<std::size_t>(ActionIndex(executed))]
+                  [static_cast<std::size_t>(ActionIndex(required))];
+  }
+
+  void Validate() const;
+
+ private:
+  CapabilityModel() = default;
+  std::array<std::array<bool, kNumActions>, kNumActions> covers_ = {};
+};
+
+// Hypothesis 1+2 under an arbitrary capability model: is there an injective
+// assignment of requirements to executed actions such that each requirement
+// is covered? Solved by augmenting-path bipartite matching (inputs are tiny:
+// at most N=20 a side). The two-argument overload in hypotheses.h is the
+// total-order fast path.
+bool CoversRequirementsUnder(std::span<const RepairAction> executed,
+                             std::span<const RepairAction> required,
+                             const CapabilityModel& model);
+
+}  // namespace aer
+
+#endif  // AER_SIM_CAPABILITY_H_

@@ -1,0 +1,44 @@
+#include "sim/hypotheses.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace aer {
+
+std::vector<RepairAction> CorrectActions(const RecoveryProcess& process) {
+  AER_CHECK(!process.attempts().empty());
+  const RepairAction last = process.final_action();
+  std::vector<RepairAction> required;
+  for (const ActionAttempt& attempt : process.attempts()) {
+    if (ActionStrength(attempt.action) >= ActionStrength(last)) {
+      required.push_back(attempt.action);
+    }
+  }
+  std::sort(required.begin(), required.end(),
+            [](RepairAction a, RepairAction b) {
+              return ActionStrength(a) > ActionStrength(b);
+            });
+  return required;
+}
+
+bool CoversRequirements(std::span<const RepairAction> executed,
+                        std::span<const RepairAction> required) {
+  if (required.size() > executed.size()) return false;
+  std::vector<RepairAction> exec(executed.begin(), executed.end());
+  std::vector<RepairAction> req(required.begin(), required.end());
+  const auto stronger_first = [](RepairAction a, RepairAction b) {
+    return ActionStrength(a) > ActionStrength(b);
+  };
+  std::sort(exec.begin(), exec.end(), stronger_first);
+  std::sort(req.begin(), req.end(), stronger_first);
+  // Greedy matching over a total order: pair the strongest requirement with
+  // the strongest executed action, and so on. If any pair fails, no
+  // injective assignment exists.
+  for (std::size_t i = 0; i < req.size(); ++i) {
+    if (!AtLeastAsStrong(exec[i], req[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace aer

@@ -1,0 +1,77 @@
+// Replay of an alternative action sequence against one logged incident.
+//
+// This is the heart of the simulation platform (Section 4.2): given a
+// recovery process from the log, ProcessReplay answers "what would executing
+// this action next have cost, and would it have cured the machine?" under
+// the three hypotheses:
+//   - the incident is cured once the executed actions cover the process's
+//     correct-action set (last action + stronger-in-process), with stronger
+//     actions allowed to substitute weaker ones;
+//   - an executed action is priced by its actual cost in the logged process
+//     when the process contains an (unconsumed) occurrence of it, otherwise
+//     by the per-type average success / failing cost;
+//   - manual repair (RMA) always ends the process.
+#ifndef AER_SIM_REPLAY_H_
+#define AER_SIM_REPLAY_H_
+
+#include <array>
+#include <vector>
+
+#include "sim/capability.h"
+#include "sim/cost_model.h"
+#include "sim/hypotheses.h"
+
+namespace aer {
+
+class ProcessReplay {
+ public:
+  // `type` is the error type used for average-cost lookups; pass the
+  // estimator's classification of `process`. `capabilities` chooses the
+  // action-substitution relation (default: the paper's hypothesis-2 total
+  // order) and must outlive the replay.
+  ProcessReplay(const RecoveryProcess& process, ErrorTypeId type,
+                const CostEstimator& estimator,
+                const CapabilityModel& capabilities =
+                    CapabilityModel::TotalOrder());
+
+  struct StepResult {
+    double cost = 0.0;
+    bool cured = false;
+  };
+
+  // Executes `action` as the next repair action of the simulated recovery.
+  // Must not be called after the process is cured.
+  StepResult Step(RepairAction action);
+
+  bool cured() const { return cured_; }
+  int steps() const { return static_cast<int>(executed_.size()); }
+
+  // Detection delay + all step costs so far: the simulated downtime, on the
+  // same footing as RecoveryProcess::downtime().
+  double total_cost() const { return total_cost_; }
+
+  const std::vector<RepairAction>& executed() const { return executed_; }
+
+  // Restarts the replay of the same process.
+  void Reset();
+
+ private:
+  const RecoveryProcess& process_;
+  ErrorTypeId type_;
+  const CostEstimator& estimator_;
+  const CapabilityModel& capabilities_;
+  std::vector<RepairAction> required_;
+
+  // Actual costs of each action's occurrences in the logged process, in
+  // order; consumed as the replay executes matching actions.
+  std::array<std::vector<double>, kNumActions> occurrence_costs_;
+  std::array<std::size_t, kNumActions> consumed_ = {};
+
+  std::vector<RepairAction> executed_;
+  bool cured_ = false;
+  double total_cost_ = 0.0;
+};
+
+}  // namespace aer
+
+#endif  // AER_SIM_REPLAY_H_

@@ -1,0 +1,67 @@
+#include "cluster/fault_model.h"
+
+#include <gtest/gtest.h>
+
+namespace aer {
+namespace {
+
+FaultType ValidFault() {
+  FaultType f;
+  f.name = "F000-test";
+  f.primary_symptom = "F000-Primary";
+  f.secondary_symptoms = {{"F000-aux", 0.9}};
+  f.responses = {{{0.5, 900, 0.3}, {0.7, 2400, 0.3}, {0.9, 9000, 0.3},
+                  {1.0, 90000, 0.3}}};
+  f.relative_rate = 1.0;
+  return f;
+}
+
+TEST(FaultTypeTest, ValidFaultPasses) {
+  ValidFault().Validate();  // must not abort
+}
+
+TEST(FaultTypeDeathTest, NonMonotoneCureAborts) {
+  FaultType f = ValidFault();
+  f.responses[1].cure_probability = 0.3;  // weaker than TRYNOP's 0.5
+  EXPECT_DEATH(f.Validate(), "AER_CHECK");
+}
+
+TEST(FaultTypeDeathTest, RmaMustAlwaysCure) {
+  FaultType f = ValidFault();
+  f.responses[3].cure_probability = 0.99;
+  EXPECT_DEATH(f.Validate(), "AER_CHECK");
+}
+
+TEST(FaultTypeDeathTest, NonPositiveDurationAborts) {
+  FaultType f = ValidFault();
+  f.responses[0].mean_duration_s = 0.0;
+  EXPECT_DEATH(f.Validate(), "AER_CHECK");
+}
+
+TEST(FaultTypeDeathTest, EmptyPrimarySymptomAborts) {
+  FaultType f = ValidFault();
+  f.primary_symptom.clear();
+  EXPECT_DEATH(f.Validate(), "AER_CHECK");
+}
+
+TEST(FaultCatalogTest, ValidCatalogPasses) {
+  FaultCatalog catalog;
+  catalog.faults.push_back(ValidFault());
+  catalog.generic_symptoms = {{"Generic-EventLog", 0.01}};
+  catalog.Validate();
+}
+
+TEST(FaultCatalogDeathTest, EmptyCatalogAborts) {
+  FaultCatalog catalog;
+  EXPECT_DEATH(catalog.Validate(), "AER_CHECK");
+}
+
+TEST(FaultCatalogDeathTest, BadGenericProbabilityAborts) {
+  FaultCatalog catalog;
+  catalog.faults.push_back(ValidFault());
+  catalog.generic_symptoms = {{"g", 1.5}};
+  EXPECT_DEATH(catalog.Validate(), "AER_CHECK");
+}
+
+}  // namespace
+}  // namespace aer

@@ -1,0 +1,113 @@
+#include "cluster/user_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace aer {
+namespace {
+
+RecoveryContext Ctx(std::span<const RepairAction> tried,
+                    SimTime last_recovery_end = -1,
+                    SimTime process_start = 1000000) {
+  RecoveryContext ctx;
+  ctx.machine = 1;
+  ctx.initial_symptom = 0;
+  ctx.initial_symptom_name = "sym";
+  ctx.tried = tried;
+  ctx.process_start = process_start;
+  ctx.now = process_start;
+  ctx.last_recovery_end = last_recovery_end;
+  return ctx;
+}
+
+TEST(UserDefinedPolicyTest, EscalatesThroughLevels) {
+  UserDefinedPolicy policy;  // default: {1, 2, 2, unlimited}
+  std::vector<RepairAction> tried;
+  const RepairAction expected[] = {
+      RepairAction::kTryNop,  RepairAction::kReboot, RepairAction::kReboot,
+      RepairAction::kReimage, RepairAction::kReimage, RepairAction::kRma,
+      RepairAction::kRma};
+  for (RepairAction want : expected) {
+    const RepairAction got = policy.ChooseAction(Ctx(tried));
+    EXPECT_EQ(got, want);
+    tried.push_back(got);
+  }
+}
+
+TEST(UserDefinedPolicyTest, ChoiceDependsOnlyOnTriedMultiset) {
+  UserDefinedPolicy policy;
+  const std::vector<RepairAction> a = {RepairAction::kTryNop,
+                                       RepairAction::kReboot};
+  const std::vector<RepairAction> b = {RepairAction::kReboot,
+                                       RepairAction::kTryNop};
+  EXPECT_EQ(policy.ChooseAction(Ctx(a)), policy.ChooseAction(Ctx(b)));
+}
+
+TEST(UserDefinedPolicyTest, RecurringFailureSkipsTryNop) {
+  UserDefinedPolicy policy;
+  const SimTime start = 100 * kHour;
+  // Previous recovery 1 hour ago: inside the 6h window.
+  EXPECT_EQ(policy.ChooseAction(Ctx({}, start - kHour, start)),
+            RepairAction::kReboot);
+  // Previous recovery 10 hours ago: outside the window.
+  EXPECT_EQ(policy.ChooseAction(Ctx({}, start - 10 * kHour, start)),
+            RepairAction::kTryNop);
+  // No history (offline replay): cheapest first.
+  EXPECT_EQ(policy.ChooseAction(Ctx({}, -1, start)), RepairAction::kTryNop);
+}
+
+TEST(UserDefinedPolicyTest, CustomTryLimits) {
+  EscalationConfig config;
+  config.max_tries = {2, 1, 0, 1000};  // skip REIMAGE entirely
+  UserDefinedPolicy policy(config);
+  std::vector<RepairAction> tried;
+  const RepairAction expected[] = {
+      RepairAction::kTryNop, RepairAction::kTryNop, RepairAction::kReboot,
+      RepairAction::kRma};
+  for (RepairAction want : expected) {
+    const RepairAction got = policy.ChooseAction(Ctx(tried));
+    EXPECT_EQ(got, want);
+    tried.push_back(got);
+  }
+}
+
+TEST(UserDefinedPolicyTest, NameIsStable) {
+  UserDefinedPolicy policy;
+  EXPECT_EQ(policy.name(), "user-defined");
+}
+
+class EscalationLimitTest
+    : public ::testing::TestWithParam<std::array<int, kNumActions>> {};
+
+TEST_P(EscalationLimitTest, NeverExceedsPerLevelLimits) {
+  EscalationConfig config;
+  config.max_tries = GetParam();
+  UserDefinedPolicy policy(config);
+  std::vector<RepairAction> tried;
+  std::array<int, kNumActions> used = {};
+  for (int step = 0; step < 12; ++step) {
+    const RepairAction a = policy.ChooseAction(Ctx(tried));
+    ++used[static_cast<std::size_t>(ActionIndex(a))];
+    tried.push_back(a);
+    if (a != RepairAction::kRma) {
+      EXPECT_LE(used[static_cast<std::size_t>(ActionIndex(a))],
+                config.max_tries[static_cast<std::size_t>(ActionIndex(a))]);
+    }
+    // Escalation never weakens: every new action is >= the previous max
+    // among exhausted levels... simply check monotone non-decreasing.
+    if (tried.size() >= 2) {
+      EXPECT_GE(ActionStrength(tried.back()),
+                ActionStrength(tried[tried.size() - 2]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Limits, EscalationLimitTest,
+    ::testing::Values(std::array<int, kNumActions>{1, 2, 2, 1000},
+                      std::array<int, kNumActions>{2, 2, 2, 1000},
+                      std::array<int, kNumActions>{1, 1, 1, 1000},
+                      std::array<int, kNumActions>{0, 3, 1, 1000},
+                      std::array<int, kNumActions>{3, 0, 0, 1000}));
+
+}  // namespace
+}  // namespace aer

@@ -1,0 +1,63 @@
+#include "common/ascii_chart.h"
+
+#include <gtest/gtest.h>
+
+namespace aer {
+namespace {
+
+TEST(RenderBarChartTest, ContainsLabelsAndValues) {
+  const std::string out =
+      RenderBarChart({"alpha", "beta"}, {{"s", {10.0, 5.0}}}, 20);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+  EXPECT_NE(out.find("10"), std::string::npos);
+  EXPECT_NE(out.find("5"), std::string::npos);
+}
+
+TEST(RenderBarChartTest, BarLengthProportional) {
+  const std::string out =
+      RenderBarChart({"a", "b"}, {{"s", {10.0, 5.0}}}, 10);
+  // 10 -> 10 glyphs, 5 -> 5 glyphs.
+  EXPECT_NE(out.find("##########"), std::string::npos);
+  EXPECT_EQ(out.find("###########"), std::string::npos);
+}
+
+TEST(RenderBarChartTest, MultiSeriesHasLegend) {
+  const std::string out = RenderBarChart(
+      {"x"}, {{"first", {1.0}}, {"second", {2.0}}}, 10);
+  EXPECT_NE(out.find("first"), std::string::npos);
+  EXPECT_NE(out.find("second"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);  // second series glyph
+}
+
+TEST(RenderBarChartTest, ZeroValuesRenderEmptyBars) {
+  const std::string out = RenderBarChart({"z"}, {{"s", {0.0}}}, 10);
+  EXPECT_EQ(out.find('#'), std::string::npos);
+}
+
+TEST(RenderLogBarChartTest, CompressesLargeRange) {
+  const std::string out =
+      RenderLogBarChart({"small", "huge"}, {{"s", {10.0, 1e6}}}, 60);
+  // On a log scale 10 is 1/6 of 1e6, not 1/100000, so it is clearly visible.
+  const auto small_line_start = out.find("small");
+  const auto bar_start = out.find('#', small_line_start);
+  ASSERT_NE(bar_start, std::string::npos);
+  std::size_t count = 0;
+  for (std::size_t i = bar_start; i < out.size() && out[i] == '#'; ++i) {
+    ++count;
+  }
+  EXPECT_GE(count, 5u);
+}
+
+TEST(RenderTableTest, AlignsHeaderAndRows) {
+  const std::string out = RenderTable(
+      "type", {"t1", "t2"}, {{"cost", {1.5, 2.5}}, {"cov", {0.9, 1.0}}});
+  EXPECT_NE(out.find("type"), std::string::npos);
+  EXPECT_NE(out.find("cost"), std::string::npos);
+  EXPECT_NE(out.find("cov"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("0.9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aer

@@ -1,0 +1,57 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace aer {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream is(path);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+TEST(CsvWriterTest, DisabledWhenDirEmpty) {
+  CsvWriter w("", "test");
+  EXPECT_FALSE(w.enabled());
+  w.WriteRow({"a", "b"});  // no crash
+}
+
+TEST(CsvWriterTest, WritesRows) {
+  const std::string dir = ::testing::TempDir();
+  {
+    CsvWriter w(dir, "aer_csv_test");
+    ASSERT_TRUE(w.enabled());
+    w.WriteRow({"x", "y"});
+    w.WriteRow({"1", "2"});
+  }
+  EXPECT_EQ(ReadFile(dir + "/aer_csv_test.csv"), "x,y\n1,2\n");
+  std::remove((dir + "/aer_csv_test.csv").c_str());
+}
+
+TEST(CsvWriterTest, EscapesSpecialCharacters) {
+  const std::string dir = ::testing::TempDir();
+  {
+    CsvWriter w(dir, "aer_csv_escape");
+    w.WriteRow({"a,b", "he said \"hi\"", "line\nbreak", "plain"});
+  }
+  EXPECT_EQ(ReadFile(dir + "/aer_csv_escape.csv"),
+            "\"a,b\",\"he said \"\"hi\"\"\",\"line\nbreak\",plain\n");
+  std::remove((dir + "/aer_csv_escape.csv").c_str());
+}
+
+TEST(CsvDirFromEnvTest, EmptyWhenUnset) {
+  unsetenv("AER_CSV_DIR");
+  EXPECT_EQ(CsvDirFromEnv(), "");
+  setenv("AER_CSV_DIR", "/tmp/foo", 1);
+  EXPECT_EQ(CsvDirFromEnv(), "/tmp/foo");
+  unsetenv("AER_CSV_DIR");
+}
+
+}  // namespace
+}  // namespace aer

@@ -1,0 +1,229 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace aer {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(9);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedOneAlwaysZero) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.NextBounded(1), 0u);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllValues) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(17);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.NextInt(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextBoolProbability) {
+  Rng rng(19);
+  int heads = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBool(0.3)) ++heads;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(250.0);
+  EXPECT_NEAR(sum / n, 250.0, 5.0);
+}
+
+TEST(RngTest, ExponentialIsPositive) {
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_GE(rng.NextExponential(1.0), 0.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(31);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(RngTest, LogNormalMeanMatchesRequested) {
+  Rng rng(37);
+  for (double mean : {100.0, 2400.0, 90000.0}) {
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) sum += rng.NextLogNormalWithMean(mean, 0.4);
+    EXPECT_NEAR(sum / n / mean, 1.0, 0.02) << "mean=" << mean;
+  }
+}
+
+TEST(RngTest, LogNormalZeroSigmaIsConstant) {
+  Rng rng(41);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NEAR(rng.NextLogNormalWithMean(500.0, 0.0), 500.0, 1e-9);
+  }
+}
+
+TEST(RngTest, WeightedSamplingRespectsWeights) {
+  Rng rng(43);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.NextWeighted(weights)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.01);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependentOfParentUse) {
+  // The child stream's draws must not depend on how much the parent is used
+  // *after* the fork.
+  Rng parent1(99);
+  Rng child1 = parent1.Fork();
+  Rng parent2(99);
+  Rng child2 = parent2.Fork();
+  for (int i = 0; i < 10; ++i) parent2.Next();  // extra parent use
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(child1.Next(), child2.Next());
+  }
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  Rng rng(1);
+  std::vector<int> v = {1, 2, 3, 4, 5};
+  std::shuffle(v.begin(), v.end(), rng);  // compiles and runs
+  EXPECT_EQ(v.size(), 5u);
+}
+
+TEST(ZipfDistributionTest, PmfSumsToOne) {
+  ZipfDistribution zipf(50, 1.2);
+  double total = 0.0;
+  for (std::size_t k = 0; k < zipf.size(); ++k) total += zipf.Pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfDistributionTest, PmfIsDecreasing) {
+  ZipfDistribution zipf(20, 1.5);
+  for (std::size_t k = 1; k < zipf.size(); ++k) {
+    EXPECT_GT(zipf.Pmf(k - 1), zipf.Pmf(k));
+  }
+}
+
+TEST(ZipfDistributionTest, SampleFrequenciesMatchPmf) {
+  ZipfDistribution zipf(10, 1.0);
+  Rng rng(47);
+  std::vector<int> counts(10, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(rng)];
+  for (std::size_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, zipf.Pmf(k), 0.01);
+  }
+}
+
+TEST(ZipfDistributionTest, SingleRankAlwaysZero) {
+  ZipfDistribution zipf(1, 2.0);
+  Rng rng(53);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+// Exponent sweep: heavier exponents concentrate more mass on rank 0.
+class ZipfExponentTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfExponentTest, HeadMassGrowsWithExponent) {
+  const double s = GetParam();
+  ZipfDistribution lighter(100, s);
+  ZipfDistribution heavier(100, s + 0.5);
+  EXPECT_LT(lighter.Pmf(0), heavier.Pmf(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfExponentTest,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.3, 1.8, 2.2));
+
+}  // namespace
+}  // namespace aer

@@ -1,0 +1,30 @@
+#include "common/sim_time.h"
+
+#include <gtest/gtest.h>
+
+namespace aer {
+namespace {
+
+TEST(SimTimeTest, Constants) {
+  EXPECT_EQ(kMinute, 60);
+  EXPECT_EQ(kHour, 3600);
+  EXPECT_EQ(kDay, 86400);
+}
+
+TEST(FormatSimTimeTest, Zero) { EXPECT_EQ(FormatSimTime(0), "0:00:00:00"); }
+
+TEST(FormatSimTimeTest, MixedComponents) {
+  EXPECT_EQ(FormatSimTime(2 * kDay + 3 * kHour + 4 * kMinute + 5),
+            "2:03:04:05");
+}
+
+TEST(FormatSimTimeTest, Negative) {
+  EXPECT_EQ(FormatSimTime(-kHour), "-0:01:00:00");
+}
+
+TEST(FormatSimTimeTest, JustUnderADay) {
+  EXPECT_EQ(FormatSimTime(kDay - 1), "0:23:59:59");
+}
+
+}  // namespace
+}  // namespace aer

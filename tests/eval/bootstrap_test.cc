@@ -1,0 +1,89 @@
+#include "eval/bootstrap.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace aer {
+namespace {
+
+TEST(BootstrapRatioCITest, EmptyInput) {
+  const BootstrapInterval ci = BootstrapRatioCI({});
+  EXPECT_EQ(ci.point, 0.0);
+  EXPECT_EQ(ci.low, 0.0);
+  EXPECT_EQ(ci.high, 0.0);
+}
+
+TEST(BootstrapRatioCITest, ConstantRatioHasZeroWidth) {
+  // Every pair has ratio exactly 0.8: resampling cannot change it.
+  std::vector<std::pair<double, double>> pairs;
+  for (int i = 1; i <= 50; ++i) {
+    pairs.push_back({0.8 * i, static_cast<double>(i)});
+  }
+  const BootstrapInterval ci = BootstrapRatioCI(pairs, 500);
+  EXPECT_NEAR(ci.point, 0.8, 1e-12);
+  EXPECT_NEAR(ci.low, 0.8, 1e-9);
+  EXPECT_NEAR(ci.high, 0.8, 1e-9);
+}
+
+TEST(BootstrapRatioCITest, IntervalCoversTruthAndOrdersCorrectly) {
+  Rng rng(3);
+  std::vector<std::pair<double, double>> pairs;
+  for (int i = 0; i < 400; ++i) {
+    const double actual = rng.NextExponential(3000.0) + 100.0;
+    // Policy saves ~15% with noise.
+    const double policy = actual * (0.85 + 0.2 * (rng.NextDouble() - 0.5));
+    pairs.push_back({policy, actual});
+  }
+  const BootstrapInterval ci = BootstrapRatioCI(pairs, 2000, 0.95);
+  EXPECT_LT(ci.low, ci.point);
+  EXPECT_GT(ci.high, ci.point);
+  EXPECT_GT(ci.low, 0.80);
+  EXPECT_LT(ci.high, 0.90);
+  EXPECT_NEAR(ci.point, 0.85, 0.02);
+}
+
+TEST(BootstrapRatioCITest, MoreDataNarrowsTheInterval) {
+  Rng rng(4);
+  const auto make_pairs = [&](int n) {
+    std::vector<std::pair<double, double>> pairs;
+    for (int i = 0; i < n; ++i) {
+      const double actual = rng.NextExponential(1000.0) + 50.0;
+      const double policy = actual * (0.9 + 0.3 * (rng.NextDouble() - 0.5));
+      pairs.push_back({policy, actual});
+    }
+    return pairs;
+  };
+  const auto small = BootstrapRatioCI(make_pairs(50), 1000, 0.95, 7);
+  const auto large = BootstrapRatioCI(make_pairs(5000), 1000, 0.95, 7);
+  EXPECT_LT(large.high - large.low, small.high - small.low);
+}
+
+TEST(BootstrapRatioCITest, DeterministicForSeed) {
+  std::vector<std::pair<double, double>> pairs;
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    pairs.push_back({rng.NextDouble() * 100, rng.NextDouble() * 100 + 1});
+  }
+  const auto a = BootstrapRatioCI(pairs, 500, 0.9, 42);
+  const auto b = BootstrapRatioCI(pairs, 500, 0.9, 42);
+  EXPECT_DOUBLE_EQ(a.low, b.low);
+  EXPECT_DOUBLE_EQ(a.high, b.high);
+}
+
+TEST(BootstrapRatioCITest, WiderConfidenceWidensInterval) {
+  std::vector<std::pair<double, double>> pairs;
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const double actual = rng.NextExponential(500.0) + 10.0;
+    pairs.push_back({actual * (0.8 + 0.4 * rng.NextDouble()), actual});
+  }
+  const auto narrow = BootstrapRatioCI(pairs, 1500, 0.5, 9);
+  const auto wide = BootstrapRatioCI(pairs, 1500, 0.99, 9);
+  EXPECT_LT(narrow.high - narrow.low, wide.high - wide.low);
+}
+
+}  // namespace
+}  // namespace aer

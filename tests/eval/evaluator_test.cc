@@ -1,0 +1,127 @@
+#include "eval/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/user_policy.h"
+
+namespace aer {
+namespace {
+
+constexpr auto Y = RepairAction::kTryNop;
+constexpr auto B = RepairAction::kReboot;
+constexpr auto I = RepairAction::kReimage;
+
+RecoveryProcess MakeProcess(std::vector<std::pair<RepairAction, SimTime>>
+                                attempts_with_costs,
+                            SymptomId symptom, SimTime start) {
+  std::vector<SymptomEvent> symptoms = {{start, symptom}};
+  std::vector<ActionAttempt> attempts;
+  SimTime t = start + 50;
+  for (const auto& [action, cost] : attempts_with_costs) {
+    attempts.push_back({action, t, cost, false});
+    t += cost;
+  }
+  attempts.back().cured = true;
+  return RecoveryProcess(0, std::move(symptoms), std::move(attempts), t);
+}
+
+struct Fixture {
+  SymptomTable symptoms;
+  std::vector<RecoveryProcess> test;
+  ErrorTypeCatalog catalog;
+  SimulationPlatform platform;
+  PolicyEvaluator evaluator;
+
+  static std::vector<RecoveryProcess> Build() {
+    std::vector<RecoveryProcess> out;
+    SimTime start = 0;
+    // Type "stuck" (symptom 0): 10x [Y fail, B cure].
+    for (int i = 0; i < 10; ++i) {
+      out.push_back(MakeProcess({{Y, 900}, {B, 2400}}, 0, start));
+      start += 10;
+    }
+    // One incident needed REIMAGE: [Y, B, B, I].
+    out.push_back(
+        MakeProcess({{Y, 900}, {B, 2400}, {B, 2400}, {I, 9000}}, 0, start));
+    return out;
+  }
+
+  Fixture()
+      : test(Build()),
+        catalog(test, 40),
+        platform(test, catalog, symptoms, 20),
+        evaluator(platform) {
+    symptoms.Intern("stuck");
+  }
+};
+
+TEST(PolicyEvaluatorTest, TrainedPolicyHandledAccounting) {
+  Fixture fx;
+  TrainedPolicy policy;
+  policy.AddType({"stuck", {B}});  // cures the 10 simple incidents only
+
+  const EvalSummary summary = fx.evaluator.EvaluateTrained(policy, fx.test);
+  EXPECT_EQ(summary.total_processes, 11);
+  EXPECT_EQ(summary.total_handled, 10);
+  ASSERT_EQ(summary.rows.size(), 1u);
+  const TypeEvalRow& row = summary.rows[0];
+  EXPECT_NEAR(row.coverage, 10.0 / 11.0, 1e-12);
+  // Handled incidents: actual = 50+900+2400 each; policy = 50+2400 each.
+  EXPECT_DOUBLE_EQ(row.actual_cost, 10 * 3350.0);
+  EXPECT_DOUBLE_EQ(row.policy_cost, 10 * 2450.0);
+  EXPECT_NEAR(row.relative_cost, 2450.0 / 3350.0, 1e-12);
+  EXPECT_NEAR(summary.overall_relative_cost, 2450.0 / 3350.0, 1e-12);
+}
+
+TEST(PolicyEvaluatorTest, UnknownTypeIsUnhandled) {
+  Fixture fx;
+  TrainedPolicy policy;
+  policy.AddType({"other", {B}});
+  const EvalSummary summary = fx.evaluator.EvaluateTrained(policy, fx.test);
+  EXPECT_EQ(summary.total_handled, 0);
+  EXPECT_EQ(summary.overall_coverage, 0.0);
+}
+
+TEST(PolicyEvaluatorTest, SequenceEndingInRmaHandlesEverything) {
+  Fixture fx;
+  TrainedPolicy policy;
+  policy.AddType({"stuck", {B, RepairAction::kRma}});
+  const EvalSummary summary = fx.evaluator.EvaluateTrained(policy, fx.test);
+  EXPECT_EQ(summary.total_handled, 11);
+  EXPECT_DOUBLE_EQ(summary.overall_coverage, 1.0);
+}
+
+TEST(PolicyEvaluatorTest, FullPolicyCountsEverything) {
+  Fixture fx;
+  UserDefinedPolicy user;
+  const EvalSummary summary = fx.evaluator.EvaluateFull(user, fx.test);
+  EXPECT_EQ(summary.total_processes, 11);
+  EXPECT_EQ(summary.total_handled, 11);
+  EXPECT_DOUBLE_EQ(summary.overall_coverage, 1.0);
+  // The user-defined policy replays its own log: ratio exactly 1.
+  EXPECT_NEAR(summary.overall_relative_cost, 1.0, 1e-12);
+}
+
+TEST(PolicyEvaluatorTest, HybridCoversAllAndBeatsUser) {
+  Fixture fx;
+  TrainedPolicy trained;
+  trained.AddType({"stuck", {B}});
+  UserDefinedPolicy user;
+  HybridPolicy hybrid(trained, user);
+  const EvalSummary summary = fx.evaluator.EvaluateFull(hybrid, fx.test);
+  EXPECT_EQ(summary.total_handled, 11);
+  EXPECT_LT(summary.overall_relative_cost, 1.0)
+      << "jumping to REBOOT saves the wasted TRYNOP on 10 of 11 incidents";
+}
+
+TEST(PolicyEvaluatorTest, EmptyTestSetIsAllZero) {
+  Fixture fx;
+  TrainedPolicy policy;
+  const EvalSummary summary = fx.evaluator.EvaluateTrained(policy, {});
+  EXPECT_EQ(summary.total_processes, 0);
+  EXPECT_EQ(summary.overall_relative_cost, 0.0);
+  EXPECT_EQ(summary.overall_coverage, 0.0);
+}
+
+}  // namespace
+}  // namespace aer

@@ -1,0 +1,61 @@
+#include "log/action.h"
+
+#include <gtest/gtest.h>
+
+namespace aer {
+namespace {
+
+TEST(ActionTest, StrengthIsTotalOrder) {
+  EXPECT_LT(ActionStrength(RepairAction::kTryNop),
+            ActionStrength(RepairAction::kReboot));
+  EXPECT_LT(ActionStrength(RepairAction::kReboot),
+            ActionStrength(RepairAction::kReimage));
+  EXPECT_LT(ActionStrength(RepairAction::kReimage),
+            ActionStrength(RepairAction::kRma));
+}
+
+TEST(ActionTest, AtLeastAsStrongIsReflexive) {
+  for (RepairAction a : kAllActions) {
+    EXPECT_TRUE(AtLeastAsStrong(a, a));
+  }
+}
+
+TEST(ActionTest, AtLeastAsStrongIsAntisymmetricOffDiagonal) {
+  for (RepairAction a : kAllActions) {
+    for (RepairAction b : kAllActions) {
+      if (a == b) continue;
+      EXPECT_NE(AtLeastAsStrong(a, b), AtLeastAsStrong(b, a));
+    }
+  }
+}
+
+TEST(ActionTest, NameRoundTrip) {
+  for (RepairAction a : kAllActions) {
+    const auto parsed = ParseAction(ActionName(a));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, a);
+  }
+}
+
+TEST(ActionTest, IndexRoundTrip) {
+  for (int i = 0; i < kNumActions; ++i) {
+    EXPECT_EQ(ActionIndex(ActionFromIndex(i)), i);
+  }
+}
+
+TEST(ActionTest, NamesMatchPaper) {
+  EXPECT_EQ(ActionName(RepairAction::kTryNop), "TRYNOP");
+  EXPECT_EQ(ActionName(RepairAction::kReboot), "REBOOT");
+  EXPECT_EQ(ActionName(RepairAction::kReimage), "REIMAGE");
+  EXPECT_EQ(ActionName(RepairAction::kRma), "RMA");
+}
+
+TEST(ActionTest, ParseRejectsUnknown) {
+  EXPECT_FALSE(ParseAction("").has_value());
+  EXPECT_FALSE(ParseAction("reboot").has_value());  // case-sensitive
+  EXPECT_FALSE(ParseAction("REBOOTX").has_value());
+  EXPECT_FALSE(ParseAction("Success").has_value());
+}
+
+}  // namespace
+}  // namespace aer

@@ -1,0 +1,68 @@
+#include "log/log_report.h"
+
+#include <gtest/gtest.h>
+
+namespace aer {
+namespace {
+
+RecoveryLog SampleLog() {
+  RecoveryLog log;
+  const SymptomId watchdog = log.symptoms().Intern("Watchdog");
+  const SymptomId disk = log.symptoms().Intern("DiskIO");
+  // Machine 1: two processes of type Watchdog.
+  log.Append(LogEntry::Symptom(0, 1, watchdog));
+  log.Append(LogEntry::Action(10, 1, RepairAction::kReboot));
+  log.Append(LogEntry::Success(100, 1));
+  log.Append(LogEntry::Symptom(1000, 1, watchdog));
+  log.Append(LogEntry::Action(1010, 1, RepairAction::kReboot));
+  log.Append(LogEntry::Success(1200, 1));
+  // Machine 2: one DiskIO process.
+  log.Append(LogEntry::Symptom(50, 2, disk));
+  log.Append(LogEntry::Action(60, 2, RepairAction::kReimage));
+  log.Append(LogEntry::Success(500, 2));
+  // Machine 3: open (incomplete) process.
+  log.Append(LogEntry::Symptom(2000, 3, disk));
+  return log;
+}
+
+TEST(LogReportTest, CountsAndDowntime) {
+  const RecoveryLog log = SampleLog();
+  const LogReport report = BuildLogReport(log);
+  EXPECT_EQ(report.entries, 10u);
+  EXPECT_EQ(report.processes, 3u);
+  EXPECT_EQ(report.incomplete, 1);
+  EXPECT_EQ(report.orphan_entries, 0);
+  EXPECT_EQ(report.total_downtime, 100 + 200 + 450);
+  EXPECT_NEAR(report.mean_downtime_s, 750.0 / 3.0, 1e-9);
+  EXPECT_EQ(report.error_types, 2u);
+  ASSERT_EQ(report.top_types.size(), 2u);
+  EXPECT_EQ(report.top_types[0].process_count, 2);  // Watchdog
+}
+
+TEST(LogReportTest, TopKTruncates) {
+  const RecoveryLog log = SampleLog();
+  const LogReport report = BuildLogReport(log, 1);
+  ASSERT_EQ(report.top_types.size(), 1u);
+  EXPECT_EQ(report.error_types, 2u);  // total count is unaffected
+}
+
+TEST(LogReportTest, FormatContainsKeyFacts) {
+  const RecoveryLog log = SampleLog();
+  const LogReport report = BuildLogReport(log);
+  const std::string text = FormatLogReport(report, log.symptoms());
+  EXPECT_NE(text.find("recovery processes:  3"), std::string::npos);
+  EXPECT_NE(text.find("Watchdog"), std::string::npos);
+  EXPECT_NE(text.find("DiskIO"), std::string::npos);
+  EXPECT_NE(text.find("1 incomplete"), std::string::npos);
+}
+
+TEST(LogReportTest, EmptyLog) {
+  RecoveryLog log;
+  const LogReport report = BuildLogReport(log);
+  EXPECT_EQ(report.processes, 0u);
+  EXPECT_EQ(report.mean_downtime_s, 0.0);
+  EXPECT_TRUE(report.top_types.empty());
+}
+
+}  // namespace
+}  // namespace aer

@@ -1,0 +1,113 @@
+#include "log/recovery_log.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace aer {
+namespace {
+
+RecoveryLog MakeSampleLog() {
+  RecoveryLog log;
+  const SymptomId watchdog = log.symptoms().Intern("IFM-ISNWatchdog");
+  const SymptomId hw = log.symptoms().Intern("Hardware:EventLog");
+  log.Append(LogEntry::Symptom(11232, 3, watchdog));
+  log.Append(LogEntry::Symptom(11458, 3, hw));
+  log.Append(LogEntry::Action(12206, 3, RepairAction::kTryNop));
+  log.Append(LogEntry::Symptom(12337, 3, hw));
+  log.Append(LogEntry::Action(13330, 3, RepairAction::kReboot));
+  log.Append(LogEntry::Success(15187, 3));
+  return log;
+}
+
+TEST(DescribeEntryTest, MatchesTable1Format) {
+  const RecoveryLog log = MakeSampleLog();
+  EXPECT_EQ(DescribeEntry(log.entries()[0], log.symptoms()),
+            "error:IFM-ISNWatchdog");
+  EXPECT_EQ(DescribeEntry(log.entries()[2], log.symptoms()), "TRYNOP");
+  EXPECT_EQ(DescribeEntry(log.entries()[5], log.symptoms()), "Success");
+}
+
+TEST(RecoveryLogTest, WriteReadRoundTrip) {
+  const RecoveryLog log = MakeSampleLog();
+  std::stringstream ss;
+  log.Write(ss);
+
+  RecoveryLog parsed;
+  ASSERT_TRUE(RecoveryLog::Read(ss, parsed));
+  ASSERT_EQ(parsed.size(), log.size());
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(parsed.entries()[i], log.entries()[i]) << "entry " << i;
+  }
+  EXPECT_EQ(parsed.symptoms().size(), log.symptoms().size());
+}
+
+TEST(RecoveryLogTest, WriteFormatIsTabSeparated) {
+  RecoveryLog log;
+  log.Append(LogEntry::Action(42, 7, RepairAction::kReimage));
+  std::stringstream ss;
+  log.Write(ss);
+  EXPECT_EQ(ss.str(), "42\tm7\tREIMAGE\n");
+}
+
+TEST(RecoveryLogTest, ReadSkipsBlankLines) {
+  std::stringstream ss("\n42\tm1\tSuccess\n\n  \n");
+  RecoveryLog parsed;
+  ASSERT_TRUE(RecoveryLog::Read(ss, parsed));
+  EXPECT_EQ(parsed.size(), 1u);
+}
+
+TEST(RecoveryLogTest, ReadRejectsMalformedLines) {
+  const char* bad_lines[] = {
+      "notanumber\tm1\tSuccess",  // bad time
+      "42\t1\tSuccess",           // machine missing 'm' prefix
+      "42\tmX\tSuccess",          // bad machine id
+      "42\tm1\tUNKNOWNACTION",    // unknown description
+      "42\tm1",                   // too few fields
+      "42\tm1\tSuccess\textra",   // too many fields
+  };
+  for (const char* line : bad_lines) {
+    std::stringstream ss(line);
+    RecoveryLog parsed;
+    EXPECT_FALSE(RecoveryLog::Read(ss, parsed)) << line;
+  }
+}
+
+TEST(RecoveryLogTest, ReadEmptyStreamYieldsEmptyLog) {
+  std::stringstream ss("");
+  RecoveryLog parsed;
+  ASSERT_TRUE(RecoveryLog::Read(ss, parsed));
+  EXPECT_TRUE(parsed.empty());
+}
+
+TEST(RecoveryLogTest, SortByTimeIsStablePerMachine) {
+  RecoveryLog log;
+  const SymptomId s = log.symptoms().Intern("s");
+  // Same timestamp on one machine: symptom inserted before action must stay
+  // first.
+  log.Append(LogEntry::Symptom(100, 1, s));
+  log.Append(LogEntry::Action(100, 1, RepairAction::kTryNop));
+  log.Append(LogEntry::Symptom(50, 2, s));
+  log.SortByTime();
+  EXPECT_EQ(log.entries()[0].time, 50);
+  EXPECT_EQ(log.entries()[1].kind, EntryKind::kSymptom);
+  EXPECT_EQ(log.entries()[2].kind, EntryKind::kAction);
+}
+
+TEST(RecoveryLogTest, FileRoundTrip) {
+  const RecoveryLog log = MakeSampleLog();
+  const std::string path = ::testing::TempDir() + "/aer_log_roundtrip.log";
+  log.WriteFile(path);
+  RecoveryLog parsed;
+  ASSERT_TRUE(RecoveryLog::ReadFile(path, parsed));
+  EXPECT_EQ(parsed.size(), log.size());
+  std::remove(path.c_str());
+}
+
+TEST(RecoveryLogTest, ReadFileMissingReturnsFalse) {
+  RecoveryLog parsed;
+  EXPECT_FALSE(RecoveryLog::ReadFile("/nonexistent/path.log", parsed));
+}
+
+}  // namespace
+}  // namespace aer

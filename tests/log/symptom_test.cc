@@ -1,0 +1,51 @@
+#include "log/symptom.h"
+
+#include <gtest/gtest.h>
+
+namespace aer {
+namespace {
+
+TEST(SymptomTableTest, InternAssignsDenseIds) {
+  SymptomTable table;
+  EXPECT_EQ(table.Intern("a"), 0);
+  EXPECT_EQ(table.Intern("b"), 1);
+  EXPECT_EQ(table.Intern("c"), 2);
+  EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(SymptomTableTest, InternIsIdempotent) {
+  SymptomTable table;
+  const SymptomId id = table.Intern("x");
+  EXPECT_EQ(table.Intern("x"), id);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(SymptomTableTest, NameLookup) {
+  SymptomTable table;
+  const SymptomId id = table.Intern("error:Watchdog");
+  EXPECT_EQ(table.Name(id), "error:Watchdog");
+}
+
+TEST(SymptomTableTest, FindReturnsInvalidForUnknown) {
+  SymptomTable table;
+  table.Intern("known");
+  EXPECT_EQ(table.Find("unknown"), kInvalidSymptom);
+  EXPECT_EQ(table.Find("known"), 0);
+}
+
+TEST(SymptomTableTest, ManySymptomsStayConsistent) {
+  SymptomTable table;
+  for (int i = 0; i < 500; ++i) {
+    table.Intern("sym" + std::to_string(i));
+  }
+  EXPECT_EQ(table.size(), 500u);
+  for (int i = 0; i < 500; ++i) {
+    const std::string name = "sym" + std::to_string(i);
+    const SymptomId id = table.Find(name);
+    ASSERT_NE(id, kInvalidSymptom);
+    EXPECT_EQ(table.Name(id), name);
+  }
+}
+
+}  // namespace
+}  // namespace aer

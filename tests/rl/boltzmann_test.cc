@@ -1,0 +1,102 @@
+#include "rl/boltzmann.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace aer {
+namespace {
+
+TEST(TemperatureScheduleTest, DecaysMonotonically) {
+  TemperatureSchedule schedule;
+  double prev = schedule.at(0);
+  EXPECT_DOUBLE_EQ(prev, schedule.initial);
+  for (std::int64_t sweep = 100; sweep <= 10000; sweep += 100) {
+    const double t = schedule.at(sweep);
+    EXPECT_LE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(TemperatureScheduleTest, RespectsFloor) {
+  TemperatureSchedule schedule;
+  schedule.initial = 1000.0;
+  schedule.decay = 0.5;
+  schedule.floor = 10.0;
+  EXPECT_DOUBLE_EQ(schedule.at(1000), 10.0);
+}
+
+TEST(SampleBoltzmannTest, LowTemperatureIsGreedy) {
+  Rng rng(1);
+  const std::vector<double> costs = {500.0, 100.0, 900.0};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(SampleBoltzmann(costs, 0.1, rng), 1u);
+  }
+}
+
+TEST(SampleBoltzmannTest, HighTemperatureIsNearUniform) {
+  Rng rng(2);
+  const std::vector<double> costs = {500.0, 100.0, 900.0};
+  std::vector<int> counts(3, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[SampleBoltzmann(costs, 1e9, rng)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 1.0 / 3.0, 0.02);
+  }
+}
+
+TEST(SampleBoltzmannTest, IntermediateTemperatureOrdersByQ) {
+  Rng rng(3);
+  const std::vector<double> costs = {100.0, 200.0, 400.0};
+  std::vector<int> counts(3, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[SampleBoltzmann(costs, 150.0, rng)];
+  }
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[2], 0);  // still explores the worst action
+}
+
+TEST(SampleBoltzmannTest, ExactBoltzmannProbabilities) {
+  Rng rng(4);
+  const double T = 100.0;
+  const std::vector<double> costs = {0.0, 100.0};
+  // P(1)/P(0) = exp(-100/100) = e^-1.
+  const double expected_p1 = std::exp(-1.0) / (1.0 + std::exp(-1.0));
+  int ones = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    if (SampleBoltzmann(costs, T, rng) == 1) ++ones;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / n, expected_p1, 0.005);
+}
+
+TEST(SampleBoltzmannTest, HugeCostGapsAreNumericallySafe) {
+  Rng rng(5);
+  const std::vector<double> costs = {1.0, 1e12};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(SampleBoltzmann(costs, 10.0, rng), 0u);
+  }
+}
+
+TEST(SampleBoltzmannTest, SingleOptionAlwaysChosen) {
+  Rng rng(6);
+  const std::vector<double> costs = {42.0};
+  EXPECT_EQ(SampleBoltzmann(costs, 100.0, rng), 0u);
+}
+
+TEST(SampleBoltzmannTest, DeterministicGivenRngState) {
+  Rng a(7);
+  Rng b(7);
+  const std::vector<double> costs = {10.0, 20.0, 30.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(SampleBoltzmann(costs, 25.0, a), SampleBoltzmann(costs, 25.0, b));
+  }
+}
+
+}  // namespace
+}  // namespace aer

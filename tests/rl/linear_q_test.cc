@@ -1,0 +1,176 @@
+#include "rl/linear_q.h"
+
+#include <gtest/gtest.h>
+
+namespace aer {
+namespace {
+
+constexpr auto Y = RepairAction::kTryNop;
+constexpr auto B = RepairAction::kReboot;
+constexpr auto I = RepairAction::kReimage;
+
+TEST(LinearQFeaturesTest, CountsAndBias) {
+  const std::vector<RepairAction> tried = {Y, B, B, I};
+  const auto x = LinearQFunction::Features(tried);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);                       // bias
+  EXPECT_DOUBLE_EQ(x[1], 1.0);                       // TRYNOP count
+  EXPECT_DOUBLE_EQ(x[2], 2.0);                       // REBOOT count
+  EXPECT_DOUBLE_EQ(x[3], 1.0);                       // REIMAGE count
+  EXPECT_DOUBLE_EQ(x[4], 0.0);                       // RMA count
+  EXPECT_DOUBLE_EQ(x[LinearQFunction::kNumFeatures - 1], 4.0);  // steps
+}
+
+TEST(LinearQFeaturesTest, OrderInvariance) {
+  const std::vector<RepairAction> ab = {Y, B};
+  const std::vector<RepairAction> ba = {B, Y};
+  EXPECT_EQ(LinearQFunction::Features(ab), LinearQFunction::Features(ba));
+}
+
+TEST(LinearQFunctionTest, ZeroInitializedIsZero) {
+  LinearQFunction q(4);
+  EXPECT_DOUBLE_EQ(q.Q(0, LinearQFunction::Features({}), Y), 0.0);
+  EXPECT_EQ(q.num_parameters(),
+            4u * kNumActions * LinearQFunction::kNumFeatures);
+}
+
+TEST(LinearQFunctionTest, SetBiasShiftsPrediction) {
+  LinearQFunction q(1);
+  q.SetBias(0, B, 2400.0);
+  EXPECT_DOUBLE_EQ(q.Q(0, LinearQFunction::Features({}), B), 2400.0);
+  // Bias applies regardless of the tried counts (other weights are 0).
+  const std::vector<RepairAction> tried = {Y, Y};
+  EXPECT_DOUBLE_EQ(q.Q(0, LinearQFunction::Features(tried), B), 2400.0);
+}
+
+TEST(LinearQFunctionTest, FitsLinearTargetExactly) {
+  // Target: 100 + 50*n_Y + 10*steps. Normalized LMS must converge on it.
+  LinearQFunction q(1);
+  Rng rng(5);
+  for (int iter = 0; iter < 20000; ++iter) {
+    std::vector<RepairAction> tried(rng.NextBounded(6), Y);
+    const auto x = LinearQFunction::Features(tried);
+    const double target =
+        100.0 + 50.0 * x[1] + 10.0 * x[LinearQFunction::kNumFeatures - 1];
+    q.Update(0, x, B, target, 0.3);
+  }
+  for (std::size_t n = 0; n < 6; ++n) {
+    std::vector<RepairAction> tried(n, Y);
+    const auto x = LinearQFunction::Features(tried);
+    const double expected = 100.0 + 50.0 * static_cast<double>(n) +
+                            10.0 * static_cast<double>(n);
+    EXPECT_NEAR(q.Q(0, x, B), expected, 1.0) << "n=" << n;
+  }
+  EXPECT_EQ(q.updates(), 20000);
+}
+
+TEST(LinearQFunctionTest, ActionsAndTypesIndependent) {
+  LinearQFunction q(2);
+  const auto x = LinearQFunction::Features({});  // [1, 0...0]: ||x||^2 = 1
+  q.Update(0, x, Y, 500.0, 1.0);
+  EXPECT_NEAR(q.Q(0, x, Y), 500.0, 1e-9);
+  EXPECT_DOUBLE_EQ(q.Q(0, x, B), 0.0);
+  EXPECT_DOUBLE_EQ(q.Q(1, x, Y), 0.0);
+}
+
+// Trainer fixture: stuck-service type (TRYNOP useless, REBOOT cures).
+RecoveryProcess MakeProcess(std::vector<std::pair<RepairAction, SimTime>>
+                                attempts_with_costs,
+                            SymptomId symptom, MachineId machine,
+                            SimTime start) {
+  std::vector<SymptomEvent> symptoms = {{start, symptom}};
+  std::vector<ActionAttempt> attempts;
+  SimTime t = start + 50;
+  for (const auto& [action, cost] : attempts_with_costs) {
+    attempts.push_back({action, t, cost, false});
+    t += cost;
+  }
+  attempts.back().cured = true;
+  return RecoveryProcess(machine, std::move(symptoms), std::move(attempts),
+                         t);
+}
+
+struct Fixture {
+  SymptomTable symptoms;
+  std::vector<RecoveryProcess> processes;
+  ErrorTypeCatalog catalog;
+  SimulationPlatform platform;
+
+  static std::vector<RecoveryProcess> Build() {
+    std::vector<RecoveryProcess> out;
+    SimTime start = 0;
+    MachineId m = 0;
+    for (int i = 0; i < 50; ++i) {
+      out.push_back(MakeProcess({{Y, 900}, {B, 2400}}, 0, m++, start));
+      start += 10;
+    }
+    for (int i = 0; i < 40; ++i) {
+      out.push_back(MakeProcess({{Y, 900}}, 1, m++, start));
+      start += 10;
+    }
+    for (int i = 0; i < 10; ++i) {
+      out.push_back(MakeProcess({{Y, 900}, {B, 2400}}, 1, m++, start));
+      start += 10;
+    }
+    return out;
+  }
+
+  Fixture()
+      : processes(Build()),
+        catalog(processes, 40),
+        platform(processes, catalog, symptoms, 20) {
+    symptoms.Intern("stuck");
+    symptoms.Intern("transient");
+  }
+};
+
+TEST(ApproxQLearningTrainerTest, LearnsRebootFirstForStuckType) {
+  Fixture fx;
+  ApproxTrainerConfig config;
+  config.sweeps = 8000;
+  const ApproxQLearningTrainer trainer(fx.platform, fx.processes, config);
+  const auto output = trainer.Train();
+  const auto* stuck = output.policy.FindType("stuck");
+  ASSERT_NE(stuck, nullptr);
+  ASSERT_FALSE(stuck->sequence.empty());
+  EXPECT_EQ(stuck->sequence.front(), B);
+}
+
+TEST(ApproxQLearningTrainerTest, KeepsCheapFirstForTransientType) {
+  Fixture fx;
+  ApproxTrainerConfig config;
+  config.sweeps = 8000;
+  const ApproxQLearningTrainer trainer(fx.platform, fx.processes, config);
+  const auto output = trainer.Train();
+  const auto* transient = output.policy.FindType("transient");
+  ASSERT_NE(transient, nullptr);
+  ASSERT_FALSE(transient->sequence.empty());
+  EXPECT_EQ(transient->sequence.front(), Y);
+}
+
+TEST(ApproxQLearningTrainerTest, DeterministicForSeed) {
+  Fixture fx;
+  ApproxTrainerConfig config;
+  config.sweeps = 4000;
+  const ApproxQLearningTrainer trainer(fx.platform, fx.processes, config);
+  const auto a = trainer.Train();
+  const auto b = trainer.Train();
+  ASSERT_EQ(a.sequences.size(), b.sequences.size());
+  for (std::size_t i = 0; i < a.sequences.size(); ++i) {
+    EXPECT_EQ(a.sequences[i], b.sequences[i]);
+  }
+}
+
+TEST(ApproxQLearningTrainerTest, ParameterCountIsTiny) {
+  // The point of generalization: parameters = O(types), not O(states).
+  Fixture fx;
+  ApproxTrainerConfig config;
+  config.sweeps = 1000;
+  const ApproxQLearningTrainer trainer(fx.platform, fx.processes, config);
+  const auto output = trainer.Train();
+  EXPECT_EQ(output.q.num_parameters(),
+            fx.catalog.num_types() * kNumActions *
+                LinearQFunction::kNumFeatures);
+}
+
+}  // namespace
+}  // namespace aer

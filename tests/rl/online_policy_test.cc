@@ -1,0 +1,162 @@
+#include "rl/online_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/recovery_manager.h"
+
+namespace aer {
+namespace {
+
+constexpr auto Y = RepairAction::kTryNop;
+constexpr auto B = RepairAction::kReboot;
+constexpr auto A = RepairAction::kRma;
+
+// Drives the policy through a RecoveryManager against a deterministic
+// environment: TRYNOP never cures (cost 900), REBOOT always cures (cost
+// 2400), REIMAGE cures (cost 9000), RMA cures (cost 90000).
+struct Environment {
+  RecoveryManager& manager;
+  SimTime now = 0;
+
+  // Runs one incident on `machine`; returns the number of actions taken.
+  int RunIncident(MachineId machine, std::string_view symptom) {
+    manager.OnSymptom(now, machine, symptom);
+    int actions = 0;
+    while (true) {
+      const auto action = manager.OnRecoveryNeeded(now + 60, machine);
+      now += 60;
+      ++actions;
+      SimTime cost = 0;
+      bool cured = false;
+      switch (*action) {
+        case RepairAction::kTryNop:
+          cost = 900;
+          cured = false;
+          break;
+        case RepairAction::kReboot:
+          cost = 2400;
+          cured = true;
+          break;
+        case RepairAction::kReimage:
+          cost = 9000;
+          cured = true;
+          break;
+        case RepairAction::kRma:
+          cost = 90000;
+          cured = true;
+          break;
+      }
+      now += cost;
+      manager.OnActionResult(now, machine, cured);
+      if (cured) break;
+    }
+    now += 13 * kHour;  // spread incidents out
+    return actions;
+  }
+};
+
+TEST(OnlineQLearningPolicyTest, ConvergesToRebootForStuckService) {
+  OnlinePolicyConfig config;
+  config.temperature.initial = 1000.0;
+  config.temperature.decay = 0.9;  // anneal fast for the test
+  OnlineQLearningPolicy policy(config);
+  RecoveryManager manager(policy);
+  Environment env{manager};
+
+  for (int incident = 0; incident < 150; ++incident) {
+    env.RunIncident(incident % 5, "StuckService");
+  }
+  EXPECT_EQ(policy.types_seen(), 1u);
+  EXPECT_EQ(policy.episodes_completed(), 150);
+
+  // After annealing, the first action must be REBOOT (cheapest cure:
+  // 2400 < 900 + 2400 and < 9000 < 90000).
+  int reboot_first = 0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    RecoveryContext ctx;
+    ctx.initial_symptom_name = "StuckService";
+    ctx.tried = {};
+    if (policy.ChooseAction(ctx) == B) ++reboot_first;
+  }
+  EXPECT_GE(reboot_first, 18);
+}
+
+TEST(OnlineQLearningPolicyTest, ExploresEarly) {
+  OnlinePolicyConfig config;
+  config.temperature.initial = 1e9;  // fully uniform
+  OnlineQLearningPolicy policy(config);
+  std::array<int, kNumActions> counts = {};
+  for (int t = 0; t < 400; ++t) {
+    RecoveryContext ctx;
+    ctx.initial_symptom_name = "Anything";
+    ctx.tried = {};
+    ++counts[static_cast<std::size_t>(
+        ActionIndex(policy.ChooseAction(ctx)))];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 50) << "all four actions must be explored at high T";
+  }
+}
+
+TEST(OnlineQLearningPolicyTest, NCapForcesManualRepair) {
+  OnlinePolicyConfig config;
+  config.max_actions = 4;
+  OnlineQLearningPolicy policy(config);
+  RecoveryContext ctx;
+  ctx.initial_symptom_name = "X";
+  const std::vector<RepairAction> tried(3, Y);
+  ctx.tried = tried;
+  EXPECT_EQ(policy.ChooseAction(ctx), A);
+}
+
+TEST(OnlineQLearningPolicyTest, SeparateTypesLearnSeparately) {
+  OnlinePolicyConfig config;
+  config.temperature.initial = 500.0;
+  config.temperature.decay = 0.9;
+  OnlineQLearningPolicy policy(config);
+  RecoveryManager manager(policy);
+  Environment env{manager};
+
+  for (int incident = 0; incident < 120; ++incident) {
+    env.RunIncident(incident % 3, "TypeOne");
+    env.RunIncident(3 + incident % 3, "TypeTwo");
+  }
+  EXPECT_EQ(policy.types_seen(), 2u);
+  // Both types share the same environment here, so both should settle on
+  // REBOOT; the point is that the Q entries are per type.
+  const StateKey root_one = EncodeState(0, {});
+  const StateKey root_two = EncodeState(1, {});
+  EXPECT_TRUE(policy.table().Has(root_one, B));
+  EXPECT_TRUE(policy.table().Has(root_two, B));
+}
+
+TEST(OnlineQLearningPolicyTest, LearningCostIsRealDowntime) {
+  // The paper's Section 2.3.1 argument in miniature: while exploring, the
+  // online learner pays for REIMAGE/RMA trials the offline learner only
+  // simulates. Count the manual repairs it triggers during its first
+  // incidents.
+  OnlinePolicyConfig config;
+  OnlineQLearningPolicy policy(config);
+  RecoveryManager manager(policy);
+  Environment env{manager};
+  for (int incident = 0; incident < 60; ++incident) {
+    env.RunIncident(incident % 5, "StuckService");
+  }
+  // With Boltzmann exploration over the priors, some early incidents chose
+  // REIMAGE or RMA (exact counts are deterministic given the seed; assert
+  // the qualitative fact).
+  std::int64_t expensive = 0;
+  for (const LogEntry& e : manager.log().entries()) {
+    if (e.kind == EntryKind::kAction &&
+        (e.action == RepairAction::kReimage ||
+         e.action == RepairAction::kRma)) {
+      ++expensive;
+    }
+  }
+  EXPECT_GT(expensive, 0)
+      << "online exploration executes expensive actions on live machines";
+}
+
+}  // namespace
+}  // namespace aer

@@ -1,0 +1,133 @@
+#include "rl/policy_diff.h"
+
+#include <gtest/gtest.h>
+
+namespace aer {
+namespace {
+
+constexpr auto Y = RepairAction::kTryNop;
+constexpr auto B = RepairAction::kReboot;
+constexpr auto I = RepairAction::kReimage;
+
+TrainedPolicy MakePolicy(
+    std::vector<std::pair<std::string, ActionSequence>> entries) {
+  TrainedPolicy policy;
+  for (auto& [name, seq] : entries) {
+    policy.AddType({name, seq});
+  }
+  return policy;
+}
+
+TEST(PolicyDiffTest, IdenticalPoliciesHaveNoEntries) {
+  const TrainedPolicy a = MakePolicy({{"t1", {Y, B}}, {"t2", {B, B}}});
+  const TrainedPolicy b = MakePolicy({{"t2", {B, B}}, {"t1", {Y, B}}});
+  const PolicyDiff diff = DiffPolicies(a, b);
+  EXPECT_TRUE(diff.entries.empty());
+  EXPECT_EQ(diff.unchanged_types, 2u);
+  EXPECT_NE(FormatPolicyDiff(diff).find("no rule changes"),
+            std::string::npos);
+}
+
+TEST(PolicyDiffTest, DetectsAddedRemovedChanged) {
+  const TrainedPolicy old_policy =
+      MakePolicy({{"kept", {Y}}, {"changed", {Y, B}}, {"removed", {B}}});
+  const TrainedPolicy new_policy =
+      MakePolicy({{"kept", {Y}}, {"changed", {B, B}}, {"added", {I}}});
+  const PolicyDiff diff = DiffPolicies(old_policy, new_policy);
+  ASSERT_EQ(diff.entries.size(), 3u);
+  EXPECT_EQ(diff.unchanged_types, 1u);
+
+  int added = 0;
+  int removed = 0;
+  int changed = 0;
+  for (const PolicyDiffEntry& e : diff.entries) {
+    switch (e.kind) {
+      case PolicyDiffEntry::Kind::kAdded:
+        ++added;
+        EXPECT_EQ(e.symptom_name, "added");
+        EXPECT_TRUE(e.old_sequence.empty());
+        EXPECT_EQ(e.new_sequence, (ActionSequence{I}));
+        break;
+      case PolicyDiffEntry::Kind::kRemoved:
+        ++removed;
+        EXPECT_EQ(e.symptom_name, "removed");
+        EXPECT_TRUE(e.new_sequence.empty());
+        break;
+      case PolicyDiffEntry::Kind::kChanged:
+        ++changed;
+        EXPECT_EQ(e.symptom_name, "changed");
+        EXPECT_EQ(e.old_sequence, (ActionSequence{Y, B}));
+        EXPECT_EQ(e.new_sequence, (ActionSequence{B, B}));
+        break;
+    }
+  }
+  EXPECT_EQ(added, 1);
+  EXPECT_EQ(removed, 1);
+  EXPECT_EQ(changed, 1);
+
+  const std::string text = FormatPolicyDiff(diff);
+  EXPECT_NE(text.find("+ added"), std::string::npos);
+  EXPECT_NE(text.find("- removed"), std::string::npos);
+  EXPECT_NE(text.find("~ changed"), std::string::npos);
+}
+
+RecoveryProcess MakeProcess(std::vector<std::pair<RepairAction, SimTime>>
+                                attempts_with_costs,
+                            SymptomId symptom, SimTime start) {
+  std::vector<SymptomEvent> symptoms = {{start, symptom}};
+  std::vector<ActionAttempt> attempts;
+  SimTime t = start + 50;
+  for (const auto& [action, cost] : attempts_with_costs) {
+    attempts.push_back({action, t, cost, false});
+    t += cost;
+  }
+  attempts.back().cured = true;
+  return RecoveryProcess(0, std::move(symptoms), std::move(attempts), t);
+}
+
+TEST(PolicyDiffTest, ImpactEstimatesPriceTheChange) {
+  // Ten stuck-service incidents: [Y fail 900, B cure 2400]. Switching from
+  // Y-first to B-first saves the wasted watch.
+  SymptomTable symptoms;
+  symptoms.Intern("stuck");
+  std::vector<RecoveryProcess> processes;
+  for (int i = 0; i < 10; ++i) {
+    processes.push_back(MakeProcess({{Y, 900}, {B, 2400}}, 0, i * 10));
+  }
+  const ErrorTypeCatalog catalog(processes, 40);
+  const SimulationPlatform platform(processes, catalog, symptoms, 20);
+
+  const TrainedPolicy old_policy = MakePolicy({{"stuck", {Y, B}}});
+  const TrainedPolicy new_policy = MakePolicy({{"stuck", {B}}});
+  const PolicyDiff diff =
+      DiffPolicies(old_policy, new_policy, platform, processes);
+  ASSERT_EQ(diff.entries.size(), 1u);
+  const PolicyDiffEntry& entry = diff.entries[0];
+  ASSERT_TRUE(entry.old_mean_cost.has_value());
+  ASSERT_TRUE(entry.new_mean_cost.has_value());
+  EXPECT_DOUBLE_EQ(*entry.old_mean_cost, 50 + 900 + 2400);
+  EXPECT_DOUBLE_EQ(*entry.new_mean_cost, 50 + 2400);
+
+  const std::string text = FormatPolicyDiff(diff);
+  EXPECT_NE(text.find("est. mean cost"), std::string::npos);
+}
+
+TEST(PolicyDiffTest, NoImpactForTypesAbsentFromTheLog) {
+  SymptomTable symptoms;
+  symptoms.Intern("present");
+  std::vector<RecoveryProcess> processes = {
+      MakeProcess({{B, 2400}}, 0, 0)};
+  const ErrorTypeCatalog catalog(processes, 40);
+  const SimulationPlatform platform(processes, catalog, symptoms, 20);
+
+  const TrainedPolicy old_policy = MakePolicy({{"ghost", {Y}}});
+  const TrainedPolicy new_policy = MakePolicy({{"ghost", {B}}});
+  const PolicyDiff diff =
+      DiffPolicies(old_policy, new_policy, platform, processes);
+  ASSERT_EQ(diff.entries.size(), 1u);
+  EXPECT_FALSE(diff.entries[0].old_mean_cost.has_value());
+  EXPECT_FALSE(diff.entries[0].new_mean_cost.has_value());
+}
+
+}  // namespace
+}  // namespace aer

@@ -1,0 +1,144 @@
+#include "rl/policy.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "cluster/user_policy.h"
+
+namespace aer {
+namespace {
+
+constexpr auto Y = RepairAction::kTryNop;
+constexpr auto B = RepairAction::kReboot;
+constexpr auto I = RepairAction::kReimage;
+constexpr auto A = RepairAction::kRma;
+
+TrainedPolicy MakePolicy() {
+  TrainedPolicy policy;
+  policy.AddType({"F000-MemPressure", {B, B, I}});
+  policy.AddType({"F001-SmartCtl", {Y, B}});
+  return policy;
+}
+
+RecoveryContext Ctx(std::string_view symptom,
+                    std::span<const RepairAction> tried) {
+  RecoveryContext ctx;
+  ctx.initial_symptom_name = symptom;
+  ctx.tried = tried;
+  return ctx;
+}
+
+TEST(TrainedPolicyTest, LookupFollowsSequence) {
+  const TrainedPolicy policy = MakePolicy();
+  EXPECT_EQ(policy.Lookup("F000-MemPressure", {}), B);
+  const RepairAction one[] = {B};
+  EXPECT_EQ(policy.Lookup("F000-MemPressure", one), B);
+  const RepairAction two[] = {B, B};
+  EXPECT_EQ(policy.Lookup("F000-MemPressure", two), I);
+}
+
+TEST(TrainedPolicyTest, LookupExhaustedReturnsNothing) {
+  const TrainedPolicy policy = MakePolicy();
+  const RepairAction all[] = {B, B, I};
+  EXPECT_FALSE(policy.Lookup("F000-MemPressure", all).has_value());
+}
+
+TEST(TrainedPolicyTest, LookupUnknownTypeReturnsNothing) {
+  const TrainedPolicy policy = MakePolicy();
+  EXPECT_FALSE(policy.Lookup("F099-Unknown", {}).has_value());
+}
+
+TEST(TrainedPolicyTest, LookupForeignPrefixReturnsNothing) {
+  // Someone else already tried TRYNOP: this is not our prefix, so the
+  // trained policy must not claim the state.
+  const TrainedPolicy policy = MakePolicy();
+  const RepairAction foreign[] = {Y};
+  EXPECT_FALSE(policy.Lookup("F000-MemPressure", foreign).has_value());
+}
+
+TEST(TrainedPolicyTest, ChooseActionFallsBackToManualRepair) {
+  TrainedPolicy policy = MakePolicy();
+  EXPECT_EQ(policy.ChooseAction(Ctx("F099-Unknown", {})), A);
+  EXPECT_EQ(policy.ChooseAction(Ctx("F001-SmartCtl", {})), Y);
+}
+
+TEST(TrainedPolicyTest, FindTypeAndAccessors) {
+  const TrainedPolicy policy = MakePolicy();
+  EXPECT_EQ(policy.num_types(), 2u);
+  ASSERT_NE(policy.FindType("F001-SmartCtl"), nullptr);
+  EXPECT_EQ(policy.FindType("F001-SmartCtl")->sequence,
+            (ActionSequence{Y, B}));
+  EXPECT_EQ(policy.FindType("nope"), nullptr);
+}
+
+TEST(TrainedPolicyTest, SerializationRoundTrip) {
+  const TrainedPolicy policy = MakePolicy();
+  std::stringstream ss;
+  policy.Write(ss);
+
+  TrainedPolicy parsed;
+  ASSERT_TRUE(TrainedPolicy::Read(ss, parsed));
+  ASSERT_EQ(parsed.num_types(), policy.num_types());
+  for (const auto& entry : policy.entries()) {
+    const auto* got = parsed.FindType(entry.symptom_name);
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(got->sequence, entry.sequence);
+  }
+}
+
+TEST(TrainedPolicyTest, SerializationFormat) {
+  TrainedPolicy policy;
+  policy.AddType({"Sym", {B, I}});
+  std::stringstream ss;
+  policy.Write(ss);
+  EXPECT_EQ(ss.str(), "Sym\tREBOOT REIMAGE\n");
+}
+
+TEST(TrainedPolicyTest, ReadRejectsMalformed) {
+  for (const char* bad : {"NoTab", "Sym\tNOTANACTION", "\tREBOOT",
+                          "Dup\tREBOOT\nDup\tREBOOT"}) {
+    std::stringstream ss(bad);
+    TrainedPolicy parsed;
+    EXPECT_FALSE(TrainedPolicy::Read(ss, parsed)) << bad;
+  }
+}
+
+TEST(HybridPolicyTest, PrefersTrainedThenFallsBack) {
+  const TrainedPolicy trained = MakePolicy();
+  UserDefinedPolicy user;
+  HybridPolicy hybrid(trained, user);
+
+  // Known type: trained sequence.
+  EXPECT_EQ(hybrid.ChooseAction(Ctx("F000-MemPressure", {})), B);
+  // Unknown type: user escalation from scratch.
+  EXPECT_EQ(hybrid.ChooseAction(Ctx("F099-Unknown", {})), Y);
+  // Trained sequence exhausted: user policy continues, counting all tried
+  // actions (here: B,B,I used; TRYNOP still available at level 0).
+  const RepairAction exhausted[] = {B, B, I};
+  EXPECT_EQ(hybrid.ChooseAction(Ctx("F000-MemPressure", exhausted)), Y);
+}
+
+TEST(HybridPolicyTest, StaysWithFallbackAfterDeviation) {
+  // Once the user policy chose an action off the trained prefix, subsequent
+  // lookups keep failing and the user policy stays in control.
+  const TrainedPolicy trained = MakePolicy();
+  UserDefinedPolicy user;
+  HybridPolicy hybrid(trained, user);
+  const RepairAction deviated[] = {B, B, I, Y};
+  const RepairAction next = hybrid.ChooseAction(
+      Ctx("F000-MemPressure", deviated));
+  // User escalation: Y used once (its level-0 limit), B used twice, I once;
+  // next is the second REIMAGE.
+  EXPECT_EQ(next, I);
+}
+
+TEST(HybridPolicyTest, Name) {
+  const TrainedPolicy trained = MakePolicy();
+  UserDefinedPolicy user;
+  HybridPolicy hybrid(trained, user);
+  EXPECT_EQ(hybrid.name(), "hybrid");
+}
+
+}  // namespace
+}  // namespace aer

@@ -1,0 +1,175 @@
+// Tests for the TD(λ) and discount extensions of the trainer. The crafted
+// environment is deterministic, so λ-return math can be checked against
+// hand-computed values via the Q table (which stores the running average of
+// its targets).
+#include <gtest/gtest.h>
+
+#include "rl/selection_tree.h"
+
+namespace aer {
+namespace {
+
+constexpr auto Y = RepairAction::kTryNop;
+constexpr auto B = RepairAction::kReboot;
+
+RecoveryProcess MakeProcess(std::vector<std::pair<RepairAction, SimTime>>
+                                attempts_with_costs,
+                            SymptomId symptom, MachineId machine,
+                            SimTime start) {
+  std::vector<SymptomEvent> symptoms = {{start, symptom}};
+  std::vector<ActionAttempt> attempts;
+  SimTime t = start + 50;
+  for (const auto& [action, cost] : attempts_with_costs) {
+    attempts.push_back({action, t, cost, false});
+    t += cost;
+  }
+  attempts.back().cured = true;
+  return RecoveryProcess(machine, std::move(symptoms), std::move(attempts),
+                         t);
+}
+
+// One deterministic process: [Y(900) fail, B(2400) cure]. Every episode of
+// any policy replays against this single incident, so returns are exact.
+struct SingleProcess {
+  SymptomTable symptoms;
+  std::vector<RecoveryProcess> processes;
+  ErrorTypeCatalog catalog;
+  SimulationPlatform platform;
+
+  SingleProcess()
+      : processes({MakeProcess({{Y, 900}, {B, 2400}}, 0, 0, 0)}),
+        catalog(processes, 40),
+        platform(processes, catalog, symptoms, 20) {
+    symptoms.Intern("only");
+  }
+};
+
+TrainerConfig Config(double lambda, double gamma = 1.0) {
+  TrainerConfig config;
+  config.td_lambda = lambda;
+  config.gamma = gamma;
+  config.max_sweeps = 4000;
+  config.min_sweeps = 500;
+  config.check_every = 100;
+  config.stable_checks = 5;
+  config.seed = 3;
+  return config;
+}
+
+TEST(TdLambdaTest, MonteCarloReturnsMatchEpisodeCosts) {
+  // λ = 1: an episode starting with B cures immediately with return 2400,
+  // every time, so Q(root, B) — a running average of identical Monte-Carlo
+  // targets — equals 2400 exactly. Episodes through Y branch into varying
+  // continuations ([Y,B], [Y,Y,B], ...), so Q(root, Y) is an average of
+  // returns that are each at least 900 + 2400.
+  SingleProcess fx;
+  const QLearningTrainer trainer(fx.platform, fx.processes, Config(1.0));
+  QTable table;
+  trainer.TrainType(0, &table);
+  const StateKey root = EncodeState(0, {});
+  ASSERT_TRUE(table.Has(root, B));
+  EXPECT_NEAR(table.Q(root, B), 2400.0, 1e-6);
+  ASSERT_TRUE(table.Has(root, Y));
+  EXPECT_GE(table.Q(root, Y), 3300.0 - 1e-6);
+}
+
+TEST(TdLambdaTest, LambdaZeroMatchesPlainTd) {
+  // λ = 0 must produce bit-identical tables to the default config (same
+  // seed, same exploration).
+  SingleProcess fx;
+  TrainerConfig plain = Config(0.0);
+  const QLearningTrainer a(fx.platform, fx.processes, plain);
+  QTable ta;
+  a.TrainType(0, &ta);
+
+  TrainerConfig default_config = Config(0.0);
+  default_config.td_lambda = 0.0;
+  const QLearningTrainer b(fx.platform, fx.processes, default_config);
+  QTable tb;
+  b.TrainType(0, &tb);
+
+  ASSERT_EQ(ta.num_states(), tb.num_states());
+  for (const auto& [key, entries] : ta.raw()) {
+    for (int i = 0; i < kNumActions; ++i) {
+      const RepairAction action = ActionFromIndex(i);
+      ASSERT_EQ(ta.Has(key, action), tb.Has(key, action));
+      if (ta.Has(key, action)) {
+        ASSERT_DOUBLE_EQ(ta.Q(key, action), tb.Q(key, action));
+      }
+    }
+  }
+}
+
+TEST(TdLambdaTest, IntermediateLambdaPreservesTheGreedyPolicy) {
+  // λ > 0 targets follow the *behavior* policy's continuations (the
+  // SARSA-like contamination of λ-returns), so Q(root, Y) converges above
+  // the optimal 3300 while exploration persists. What must survive any λ:
+  // the immediate-cure value is exact and the greedy ordering is unchanged.
+  SingleProcess fx;
+  const QLearningTrainer trainer(fx.platform, fx.processes, Config(0.5));
+  QTable table;
+  trainer.TrainType(0, &table);
+  const StateKey root = EncodeState(0, {});
+  EXPECT_NEAR(table.Q(root, B), 2400.0, 50.0);
+  EXPECT_GE(table.Q(root, Y), 3300.0 - 50.0);
+  EXPECT_EQ(*table.BestAction(root), B);
+}
+
+TEST(TdLambdaTest, DiscountShrinksTailContribution) {
+  // γ = 0.5 under-weights everything after the first action: the immediate
+  // cure Q(root, B) stays exactly 2400, while Q(root, Y) drops strictly
+  // below its undiscounted value (the REBOOT tail now counts half or less).
+  SingleProcess fx;
+  QTable discounted;
+  QLearningTrainer(fx.platform, fx.processes, Config(1.0, 0.5))
+      .TrainType(0, &discounted);
+  QTable undiscounted;
+  QLearningTrainer(fx.platform, fx.processes, Config(1.0, 1.0))
+      .TrainType(0, &undiscounted);
+
+  const StateKey root = EncodeState(0, {});
+  EXPECT_NEAR(discounted.Q(root, B), 2400.0, 1e-6);
+  EXPECT_LT(discounted.Q(root, Y), undiscounted.Q(root, Y) - 500.0);
+  // Lower bound: even an infinitely procrastinating episode pays the first
+  // Y in full.
+  EXPECT_GE(discounted.Q(root, Y), 900.0);
+}
+
+TEST(TdLambdaTest, PolicyUnchangedAcrossLambdaOnStuckWorkload) {
+  // The learned policy (not just the values) should agree across λ on a
+  // workload with a clear optimum.
+  std::vector<RecoveryProcess> processes;
+  SimTime start = 0;
+  MachineId m = 0;
+  for (int i = 0; i < 50; ++i) {
+    processes.push_back(MakeProcess({{Y, 900}, {B, 2400}}, 0, m++, start));
+    start += 10;
+  }
+  SymptomTable symptoms;
+  symptoms.Intern("stuck");
+  const ErrorTypeCatalog catalog(processes, 40);
+  const SimulationPlatform platform(processes, catalog, symptoms, 20);
+
+  for (double lambda : {0.0, 0.5, 0.9, 1.0}) {
+    const QLearningTrainer base(platform, processes, Config(lambda));
+    const SelectionTreeTrainer trainer(base, SelectionTreeConfig{});
+    const TypeTrainingResult result = trainer.TrainType(0);
+    ASSERT_FALSE(result.sequence.empty()) << "lambda " << lambda;
+    EXPECT_EQ(result.sequence.front(), B) << "lambda " << lambda;
+  }
+}
+
+TEST(TdLambdaDeathTest, RejectsOutOfRangeParameters) {
+  SingleProcess fx;
+  TrainerConfig bad = Config(0.0);
+  bad.gamma = 0.0;
+  EXPECT_DEATH(QLearningTrainer(fx.platform, fx.processes, bad),
+               "AER_CHECK");
+  TrainerConfig bad2 = Config(0.0);
+  bad2.td_lambda = 1.5;
+  EXPECT_DEATH(QLearningTrainer(fx.platform, fx.processes, bad2),
+               "AER_CHECK");
+}
+
+}  // namespace
+}  // namespace aer

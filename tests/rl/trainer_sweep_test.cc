@@ -1,0 +1,147 @@
+// Parameterized sweeps over seeds and caps: both trainers must land within
+// a small factor of the exhaustive optimum on a workload with a known
+// structure, for every seed — the guarantee a user relies on when they
+// change nothing but the RNG.
+#include <gtest/gtest.h>
+
+#include "rl/selection_tree.h"
+
+namespace aer {
+namespace {
+
+constexpr auto Y = RepairAction::kTryNop;
+constexpr auto B = RepairAction::kReboot;
+constexpr auto I = RepairAction::kReimage;
+
+RecoveryProcess MakeProcess(std::vector<std::pair<RepairAction, SimTime>>
+                                attempts_with_costs,
+                            SymptomId symptom, MachineId machine,
+                            SimTime start) {
+  std::vector<SymptomEvent> symptoms = {{start, symptom}};
+  std::vector<ActionAttempt> attempts;
+  SimTime t = start + 50;
+  for (const auto& [action, cost] : attempts_with_costs) {
+    attempts.push_back({action, t, cost, false});
+    t += cost;
+  }
+  attempts.back().cured = true;
+  return RecoveryProcess(machine, std::move(symptoms), std::move(attempts),
+                         t);
+}
+
+// A three-type workload: stuck (REBOOT-first optimal), transient (TRYNOP
+// first), and reimage-bound.
+struct Workload {
+  SymptomTable symptoms;
+  std::vector<RecoveryProcess> processes;
+  ErrorTypeCatalog catalog;
+  SimulationPlatform platform;
+
+  static std::vector<RecoveryProcess> Build() {
+    std::vector<RecoveryProcess> out;
+    SimTime start = 0;
+    MachineId m = 0;
+    for (int i = 0; i < 60; ++i) {
+      out.push_back(MakeProcess({{Y, 900}, {B, 2400}}, 0, m++, start));
+      start += 10;
+    }
+    for (int i = 0; i < 45; ++i) {
+      out.push_back(MakeProcess({{Y, 900}}, 1, m++, start));
+      start += 10;
+    }
+    for (int i = 0; i < 15; ++i) {
+      out.push_back(MakeProcess({{Y, 900}, {B, 2400}}, 1, m++, start));
+      start += 10;
+    }
+    for (int i = 0; i < 30; ++i) {
+      out.push_back(MakeProcess(
+          {{Y, 900}, {B, 2400}, {B, 2400}, {I, 9000}}, 2, m++, start));
+      start += 10;
+    }
+    return out;
+  }
+
+  Workload()
+      : processes(Build()),
+        catalog(processes, 40),
+        platform(processes, catalog, symptoms, 20) {
+    symptoms.Intern("stuck");
+    symptoms.Intern("transient");
+    symptoms.Intern("reimage");
+  }
+};
+
+class TrainerSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrainerSeedSweep, TreeTrainerWithinTwoPercentOfOptimum) {
+  Workload w;
+  TrainerConfig config;
+  config.max_sweeps = 20000;
+  config.min_sweeps = 2000;
+  config.seed = GetParam();
+  const QLearningTrainer base(w.platform, w.processes, config);
+  const SelectionTreeTrainer trainer(base, SelectionTreeConfig{});
+  for (ErrorTypeId type = 0; type < 3; ++type) {
+    const TypeTrainingResult result = trainer.TrainType(type);
+    ASSERT_FALSE(result.sequence.empty()) << "type " << type;
+    const double got =
+        EvaluateSequence(result.sequence, base.processes_of(type), type,
+                         w.platform.estimator(), 20)
+            .mean_cost;
+    const ActionSequence exact = ExactBestSequence(
+        base.processes_of(type), type, w.platform.estimator(), 20);
+    const double best =
+        EvaluateSequence(exact, base.processes_of(type), type,
+                         w.platform.estimator(), 20)
+            .mean_cost;
+    EXPECT_LE(got, best * 1.02)
+        << "seed " << GetParam() << " type " << type;
+  }
+}
+
+TEST_P(TrainerSeedSweep, PlainTrainerNeverCrashesAndYieldsValidSequences) {
+  Workload w;
+  TrainerConfig config;
+  config.max_sweeps = 8000;
+  config.min_sweeps = 1000;
+  config.seed = GetParam();
+  const QLearningTrainer trainer(w.platform, w.processes, config);
+  const auto output = trainer.TrainAll();
+  ASSERT_EQ(output.per_type.size(), 3u);
+  for (const TypeTrainingResult& r : output.per_type) {
+    ASSERT_FALSE(r.sequence.empty());
+    EXPECT_LE(r.sequence.size(), 20u);
+    // Manual repair is absorbing: nothing may follow it in a sequence.
+    for (std::size_t i = 0; i + 1 < r.sequence.size(); ++i) {
+      EXPECT_NE(r.sequence[i], RepairAction::kRma);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrainerSeedSweep,
+                         ::testing::Values(1, 7, 42, 1234, 99999, 31337));
+
+class TrainerCapSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TrainerCapSweep, RespectsMaxActions) {
+  Workload w;
+  const int cap = GetParam();
+  // Rebuild the platform with the matching cap.
+  const SimulationPlatform platform(w.processes, w.catalog, w.symptoms, cap);
+  TrainerConfig config;
+  config.max_actions = cap;
+  config.max_sweeps = 6000;
+  config.min_sweeps = 1000;
+  const QLearningTrainer base(platform, w.processes, config);
+  const SelectionTreeTrainer trainer(base, SelectionTreeConfig{});
+  for (ErrorTypeId type = 0; type < 3; ++type) {
+    const TypeTrainingResult result = trainer.TrainType(type);
+    EXPECT_LE(static_cast<int>(result.sequence.size()), cap) << type;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, TrainerCapSweep,
+                         ::testing::Values(3, 5, 10, 20));
+
+}  // namespace
+}  // namespace aer

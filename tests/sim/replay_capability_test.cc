@@ -1,0 +1,110 @@
+// ProcessReplay and the evaluation pipeline under non-default capability
+// models (hypothesis 2 off): the substitution rule changes which rollouts
+// cure, end to end.
+#include <gtest/gtest.h>
+
+#include "eval/evaluator.h"
+#include "sim/platform.h"
+
+namespace aer {
+namespace {
+
+constexpr auto Y = RepairAction::kTryNop;
+constexpr auto B = RepairAction::kReboot;
+constexpr auto I = RepairAction::kReimage;
+constexpr auto A = RepairAction::kRma;
+
+RecoveryProcess MakeProcess(std::vector<std::pair<RepairAction, SimTime>>
+                                attempts_with_costs,
+                            SymptomId symptom, SimTime start) {
+  std::vector<SymptomEvent> symptoms = {{start, symptom}};
+  std::vector<ActionAttempt> attempts;
+  SimTime t = start + 50;
+  for (const auto& [action, cost] : attempts_with_costs) {
+    attempts.push_back({action, t, cost, false});
+    t += cost;
+  }
+  attempts.back().cured = true;
+  return RecoveryProcess(0, std::move(symptoms), std::move(attempts), t);
+}
+
+struct Fixture {
+  SymptomTable symptoms;
+  std::vector<RecoveryProcess> processes;
+  ErrorTypeCatalog catalog;
+  CostEstimator estimator;
+
+  Fixture()
+      : processes({MakeProcess({{Y, 900}, {B, 2400}}, 0, 0),
+                   MakeProcess({{Y, 900}, {B, 2400}}, 0, 100)}),
+        catalog(processes, 40),
+        estimator(processes, catalog) {
+    symptoms.Intern("stuck");
+  }
+};
+
+TEST(ReplayCapabilityTest, IdentityModelDisablesSubstitution) {
+  Fixture fx;
+  const RecoveryProcess& p = fx.processes[0];
+
+  // Under the paper's total order, REIMAGE covers the {REBOOT} requirement.
+  {
+    ProcessReplay replay(p, 0, fx.estimator, CapabilityModel::TotalOrder());
+    EXPECT_TRUE(replay.Step(I).cured);
+  }
+  // Under identity-only it does not: only REBOOT itself (or manual repair).
+  {
+    ProcessReplay replay(p, 0, fx.estimator,
+                         CapabilityModel::IdentityOnly());
+    EXPECT_FALSE(replay.Step(I).cured);
+    EXPECT_TRUE(replay.Step(B).cured);
+  }
+  // Manual repair stays absorbing under every model.
+  {
+    ProcessReplay replay(p, 0, fx.estimator,
+                         CapabilityModel::IdentityOnly());
+    EXPECT_TRUE(replay.Step(A).cured);
+  }
+}
+
+TEST(ReplayCapabilityTest, SelfReplayIdentityHoldsUnderAnyModel) {
+  Fixture fx;
+  for (const CapabilityModel* model :
+       {&CapabilityModel::TotalOrder(), &CapabilityModel::IdentityOnly()}) {
+    const RecoveryProcess& p = fx.processes[0];
+    ProcessReplay replay(p, 0, fx.estimator, *model);
+    EXPECT_FALSE(replay.Step(Y).cured);
+    EXPECT_TRUE(replay.Step(B).cured);
+    EXPECT_DOUBLE_EQ(replay.total_cost(), static_cast<double>(p.downtime()));
+  }
+}
+
+TEST(ReplayCapabilityTest, EvaluatorHonoursThePlatformModel) {
+  Fixture fx;
+  TrainedPolicy policy;
+  policy.AddType({"stuck", {I}});
+
+  // Total order: the REIMAGE-first rule handles everything.
+  {
+    const SimulationPlatform platform(fx.processes, fx.catalog, fx.symptoms,
+                                      20, CapabilityModel::TotalOrder());
+    const PolicyEvaluator evaluator(platform);
+    const EvalSummary summary =
+        evaluator.EvaluateTrained(policy, fx.processes);
+    EXPECT_EQ(summary.total_handled, 2);
+  }
+  // Identity-only: [I] cannot cure a {REBOOT}-requirement incident, so the
+  // rule covers nothing.
+  {
+    const SimulationPlatform platform(fx.processes, fx.catalog, fx.symptoms,
+                                      20, CapabilityModel::IdentityOnly());
+    const PolicyEvaluator evaluator(platform);
+    const EvalSummary summary =
+        evaluator.EvaluateTrained(policy, fx.processes);
+    EXPECT_EQ(summary.total_handled, 0);
+    EXPECT_EQ(summary.total_processes, 2);
+  }
+}
+
+}  // namespace
+}  // namespace aer
