@@ -1,0 +1,78 @@
+# Correctness-tooling knobs: sanitizers, clang-tidy lint gate, -Werror.
+#
+#   -DAER_SANITIZE=address;undefined   (or "address,undefined")
+#   -DAER_SANITIZE=thread
+#   -DAER_LINT=ON        runs clang-tidy over every TU via CMAKE_CXX_CLANG_TIDY
+#   -DAER_WERROR=ON      promotes warnings to errors (CI sets this)
+#
+# See docs/DEVELOPING.md for the full local workflow.
+
+option(AER_WERROR "Treat compiler warnings as errors" OFF)
+option(AER_LINT "Run clang-tidy on every translation unit" OFF)
+set(AER_SANITIZE "" CACHE STRING
+    "Semicolon- or comma-separated sanitizers: address, undefined, thread, leak")
+
+if(AER_WERROR)
+  add_compile_options(-Werror)
+endif()
+
+# ---------------------------------------------------------------------------
+# Sanitizers
+# ---------------------------------------------------------------------------
+if(AER_SANITIZE)
+  # Accept both "address,undefined" and "address;undefined".
+  string(REPLACE "," ";" _aer_sanitizers "${AER_SANITIZE}")
+
+  set(_aer_san_flags "")
+  foreach(_san IN LISTS _aer_sanitizers)
+    string(STRIP "${_san}" _san)
+    if(_san STREQUAL "address")
+      list(APPEND _aer_san_flags -fsanitize=address)
+    elseif(_san STREQUAL "undefined")
+      # Recovery off: any UB report is a hard test failure, not a log line.
+      list(APPEND _aer_san_flags -fsanitize=undefined
+           -fno-sanitize-recover=undefined)
+    elseif(_san STREQUAL "thread")
+      list(APPEND _aer_san_flags -fsanitize=thread)
+    elseif(_san STREQUAL "leak")
+      list(APPEND _aer_san_flags -fsanitize=leak)
+    else()
+      message(FATAL_ERROR
+              "AER_SANITIZE: unknown sanitizer '${_san}' "
+              "(expected address, undefined, thread, or leak)")
+    endif()
+  endforeach()
+
+  if("thread" IN_LIST _aer_sanitizers AND "address" IN_LIST _aer_sanitizers)
+    message(FATAL_ERROR "AER_SANITIZE: thread and address are incompatible")
+  endif()
+
+  # Frame pointers keep sanitizer stacks readable; O1 keeps the instrumented
+  # test suite fast enough without optimizing away the bugs we hunt.
+  list(APPEND _aer_san_flags -fno-omit-frame-pointer -g)
+  add_compile_options(${_aer_san_flags})
+  add_link_options(${_aer_san_flags})
+
+  # Sanitizer builds keep the debug-tier checks: they exist to catch exactly
+  # the states the sanitizers make visible.
+  add_compile_definitions(AER_FORCE_DCHECKS)
+
+  message(STATUS "aer: sanitizers enabled: ${_aer_sanitizers}")
+endif()
+
+# ---------------------------------------------------------------------------
+# clang-tidy gate
+# ---------------------------------------------------------------------------
+if(AER_LINT)
+  find_program(AER_CLANG_TIDY_EXE NAMES clang-tidy clang-tidy-18 clang-tidy-17
+               clang-tidy-16 clang-tidy-15)
+  if(NOT AER_CLANG_TIDY_EXE)
+    message(FATAL_ERROR
+            "AER_LINT=ON but clang-tidy was not found in PATH. "
+            "Install clang-tidy or configure with -DAER_LINT=OFF.")
+  endif()
+  # The profile (checks, naming rules, warnings-as-errors) lives in
+  # .clang-tidy at the repo root so editors and CI agree.
+  set(CMAKE_CXX_CLANG_TIDY "${AER_CLANG_TIDY_EXE}")
+  message(STATUS "aer: clang-tidy gate enabled: ${AER_CLANG_TIDY_EXE}")
+endif()

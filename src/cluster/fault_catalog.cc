@@ -52,7 +52,8 @@ const ArchetypeSpec& SpecFor(FaultArchetype a) {
   for (const ArchetypeSpec& s : kSpecs) {
     if (s.archetype == a) return s;
   }
-  AER_CHECK(false);
+  AER_CHECK(false) << "no ArchetypeSpec for archetype "
+                   << static_cast<int>(a);
 }
 
 // Symptom-name flavour components, echoing the paper's Table 1 entries.
@@ -206,7 +207,8 @@ FaultArchetype ArchetypeOf(const FaultType& fault) {
       return s.archetype;
     }
   }
-  AER_CHECK(false);
+  AER_CHECK(false) << "fault name '" << fault.name
+                   << "' carries no archetype tag";
 }
 
 }  // namespace aer

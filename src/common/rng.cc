@@ -31,10 +31,12 @@ std::size_t Rng::NextWeighted(std::span<const double> weights) {
   AER_CHECK(!weights.empty());
   double total = 0.0;
   for (double w : weights) {
-    AER_CHECK_GE(w, 0.0);
+    // Debug tier (hot path: one check per weight per draw); the always-on
+    // total check below still rejects fully-degenerate inputs in release.
+    AER_DCHECK_GE(w, 0.0);
     total += w;
   }
-  AER_CHECK_GT(total, 0.0);
+  AER_CHECK_GT(total, 0.0) << "weights must be non-negative with positive sum";
   double x = NextDouble() * total;
   for (std::size_t i = 0; i < weights.size(); ++i) {
     x -= weights[i];

@@ -5,8 +5,8 @@
 namespace aer {
 
 RepairAction ActionFromIndex(int index) {
-  AER_CHECK_GE(index, 0);
-  AER_CHECK_LT(index, kNumActions);
+  AER_CHECK_GE(index, 0) << "action index underflow";
+  AER_CHECK_LT(index, kNumActions) << "action index out of range";
   return static_cast<RepairAction>(index);
 }
 
@@ -21,7 +21,7 @@ std::string_view ActionName(RepairAction a) {
     case RepairAction::kRma:
       return "RMA";
   }
-  AER_CHECK(false);
+  AER_CHECK(false) << "unhandled RepairAction " << static_cast<int>(a);
 }
 
 std::optional<RepairAction> ParseAction(std::string_view name) {

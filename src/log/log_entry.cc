@@ -13,7 +13,8 @@ std::string DescribeEntry(const LogEntry& entry, const SymptomTable& symptoms) {
     case EntryKind::kSuccess:
       return "Success";
   }
-  AER_CHECK(false);
+  AER_CHECK(false) << "unhandled EntryKind "
+                   << static_cast<int>(entry.kind);
 }
 
 }  // namespace aer

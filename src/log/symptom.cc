@@ -19,8 +19,9 @@ SymptomId SymptomTable::Find(std::string_view name) const {
 }
 
 const std::string& SymptomTable::Name(SymptomId id) const {
-  AER_CHECK_GE(id, 0);
-  AER_CHECK_LT(static_cast<std::size_t>(id), names_.size());
+  AER_CHECK_GE(id, 0) << "invalid symptom id";
+  AER_CHECK_LT(static_cast<std::size_t>(id), names_.size())
+      << "symptom id not interned in this table";
   return names_[static_cast<std::size_t>(id)];
 }
 

@@ -71,8 +71,11 @@ std::vector<ItemSet> MPatternMiner::MineAll(
                                std::int64_t support) {
     if (support < config_.min_support) return false;
     for (SymptomId item : items) {
-      const double dep = static_cast<double>(support) /
-                         static_cast<double>(item_support.at(item));
+      const auto it = item_support.find(item);
+      AER_CHECK(it != item_support.end())
+          << "candidate item " << item << " missing from 1-item support map";
+      const double dep =
+          static_cast<double>(support) / static_cast<double>(it->second);
       if (dep < config_.minp) return false;
     }
     return true;

@@ -7,7 +7,7 @@
 
 namespace aer {
 
-double TemperatureSchedule::at(std::int64_t sweep) const {
+double TemperatureSchedule::At(std::int64_t sweep) const {
   AER_CHECK_GE(sweep, 0);
   const double t = initial * std::pow(decay, static_cast<double>(sweep));
   return t < floor ? floor : t;

@@ -24,7 +24,7 @@ struct TemperatureSchedule {
   // learning rate retains its convergence guarantee.
   double floor = 20.0;
 
-  double at(std::int64_t sweep) const;
+  double At(std::int64_t sweep) const;
 };
 
 // Samples an index from P(i) ∝ exp(-cost[i]/temperature). Costs are shifted

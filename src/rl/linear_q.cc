@@ -140,7 +140,7 @@ void ApproxQLearningTrainer::TrainType(ErrorTypeId type,
         *processes[rng.NextBounded(processes.size())];
     ProcessReplay replay(p, type, platform_.estimator(),
                          platform_.capabilities());
-    const double temperature = config_.temperature.at(sweep);
+    const double temperature = config_.temperature.At(sweep);
     episode.clear();
     tried.clear();
 

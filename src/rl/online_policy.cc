@@ -40,7 +40,7 @@ RepairAction OnlineQLearningPolicy::ChooseAction(
   }
   const ErrorTypeId type = TypeOf(context.initial_symptom_name);
   const StateKey s = EncodeState(type, context.tried);
-  const double temperature = config_.temperature.at(
+  const double temperature = config_.temperature.At(
       episodes_per_type_[static_cast<std::size_t>(type)]);
 
   std::array<double, kNumActions> costs;

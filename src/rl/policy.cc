@@ -9,8 +9,10 @@
 namespace aer {
 
 void TrainedPolicy::AddType(TypeEntry entry) {
-  AER_CHECK(!entry.symptom_name.empty());
-  AER_CHECK(!by_name_.contains(entry.symptom_name));
+  AER_CHECK(!entry.symptom_name.empty())
+      << "policy entry with empty symptom name";
+  AER_CHECK(!by_name_.contains(entry.symptom_name))
+      << "duplicate policy entry for symptom '" << entry.symptom_name << "'";
   by_name_.emplace(entry.symptom_name, entries_.size());
   entries_.push_back(std::move(entry));
 }

@@ -78,7 +78,7 @@ void QLearningTrainer::RunSweep(
   const std::vector<RepairAction> allowed =
       platform_.estimator().ObservedActions(type);
   AER_CHECK(!allowed.empty());
-  const double temperature = config_.temperature.at(sweep);
+  const double temperature = config_.temperature.At(sweep);
 
   // Unexplored (s, a) pairs are priced at the action's immediate success
   // cost — the admissible optimistic bound (a cure can never cost less than

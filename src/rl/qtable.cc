@@ -18,9 +18,11 @@ bool QTable::Has(StateKey s, RepairAction a) const {
 
 double QTable::Q(StateKey s, RepairAction a) const {
   const auto it = table_.find(s);
-  AER_CHECK(it != table_.end());
+  AER_CHECK(it != table_.end())
+      << "Q() on unexplored state 0x" << std::hex << s;
   const Entry& e = it->second[static_cast<std::size_t>(ActionIndex(a))];
-  AER_CHECK_GT(e.visits, 0);
+  AER_CHECK_GT(e.visits, 0) << "Q() on unexplored action " << ActionName(a)
+                            << " of state 0x" << std::hex << s;
   return e.q;
 }
 
@@ -97,7 +99,9 @@ void QTable::Write(std::ostream& os) const {
   for (const auto& [key, entries] : table_) keys.push_back(key);
   std::sort(keys.begin(), keys.end());
   for (StateKey key : keys) {
-    const auto& entries = table_.at(key);
+    const auto it = table_.find(key);
+    AER_CHECK(it != table_.end()) << "state key vanished during Write()";
+    const auto& entries = it->second;
     for (int a = 0; a < kNumActions; ++a) {
       const Entry& e = entries[static_cast<std::size_t>(a)];
       if (e.visits == 0) continue;

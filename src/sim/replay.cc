@@ -27,7 +27,8 @@ void ProcessReplay::Reset() {
 }
 
 ProcessReplay::StepResult ProcessReplay::Step(RepairAction action) {
-  AER_CHECK(!cured_);
+  AER_CHECK(!cured_) << "Step(" << ActionName(action)
+                     << ") after the process was already cured";
   executed_.push_back(action);
 
   // Cure check first, so the cost estimate can be outcome-conditional.

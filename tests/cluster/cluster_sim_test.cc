@@ -243,7 +243,9 @@ TEST(ClusterSimTest, MachineSpeedSpreadScalesDurations) {
   for (const RecoveryProcess& p : seg2.processes) {
     for (const ActionAttempt& a : p.attempts()) {
       // sigma = 0: exp(log(3600)) truncates to 3599 or 3600 in integer time.
-      if (a.cured) EXPECT_NEAR(static_cast<double>(a.cost), 3600.0, 1.0);
+      if (a.cured) {
+        EXPECT_NEAR(static_cast<double>(a.cost), 3600.0, 1.0);
+      }
     }
   }
 }

@@ -1,0 +1,127 @@
+#include "common/check.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace aer {
+namespace {
+
+// An ostream-printable type is not required for the comparison macros.
+enum class Opaque { kA, kB };
+
+TEST(AerCheckTest, PassingChecksAreSilentAndEvaluateOnce) {
+  int evaluations = 0;
+  const auto count = [&] {
+    ++evaluations;
+    return 7;
+  };
+  AER_CHECK(count() == 7) << "never rendered";
+  EXPECT_EQ(evaluations, 1);
+
+  evaluations = 0;
+  AER_CHECK_EQ(count(), 7) << "never rendered";
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(AerCheckTest, WorksUnbracedInsideIfElse) {
+  // The switch/case wrapper must keep the macro a single dangling-else-proof
+  // statement; this is a compile-shape test.
+  if (true)
+    AER_CHECK(true);
+  else
+    AER_CHECK(false);
+  SUCCEED();
+}
+
+TEST(AerCheckDeathTest, PlainCheckPrintsConditionAndLocation) {
+  EXPECT_DEATH(AER_CHECK(1 == 2), "AER_CHECK failed: 1 == 2");
+  EXPECT_DEATH(AER_CHECK(false), "check_test\\.cc");
+}
+
+TEST(AerCheckDeathTest, StreamedMessageIsAppended) {
+  const int machine = 17;
+  EXPECT_DEATH(AER_CHECK(machine < 0) << "machine " << machine
+                                      << " double-booked",
+               "AER_CHECK failed: machine < 0 machine 17 double-booked");
+}
+
+TEST(AerCheckDeathTest, ComparisonPrintsBothOperandValues) {
+  const int x = 3;
+  const int y = 5;
+  EXPECT_DEATH(AER_CHECK_EQ(x, y), "AER_CHECK_EQ failed: x == y \\(3 vs. 5\\)");
+  EXPECT_DEATH(AER_CHECK_GT(x, y), "AER_CHECK_GT failed: x > y \\(3 vs. 5\\)");
+  EXPECT_DEATH(AER_CHECK_LT(y, x), "AER_CHECK_LT failed: y < x \\(5 vs. 3\\)");
+  EXPECT_DEATH(AER_CHECK_NE(x, 3), "\\(3 vs. 3\\)");
+  EXPECT_DEATH(AER_CHECK_GE(x, y), "\\(3 vs. 5\\)");
+  EXPECT_DEATH(AER_CHECK_LE(y, x), "\\(5 vs. 3\\)");
+}
+
+TEST(AerCheckDeathTest, ComparisonStreamsContextAfterValues) {
+  const std::size_t index = 9;
+  const std::size_t size = 4;
+  EXPECT_DEATH(AER_CHECK_LT(index, size) << "while scanning tree",
+               "\\(9 vs. 4\\) while scanning tree");
+}
+
+TEST(AerCheckDeathTest, PrintsStringsAndDoubles) {
+  const std::string got = "REBOOT";
+  const std::string want = "RMA";
+  EXPECT_DEATH(AER_CHECK_EQ(got, want), "\\(REBOOT vs. RMA\\)");
+  const double cost = 2.5;
+  EXPECT_DEATH(AER_CHECK_GE(cost, 10.0), "\\(2.5 vs. 10\\)");
+}
+
+TEST(AerCheckDeathTest, UnprintableOperandsFallBackToIntegerOrPlaceholder) {
+  // Enum classes have no operator<< but convert to integers.
+  EXPECT_DEATH(AER_CHECK_EQ(Opaque::kA, Opaque::kB), "\\(0 vs. 1\\)");
+  // Types with neither print a placeholder rather than failing to compile.
+  struct NoPrint {
+    bool operator==(const NoPrint&) const { return false; }
+  };
+  const NoPrint a;
+  const NoPrint b;
+  EXPECT_DEATH(AER_CHECK_EQ(a, b), "\\(<unprintable> vs. <unprintable>\\)");
+}
+
+TEST(AerCheckTest, DcheckMirrorsCheckWhenEnabled) {
+#if AER_DCHECK_IS_ON()
+  EXPECT_DEATH(AER_DCHECK_EQ(1, 2) << "dcheck ctx", "\\(1 vs. 2\\) dcheck ctx");
+#else
+  // Compiled out: the condition must not be evaluated at all.
+  int evaluations = 0;
+  const auto count = [&] {
+    ++evaluations;
+    return 1;
+  };
+  AER_DCHECK(count() == 2) << "never built";
+  AER_DCHECK_EQ(count(), 2) << "never built";
+  EXPECT_EQ(evaluations, 0);
+#endif
+}
+
+TEST(AerCheckTest, DcheckCompilesInAllForms) {
+  AER_DCHECK(true);
+  AER_DCHECK_EQ(1, 1);
+  AER_DCHECK_NE(1, 2);
+  AER_DCHECK_LE(1, 1);
+  AER_DCHECK_LT(1, 2);
+  AER_DCHECK_GE(2, 2);
+  AER_DCHECK_GT(2, 1);
+  if (true) AER_DCHECK(true);
+  SUCCEED();
+}
+
+TEST(AerCheckTest, OperandsEvaluatedExactlyOnceOnFailurePath) {
+  // Death tests fork, so count side effects via the death regex instead:
+  // an operand with a side effect printing its value proves single
+  // evaluation (double evaluation would render "(2 vs. ...)").
+  int calls = 0;
+  const auto bump = [&] { return ++calls; };
+  EXPECT_DEATH(AER_CHECK_EQ(bump(), 99), "\\(1 vs. 99\\)");
+}
+
+}  // namespace
+}  // namespace aer

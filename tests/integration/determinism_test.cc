@@ -1,0 +1,134 @@
+// The determinism contract (docs/ALGORITHMS.md): the entire pipeline is a
+// pure function of its seed. Two trainings with the same seed must produce
+// bit-identical serialized Q tables — not merely the same greedy policy —
+// because every figure in the paper reproduction is derived from those
+// values, and because future parallel-training PRs must preserve exactly
+// this property.
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rl/qlearning.h"
+#include "rl/qtable.h"
+
+namespace aer {
+namespace {
+
+constexpr auto Y = RepairAction::kTryNop;
+constexpr auto B = RepairAction::kReboot;
+
+RecoveryProcess MakeProcess(
+    std::vector<std::pair<RepairAction, SimTime>> attempts_with_costs,
+    SymptomId symptom, MachineId machine, SimTime start) {
+  std::vector<SymptomEvent> symptoms = {{start, symptom}};
+  std::vector<ActionAttempt> attempts;
+  SimTime t = start + 50;
+  for (const auto& [action, cost] : attempts_with_costs) {
+    attempts.push_back({action, t, cost, false});
+    t += cost;
+  }
+  attempts.back().cured = true;
+  return RecoveryProcess(machine, std::move(symptoms), std::move(attempts),
+                         t);
+}
+
+// Two error types with distinct optimal policies, enough processes that the
+// trainer explores a nontrivial state set.
+struct Fixture {
+  SymptomTable symptoms;
+  std::vector<RecoveryProcess> processes;
+  ErrorTypeCatalog catalog;
+  SimulationPlatform platform;
+
+  static std::vector<RecoveryProcess> Build() {
+    std::vector<RecoveryProcess> out;
+    SimTime start = 0;
+    MachineId m = 0;
+    for (int i = 0; i < 50; ++i) {
+      out.push_back(MakeProcess({{Y, 900}, {B, 2400}}, 0, m++, start));
+      start += 10;
+    }
+    for (int i = 0; i < 40; ++i) {
+      out.push_back(MakeProcess({{Y, 900}}, 1, m++, start));
+      start += 10;
+    }
+    for (int i = 0; i < 10; ++i) {
+      out.push_back(MakeProcess({{Y, 900}, {B, 2400}}, 1, m++, start));
+      start += 10;
+    }
+    return out;
+  }
+
+  Fixture()
+      : processes(Build()),
+        catalog(processes, 30),
+        platform(processes, catalog, symptoms, 20) {
+    symptoms.Intern("stuck");
+    symptoms.Intern("transient");
+  }
+};
+
+TrainerConfig ConfigWithSeed(std::uint64_t seed) {
+  TrainerConfig config;
+  config.max_sweeps = 6000;
+  config.min_sweeps = 1000;
+  config.check_every = 100;
+  config.stable_checks = 5;
+  config.seed = seed;
+  return config;
+}
+
+std::string SerializedTable(const Fixture& fx, const TrainerConfig& config,
+                            ErrorTypeId type) {
+  QLearningTrainer trainer(fx.platform, fx.processes, config);
+  QTable table;
+  trainer.TrainType(type, &table);
+  std::ostringstream os;
+  table.Write(os);
+  return os.str();
+}
+
+TEST(DeterminismTest, SameSeedProducesBitIdenticalQTables) {
+  const Fixture fx;
+  const TrainerConfig config = ConfigWithSeed(1234);
+  for (ErrorTypeId type = 0;
+       type < static_cast<ErrorTypeId>(fx.platform.types().num_types());
+       ++type) {
+    const std::string first = SerializedTable(fx, config, type);
+    const std::string second = SerializedTable(fx, config, type);
+    EXPECT_FALSE(first.empty()) << "type " << type << " learned nothing";
+    EXPECT_EQ(first, second)
+        << "type " << type << ": rerun with seed " << config.seed
+        << " diverged — the determinism contract is broken";
+  }
+}
+
+TEST(DeterminismTest, SameSeedProducesIdenticalPoliciesAndDiagnostics) {
+  const Fixture fx;
+  const TrainerConfig config = ConfigWithSeed(99);
+  QLearningTrainer a(fx.platform, fx.processes, config);
+  QLearningTrainer b(fx.platform, fx.processes, config);
+  const auto out_a = a.TrainAll();
+  const auto out_b = b.TrainAll();
+  ASSERT_EQ(out_a.per_type.size(), out_b.per_type.size());
+  for (std::size_t i = 0; i < out_a.per_type.size(); ++i) {
+    EXPECT_EQ(out_a.per_type[i].sweeps, out_b.per_type[i].sweeps);
+    EXPECT_EQ(out_a.per_type[i].converged, out_b.per_type[i].converged);
+    EXPECT_EQ(out_a.per_type[i].sequence, out_b.per_type[i].sequence);
+  }
+}
+
+TEST(DeterminismTest, DifferentSeedsActuallyExploreDifferently) {
+  // Guards against the test above passing vacuously (e.g. the seed being
+  // ignored and both runs sharing hidden global state).
+  const Fixture fx;
+  const ErrorTypeId type = 0;
+  const std::string a = SerializedTable(fx, ConfigWithSeed(1), type);
+  const std::string b = SerializedTable(fx, ConfigWithSeed(2), type);
+  EXPECT_NE(a, b) << "seed appears to be ignored by the trainer";
+}
+
+}  // namespace
+}  // namespace aer

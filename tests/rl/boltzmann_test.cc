@@ -10,10 +10,10 @@ namespace {
 
 TEST(TemperatureScheduleTest, DecaysMonotonically) {
   TemperatureSchedule schedule;
-  double prev = schedule.at(0);
+  double prev = schedule.At(0);
   EXPECT_DOUBLE_EQ(prev, schedule.initial);
   for (std::int64_t sweep = 100; sweep <= 10000; sweep += 100) {
-    const double t = schedule.at(sweep);
+    const double t = schedule.At(sweep);
     EXPECT_LE(t, prev);
     prev = t;
   }
@@ -24,7 +24,7 @@ TEST(TemperatureScheduleTest, RespectsFloor) {
   schedule.initial = 1000.0;
   schedule.decay = 0.5;
   schedule.floor = 10.0;
-  EXPECT_DOUBLE_EQ(schedule.at(1000), 10.0);
+  EXPECT_DOUBLE_EQ(schedule.At(1000), 10.0);
 }
 
 TEST(SampleBoltzmannTest, LowTemperatureIsGreedy) {

@@ -1,0 +1,265 @@
+#!/usr/bin/env python3
+"""aer_lint: project-specific correctness rules no generic tool enforces.
+
+Rules (all applied to comment- and string-stripped source, so prose never
+trips them):
+
+  rng-containment   No rand()/srand()/std::random_device/std <random> engines
+                    or distributions outside src/common/rng.{h,cc}. Seeded
+                    determinism (same seed -> bit-identical Q-table) is
+                    load-bearing for figure reproduction; every draw must go
+                    through aer::Rng.
+  no-raw-assert     No raw assert(): it vanishes under NDEBUG and prints no
+                    values. Use AER_CHECK* (always on) or AER_DCHECK* (debug
+                    tier) from src/common/check.h. static_assert is fine.
+  include-guard     Headers use guards named AER_<DIR>_<FILE>_H_ relative to
+                    the source root (src/rl/qtable.h -> AER_RL_QTABLE_H_,
+                    bench/bench_common.h -> AER_BENCH_BENCH_COMMON_H_).
+  no-float          No `float` in library/bench code. Cost and downtime
+                    accounting must be double (or integral sim-time); mixing
+                    float into an accumulation silently changes every figure.
+  no-unchecked-at   No container .at() in src/ or bench/: it throws a
+                    context-free std::out_of_range. Bounds-check with
+                    AER_CHECK_LT(...) << context, then index.
+
+Suppress a finding on one line with:  // aer-lint: allow(<rule>)
+
+Usage:
+  tools/aer_lint.py [--root DIR] [FILE...]
+With no FILE arguments, lints every C++ source under src/, bench/, tests/,
+and examples/ below the root. Exits 1 if any finding is printed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+CPP_SUFFIXES = {".cc", ".cpp", ".h", ".hpp"}
+LINT_DIRS = ("src", "bench", "tests", "examples")
+
+ALLOW_PRAGMA = re.compile(r"aer-lint:\s*allow\(([a-z\-]+(?:\s*,\s*[a-z\-]+)*)\)")
+
+RNG_ALLOWED = {"src/common/rng.h", "src/common/rng.cc"}
+RNG_BANNED = re.compile(
+    r"\b(?:s?rand|drand48|lrand48|mrand48|random)\s*\("
+    r"|std\s*::\s*(?:random_device|mt19937(?:_64)?|minstd_rand0?|"
+    r"default_random_engine|knuth_b|ranlux\w+|"
+    r"(?:uniform_int|uniform_real|normal|lognormal|exponential|poisson|"
+    r"geometric|binomial|negative_binomial|bernoulli|discrete|gamma|weibull|"
+    r"extreme_value|chi_squared|cauchy|fisher_f|student_t|piecewise_\w+)"
+    r"_distribution)"
+)
+
+RAW_ASSERT = re.compile(r"\bassert\s*\(")
+
+FLOAT_TOKEN = re.compile(r"\bfloat\b")
+# Library and bench code carry the accounting paths; tests/examples may cast
+# for display, though today none do.
+FLOAT_SCOPES = ("src/", "bench/")
+
+UNCHECKED_AT = re.compile(r"\.\s*at\s*\(")
+UNCHECKED_AT_SCOPES = ("src/", "bench/")
+
+GUARD_SCOPES = ("src/", "bench/")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literal contents, preserving
+    newlines so findings keep their line numbers."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char | raw
+    raw_delim = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                # Raw string literal: R"delim( ... )delim"
+                m = re.match(r'R"([^\s()\\]{0,16})\(', text[i - 1 : i + 18]) if i and text[i - 1] == "R" else None
+                if m:
+                    raw_delim = ")" + m.group(1) + '"'
+                    state = "raw"
+                    out.append('"')
+                    i += 1 + len(m.group(1)) + 1
+                    out.append(" " * (len(m.group(1)) + 1))
+                else:
+                    state = "string"
+                    out.append('"')
+                    i += 1
+            elif c == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                state = "code"
+                out.append(quote)
+                i += 1
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        elif state == "raw":
+            if text.startswith(raw_delim, i):
+                state = "code"
+                out.append(" " * (len(raw_delim) - 1) + '"')
+                i += len(raw_delim)
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def allowed_rules_by_line(text: str) -> dict[int, set[str]]:
+    allows: dict[int, set[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        m = ALLOW_PRAGMA.search(line)
+        if m:
+            allows[lineno] = {r.strip() for r in m.group(1).split(",")}
+    return allows
+
+
+class Linter:
+    def __init__(self, root: Path):
+        self.root = root
+        self.findings: list[str] = []
+
+    def report(self, path: Path, lineno: int, rule: str, message: str,
+               allows: dict[int, set[str]]) -> None:
+        if rule in allows.get(lineno, set()):
+            return
+        rel = path.relative_to(self.root)
+        self.findings.append(f"{rel}:{lineno}: [{rule}] {message}")
+
+    def lint_file(self, path: Path) -> None:
+        rel = path.relative_to(self.root).as_posix()
+        text = path.read_text(encoding="utf-8")
+        allows = allowed_rules_by_line(text)
+        code = strip_comments_and_strings(text)
+        lines = code.splitlines()
+
+        for lineno, line in enumerate(lines, 1):
+            if rel not in RNG_ALLOWED and RNG_BANNED.search(line):
+                self.report(
+                    path, lineno, "rng-containment",
+                    "non-deterministic / std <random> RNG outside "
+                    "src/common/rng.*; draw through aer::Rng instead", allows)
+            if RAW_ASSERT.search(line):
+                self.report(
+                    path, lineno, "no-raw-assert",
+                    "raw assert() is compiled out under NDEBUG; use AER_CHECK*"
+                    " or AER_DCHECK* from common/check.h", allows)
+            if rel.startswith(FLOAT_SCOPES) and FLOAT_TOKEN.search(line):
+                self.report(
+                    path, lineno, "no-float",
+                    "float in library/bench code: cost and downtime "
+                    "accounting must use double or integral sim-time", allows)
+            if rel.startswith(UNCHECKED_AT_SCOPES) and UNCHECKED_AT.search(line):
+                self.report(
+                    path, lineno, "no-unchecked-at",
+                    ".at() throws without context; use "
+                    "AER_CHECK_LT(i, c.size()) << context, then c[i]", allows)
+
+        if path.suffix in (".h", ".hpp") and rel.startswith(GUARD_SCOPES):
+            self.lint_include_guard(path, rel, lines, allows)
+
+    def lint_include_guard(self, path: Path, rel: str, lines: list[str],
+                           allows: dict[int, set[str]]) -> None:
+        parts = Path(rel).parts
+        # src/rl/qtable.h -> RL_QTABLE; bench/bench_common.h -> BENCH_BENCH_COMMON
+        scoped = parts[1:] if parts[0] == "src" else parts
+        stem = "_".join(scoped)[: -len(path.suffix)] + "_"
+        expected = "AER_" + re.sub(r"[^A-Za-z0-9]", "_", stem).upper() + "H_"
+
+        ifndef = define = None
+        ifndef_line = 0
+        for lineno, line in enumerate(lines, 1):
+            m = re.match(r"\s*#\s*ifndef\s+(\S+)", line)
+            if m and ifndef is None:
+                ifndef, ifndef_line = m.group(1), lineno
+                m2 = re.match(r"\s*#\s*define\s+(\S+)",
+                              lines[lineno] if lineno < len(lines) else "")
+                define = m2.group(1) if m2 else None
+                break
+        if ifndef is None:
+            self.report(path, 1, "include-guard",
+                        f"missing include guard (expected {expected})", allows)
+        elif ifndef != expected or define != expected:
+            self.report(
+                path, ifndef_line, "include-guard",
+                f"guard is '{ifndef}' / '#define {define}', expected "
+                f"'{expected}'", allows)
+
+
+def collect_files(root: Path, args: list[str]) -> list[Path]:
+    if args:
+        return [Path(a).resolve() for a in args]
+    files = []
+    for d in LINT_DIRS:
+        base = root / d
+        if base.is_dir():
+            files.extend(p for p in sorted(base.rglob("*"))
+                         if p.suffix in CPP_SUFFIXES and p.is_file())
+    return files
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of tools/)")
+    parser.add_argument("files", nargs="*",
+                        help="specific files to lint (default: whole tree)")
+    opts = parser.parse_args(argv)
+
+    root = Path(opts.root).resolve() if opts.root else (
+        Path(__file__).resolve().parent.parent)
+    if not root.is_dir():
+        print(f"aer_lint: root is not a directory: {root}", file=sys.stderr)
+        return 2
+    linter = Linter(root)
+    for path in collect_files(root, opts.files):
+        linter.lint_file(path)
+
+    for finding in linter.findings:
+        print(finding)
+    if linter.findings:
+        print(f"aer_lint: {len(linter.findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/aer_lint.py: every rule must fire on a seeded
+violation, stay quiet on the idiomatic equivalent, and honor the
+`aer-lint: allow(...)` pragma."""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import aer_lint  # noqa: E402
+
+
+class LintRunner:
+    """Writes files into a scratch repo root and runs the linter on them."""
+
+    def __init__(self, root: Path):
+        self.root = root
+
+    def lint(self, rel_path: str, content: str) -> list[str]:
+        path = self.root / rel_path
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content, encoding="utf-8")
+        linter = aer_lint.Linter(self.root)
+        linter.lint_file(path)
+        return linter.findings
+
+
+class AerLintTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.repo = LintRunner(Path(self._tmp.name))
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def assert_rule(self, findings: list[str], rule: str):
+        self.assertTrue(any(f"[{rule}]" in f for f in findings),
+                        f"expected [{rule}] in {findings}")
+
+    # -- rng-containment ----------------------------------------------------
+
+    def test_rand_outside_rng_flagged(self):
+        findings = self.repo.lint("src/sim/platform.cc",
+                                  "int f() { return rand() % 6; }\n")
+        self.assert_rule(findings, "rng-containment")
+
+    def test_std_engines_and_distributions_flagged(self):
+        for snippet in ("std::mt19937 gen(42);",
+                        "std::random_device rd;",
+                        "std::uniform_int_distribution<int> d(0, 5);",
+                        "std::normal_distribution<double> n;"):
+            findings = self.repo.lint("src/rl/qlearning.cc", snippet + "\n")
+            self.assert_rule(findings, "rng-containment")
+
+    def test_rng_impl_files_are_exempt(self):
+        findings = self.repo.lint("src/common/rng.cc",
+                                  "// std::mt19937 comparison notes\n"
+                                  "std::uint64_t x = 1;\n")
+        self.assertEqual(findings, [])
+
+    def test_mention_in_comment_not_flagged(self):
+        findings = self.repo.lint("src/rl/policy.cc",
+                                  "// std::mt19937 would be wrong here\n"
+                                  "int x = 0;  // not rand() either\n")
+        self.assertEqual(findings, [])
+
+    # -- no-raw-assert ------------------------------------------------------
+
+    def test_raw_assert_flagged(self):
+        findings = self.repo.lint("src/core/recovery_manager.cc",
+                                  "#include <cassert>\n"
+                                  "void f(int n) { assert(n > 0); }\n")
+        self.assert_rule(findings, "no-raw-assert")
+
+    def test_static_assert_and_aer_check_ok(self):
+        findings = self.repo.lint(
+            "src/core/recovery_manager.cc",
+            "static_assert(sizeof(int) == 4);\n"
+            "void f(int n) { AER_CHECK_GT(n, 0) << \"n\"; }\n")
+        self.assertEqual(findings, [])
+
+    # -- include-guard ------------------------------------------------------
+
+    def test_wrong_guard_flagged(self):
+        findings = self.repo.lint("src/rl/qtable.h",
+                                  "#ifndef QTABLE_H\n#define QTABLE_H\n"
+                                  "#endif\n")
+        self.assert_rule(findings, "include-guard")
+
+    def test_missing_guard_flagged(self):
+        findings = self.repo.lint("src/rl/qtable.h", "int x = 1;\n")
+        self.assert_rule(findings, "include-guard")
+
+    def test_correct_guards(self):
+        for rel, guard in (("src/rl/qtable.h", "AER_RL_QTABLE_H_"),
+                           ("src/common/sim_time.h", "AER_COMMON_SIM_TIME_H_"),
+                           ("bench/bench_common.h", "AER_BENCH_BENCH_COMMON_H_")):
+            findings = self.repo.lint(
+                rel, f"#ifndef {guard}\n#define {guard}\n#endif  // {guard}\n")
+            self.assertEqual(findings, [], rel)
+
+    # -- no-float -----------------------------------------------------------
+
+    def test_float_in_accounting_path_flagged(self):
+        findings = self.repo.lint("src/sim/cost_model.cc",
+                                  "float total_cost = 0.f;\n")
+        self.assert_rule(findings, "no-float")
+
+    def test_float_in_comment_or_test_ok(self):
+        self.assertEqual(
+            self.repo.lint("src/sim/cost_model.cc",
+                           "// never use float here\ndouble cost = 0.0;\n"),
+            [])
+        self.assertEqual(
+            self.repo.lint("tests/sim/cost_model_test.cc", "float x = 1.f;\n"),
+            [])
+
+    # -- no-unchecked-at ----------------------------------------------------
+
+    def test_container_at_flagged(self):
+        findings = self.repo.lint("src/rl/qlearning.cc",
+                                  "double q = table.at(key);\n")
+        self.assert_rule(findings, "no-unchecked-at")
+
+    def test_at_in_tests_ok(self):
+        findings = self.repo.lint("tests/rl/qtable_test.cc",
+                                  "EXPECT_EQ(groups.at(7).size(), 3u);\n")
+        self.assertEqual(findings, [])
+
+    # -- allow pragma & stripping -------------------------------------------
+
+    def test_allow_pragma_suppresses(self):
+        findings = self.repo.lint(
+            "src/rl/qlearning.cc",
+            "double q = table.at(key);  // aer-lint: allow(no-unchecked-at)\n")
+        self.assertEqual(findings, [])
+
+    def test_violation_in_string_literal_not_flagged(self):
+        findings = self.repo.lint(
+            "src/log/log_report.cc",
+            'const char* kMsg = "do not call rand() or std::mt19937";\n')
+        self.assertEqual(findings, [])
+
+    def test_block_comment_stripping_preserves_line_numbers(self):
+        findings = self.repo.lint("src/log/log_report.cc",
+                                  "/* multi\nline\ncomment */\n"
+                                  "int bad = rand();\n")
+        self.assert_rule(findings, "rng-containment")
+        self.assertIn(":4:", findings[0])
+
+    # -- end-to-end exit codes ----------------------------------------------
+
+    def test_main_exit_codes(self):
+        root = Path(self._tmp.name)
+        (root / "src/common").mkdir(parents=True, exist_ok=True)
+        clean = root / "src/common/ok.cc"
+        clean.write_text("int x = 0;\n", encoding="utf-8")
+        self.assertEqual(aer_lint.main(["--root", str(root)]), 0)
+        dirty = root / "src/common/bad.cc"
+        dirty.write_text("int y = rand();\n", encoding="utf-8")
+        self.assertEqual(aer_lint.main(["--root", str(root)]), 1)
+
+    def test_main_rejects_missing_root(self):
+        # A typo'd --root must not silently lint zero files and pass.
+        missing = Path(self._tmp.name) / "no/such/dir"
+        self.assertEqual(aer_lint.main(["--root", str(missing)]), 2)
+
+
+if __name__ == "__main__":
+    unittest.main()
