@@ -90,12 +90,27 @@ int Usage() {
   return 0;
 }
 
-std::optional<RecoveryLog> LoadLog(const std::string& path) {
+// Lenient ingestion: a garbled line in an operator-supplied log costs one
+// entry, not the whole run. Damage counts are reported on stderr (and in
+// full by `summarize`, which threads the parse result into the report).
+std::optional<RecoveryLog> LoadLog(const std::string& path,
+                                   LogParseResult* parse_out = nullptr) {
   RecoveryLog log;
-  if (!RecoveryLog::ReadFile(path, log)) {
-    std::fprintf(stderr, "error: cannot read log %s\n", path.c_str());
+  const LogParseResult parse =
+      RecoveryLog::ReadFile(path, log, LogParseMode::kLenient);
+  if (!parse.ok) {
+    std::fprintf(stderr, "error: cannot read log %s: %s\n", path.c_str(),
+                 parse.first_error.c_str());
     return std::nullopt;
   }
+  if (parse.skipped > 0 || parse.repaired > 0) {
+    std::fprintf(stderr,
+                 "warning: %s: %zu malformed line(s) skipped, %zu "
+                 "repaired (first at line %zu: %s)\n",
+                 path.c_str(), parse.skipped, parse.repaired,
+                 parse.first_error_line, parse.first_error.c_str());
+  }
+  if (parse_out != nullptr) *parse_out = parse;
   return log;
 }
 
@@ -122,9 +137,10 @@ int Generate(const Flags& flags) {
 }
 
 int Summarize(const Flags& flags) {
-  const auto log = LoadLog(flags.Get("log", ""));
+  LogParseResult parse;
+  const auto log = LoadLog(flags.Get("log", ""), &parse);
   if (!log.has_value()) return 1;
-  const LogReport report = BuildLogReport(*log);
+  const LogReport report = BuildLogReport(*log, parse);
   std::printf("%s", FormatLogReport(report, log->symptoms()).c_str());
   return 0;
 }

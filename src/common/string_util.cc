@@ -63,6 +63,26 @@ std::optional<double> ParseDouble(std::string_view s) {
   return v;
 }
 
+std::optional<std::uint64_t> ParseHexU64(std::string_view s) {
+  s = Trim(s);
+  if (s.empty() || s.size() > 16) return std::nullopt;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return std::nullopt;
+    }
+    v = (v << 4) | static_cast<std::uint64_t>(digit);
+  }
+  return v;
+}
+
 bool StartsWith(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
 }

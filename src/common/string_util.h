@@ -26,6 +26,11 @@ std::optional<std::int64_t> ParseInt64(std::string_view s);
 // Strict double parse of the whole string; nullopt on any junk.
 std::optional<double> ParseDouble(std::string_view s);
 
+// Strict unsigned hexadecimal parse of the whole string (no 0x prefix);
+// nullopt on any junk or overflow. Untrusted hex fields (e.g. serialized
+// state keys) must come through here rather than raw strtoull.
+std::optional<std::uint64_t> ParseHexU64(std::string_view s);
+
 // True if `s` starts with `prefix`.
 bool StartsWith(std::string_view s, std::string_view prefix);
 

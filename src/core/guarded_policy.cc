@@ -1,0 +1,112 @@
+#include "core/guarded_policy.h"
+
+#include <numeric>
+
+#include "common/check.h"
+
+namespace aer {
+
+GuardedPolicy::GuardedPolicy(RecoveryPolicy& primary,
+                             RecoveryPolicy& fallback,
+                             GuardedPolicyConfig config)
+    : primary_(primary), fallback_(fallback), config_(config) {
+  AER_CHECK_GE(config_.window, 1);
+  AER_CHECK_GT(config_.regression_ratio, 1.0);
+  AER_CHECK_GE(config_.baseline_mean_downtime, 0.0);
+  AER_CHECK_GE(config_.probation, 1);
+  baseline_mean_ = config_.baseline_mean_downtime;
+}
+
+bool GuardedPolicy::ProcessUsesFallback(const RecoveryContext& context) {
+  const auto it = open_process_fallback_.find(context.machine);
+  if (it != open_process_fallback_.end()) return it->second;
+  // First decision of this process: bind it to the current breaker state
+  // so the process is driven by one policy end to end.
+  const bool use_fallback = fallback_remaining_ > 0;
+  open_process_fallback_.emplace(context.machine, use_fallback);
+  return use_fallback;
+}
+
+RepairAction GuardedPolicy::ChooseAction(const RecoveryContext& context) {
+  if (ProcessUsesFallback(context)) {
+    ++stats_.fallback_decisions;
+    return fallback_.ChooseAction(context);
+  }
+
+  // Decision-fault containment: a throwing or corrupted primary downgrades
+  // this decision to the fallback instead of taking the pipeline down.
+  bool faulted = false;
+  RepairAction action = RepairAction::kRma;
+  try {
+    action = primary_.ChooseAction(context);
+  } catch (...) {
+    ++stats_.faults_absorbed;
+    faulted = true;
+  }
+  if (!faulted) {
+    const int index = static_cast<int>(action);
+    if (index < 0 || index >= kNumActions) {
+      ++stats_.invalid_actions;
+      faulted = true;
+    }
+  }
+  if (faulted) {
+    ++stats_.fallback_decisions;
+    return fallback_.ChooseAction(context);
+  }
+  ++stats_.primary_decisions;
+  return action;
+}
+
+void GuardedPolicy::RecordPrimaryCompletion(double downtime) {
+  window_.push_back(downtime);
+  if (static_cast<int>(window_.size()) > config_.window) window_.pop_front();
+  if (static_cast<int>(window_.size()) < config_.window) return;
+
+  const double mean =
+      std::accumulate(window_.begin(), window_.end(), 0.0) /
+      static_cast<double>(window_.size());
+  if (baseline_mean_ <= 0.0) {
+    // First full window under the primary establishes what "normal" means;
+    // only later windows can regress against it.
+    baseline_mean_ = mean;
+    return;
+  }
+  if (mean > config_.regression_ratio * baseline_mean_) {
+    ++stats_.breaker_trips;
+    fallback_remaining_ = config_.probation;
+    window_.clear();
+  }
+}
+
+void GuardedPolicy::OnActionOutcome(const RecoveryContext& context,
+                                    RepairAction action, SimTime cost,
+                                    bool cured) {
+  const auto it = open_process_fallback_.find(context.machine);
+  // Outcomes for processes we never decided (e.g. the manager timed out an
+  // action of a process opened before this policy was installed) still
+  // belong to whoever would decide now.
+  const bool fallback_driven =
+      it != open_process_fallback_.end() ? it->second
+                                         : fallback_remaining_ > 0;
+  if (fallback_driven) {
+    fallback_.OnActionOutcome(context, action, cost, cured);
+  } else {
+    primary_.OnActionOutcome(context, action, cost, cured);
+  }
+
+  if (!cured) return;
+  ++stats_.processes_observed;
+  if (it != open_process_fallback_.end()) open_process_fallback_.erase(it);
+  if (fallback_driven) {
+    if (fallback_remaining_ > 0 && --fallback_remaining_ == 0) {
+      // Half-open: probation served; the primary gets a fresh window.
+      window_.clear();
+    }
+    return;
+  }
+  RecordPrimaryCompletion(
+      static_cast<double>(context.now - context.process_start));
+}
+
+}  // namespace aer

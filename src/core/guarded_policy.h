@@ -1,0 +1,102 @@
+// GuardedPolicy — the runtime safety net around a deployed (usually
+// trained) policy, extending the paper's hybrid fallback (Section 3.4) from
+// a coverage mechanism into a fault-tolerance mechanism.
+//
+// The hybrid policy answers "what if the trained policy has no opinion";
+// the guarded policy answers "what if the trained policy is *wrong* or
+// *broken*". Two layers (docs/ROBUSTNESS.md):
+//
+//   1. Decision faults. If the primary policy throws, or returns an action
+//      outside the repertoire (a symptom of a corrupted Q-table or policy
+//      file), the decision silently comes from the fallback instead and the
+//      fault is counted. A policy fault can degrade service quality, never
+//      crash the recovery pipeline.
+//   2. Regression circuit breaker. The realized downtime of completed
+//      primary-driven processes is tracked in a sliding window; when its
+//      mean regresses past `regression_ratio` times the baseline (learned
+//      from the primary's own first window, or pinned by config), the
+//      breaker trips and routes whole processes to the fallback for
+//      `probation` completions, then half-opens and gives the primary
+//      another window. This is the operational answer to a policy trained
+//      on stale data: the system demotes it automatically instead of
+//      waiting for a human to notice the downtime graph.
+//
+// Decisions are attributed per process: a process started under the
+// primary stays with the primary even if the breaker trips mid-process, so
+// outcome feedback and window accounting never mix the two policies.
+#ifndef AER_CORE_GUARDED_POLICY_H_
+#define AER_CORE_GUARDED_POLICY_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "cluster/policy.h"
+
+namespace aer {
+
+struct GuardedPolicyConfig {
+  // Sliding window length and the minimum samples before the breaker may
+  // trip (both counted in completed primary-driven processes).
+  int window = 16;
+  // Trip when window mean downtime > regression_ratio * baseline mean.
+  double regression_ratio = 1.5;
+  // Baseline mean downtime per process. 0 = learn it from the primary's
+  // first full window (during which the breaker cannot trip).
+  double baseline_mean_downtime = 0.0;
+  // Completed fallback-driven processes before the breaker half-opens and
+  // the primary is retried.
+  int probation = 32;
+};
+
+class GuardedPolicy final : public RecoveryPolicy {
+ public:
+  // Both referenced policies must outlive the guard.
+  GuardedPolicy(RecoveryPolicy& primary, RecoveryPolicy& fallback,
+                GuardedPolicyConfig config = {});
+
+  RepairAction ChooseAction(const RecoveryContext& context) override;
+
+  void OnActionOutcome(const RecoveryContext& context, RepairAction action,
+                       SimTime cost, bool cured) override;
+
+  std::string_view name() const override { return "guarded"; }
+
+  // True while the circuit breaker routes new processes to the fallback.
+  bool using_fallback() const { return fallback_remaining_ > 0; }
+
+  struct Stats {
+    std::int64_t primary_decisions = 0;
+    std::int64_t fallback_decisions = 0;
+    std::int64_t faults_absorbed = 0;   // exceptions from the primary
+    std::int64_t invalid_actions = 0;   // out-of-range actions from primary
+    std::int64_t breaker_trips = 0;
+    std::int64_t processes_observed = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  double baseline_mean_downtime() const { return baseline_mean_; }
+
+ private:
+  // True if this machine's open process is routed to the fallback.
+  bool ProcessUsesFallback(const RecoveryContext& context);
+
+  void RecordPrimaryCompletion(double downtime);
+
+  RecoveryPolicy& primary_;
+  RecoveryPolicy& fallback_;
+  GuardedPolicyConfig config_;
+
+  // Per-machine attribution for the machines with open processes; erased on
+  // process completion, so it cannot grow past the number of concurrently
+  // sick machines.
+  std::unordered_map<MachineId, bool> open_process_fallback_;
+
+  std::deque<double> window_;   // recent primary-driven process downtimes
+  double baseline_mean_ = 0.0;  // 0 until learned/configured
+  int fallback_remaining_ = 0;  // >0: breaker open, counts down probation
+  Stats stats_;
+};
+
+}  // namespace aer
+
+#endif  // AER_CORE_GUARDED_POLICY_H_

@@ -1,5 +1,7 @@
 #include "core/recovery_manager.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace aer {
@@ -8,21 +10,91 @@ RecoveryManager::RecoveryManager(RecoveryPolicy& policy,
                                  RecoveryManagerConfig config)
     : policy_(policy), config_(config) {
   AER_CHECK_GE(config_.max_actions_per_process, 1);
+  AER_CHECK_GE(config_.action_timeout, 0);
+  AER_CHECK_GE(config_.timeout_backoff, 1.0);
+  AER_CHECK_GE(config_.flap_threshold, 0);
+  AER_CHECK_GT(config_.flap_window, 0);
+  AER_CHECK_GT(config_.history_retention, 0);
+}
+
+SimTime RecoveryManager::ClampTime(OpenProcess& process, SimTime time) {
+  if (time < process.last_event_time) {
+    ++stats_.out_of_order_events;
+    return process.last_event_time;
+  }
+  process.last_event_time = time;
+  return time;
+}
+
+SimTime RecoveryManager::ActionDeadline(const OpenProcess& process) const {
+  // Backoff saturates instead of overflowing: past ~2^30x the base timeout
+  // the distinction between deadlines is academic.
+  double scale = 1.0;
+  for (int i = 0; i < std::min(process.timeouts, 30); ++i) {
+    scale *= config_.timeout_backoff;
+  }
+  return process.last_action_start +
+         static_cast<SimTime>(static_cast<double>(config_.action_timeout) *
+                              scale);
+}
+
+void RecoveryManager::ReportOutcome(MachineId machine, OpenProcess& process,
+                                    SimTime time, bool cured) {
+  if (process.tried.empty() || process.last_action_start < 0) return;
+  RecoveryContext ctx;
+  ctx.machine = machine;
+  ctx.initial_symptom = process.initial_symptom;
+  ctx.initial_symptom_name = log_.symptoms().Name(process.initial_symptom);
+  ctx.tried = std::span<const RepairAction>(process.tried.data(),
+                                            process.tried.size() - 1);
+  ctx.process_start = process.start;
+  ctx.now = time;
+  ctx.last_recovery_end = process.last_recovery_end;
+  policy_.OnActionOutcome(ctx, process.tried.back(),
+                          time - process.last_action_start, cured);
 }
 
 void RecoveryManager::OnSymptom(SimTime time, MachineId machine,
                                 std::string_view symptom) {
   const SymptomId id = log_.symptoms().Intern(symptom);
-  log_.Append(LogEntry::Symptom(time, machine, id));
-  if (!open_.contains(machine)) {
-    OpenProcess process;
-    process.start = time;
-    process.initial_symptom = id;
-    const auto it = last_recovery_end_.find(machine);
-    process.last_recovery_end =
-        it != last_recovery_end_.end() ? it->second : -1;
-    open_.emplace(machine, std::move(process));
+  const auto it = open_.find(machine);
+  if (it != open_.end()) {
+    OpenProcess& process = it->second;
+    const SimTime seen = ClampTime(process, time);
+    // A monitoring retransmission: same symptom at the same (clamped)
+    // instant adds no information — absorb it instead of bloating the log.
+    if (id == process.last_symptom && seen == process.last_symptom_time) {
+      ++stats_.duplicate_symptoms;
+      return;
+    }
+    process.last_symptom = id;
+    process.last_symptom_time = seen;
+    log_.Append(LogEntry::Symptom(seen, machine, id));
+    return;
   }
+
+  OpenProcess process;
+  process.start = time;
+  process.last_event_time = time;
+  process.initial_symptom = id;
+  process.last_symptom = id;
+  process.last_symptom_time = time;
+
+  MachineHistory& history = history_[machine];
+  process.last_recovery_end = history.last_recovery_end;
+  // Flap tracking: keep only opens inside the window, then record this one.
+  std::erase_if(history.recent_opens, [&](SimTime open_time) {
+    return open_time <= time - config_.flap_window;
+  });
+  history.recent_opens.push_back(time);
+  if (config_.flap_threshold > 0 &&
+      static_cast<int>(history.recent_opens.size()) > config_.flap_threshold) {
+    process.quarantined = true;
+    ++stats_.flap_quarantines;
+  }
+
+  log_.Append(LogEntry::Symptom(time, machine, id));
+  open_.emplace(machine, std::move(process));
 }
 
 std::optional<RepairAction> RecoveryManager::OnRecoveryNeeded(
@@ -30,10 +102,32 @@ std::optional<RepairAction> RecoveryManager::OnRecoveryNeeded(
   const auto it = open_.find(machine);
   if (it == open_.end()) return std::nullopt;
   OpenProcess& process = it->second;
+  const SimTime now = ClampTime(process, time);
+
+  if (process.action_in_flight) {
+    if (config_.action_timeout > 0 && now >= ActionDeadline(process)) {
+      // The pending action is overdue: declare it failed and fall through
+      // to choose the next (possibly escalated) action.
+      ReportOutcome(machine, process, ActionDeadline(process),
+                    /*cured=*/false);
+      process.action_in_flight = false;
+      ++process.timeouts;
+      ++stats_.actions_timed_out;
+    } else {
+      // Duplicate fault-detection request while the action is still being
+      // executed: repeat the standing decision instead of double-acting.
+      ++stats_.duplicate_recovery_requests;
+      return process.tried.back();
+    }
+  }
 
   RepairAction action;
-  if (static_cast<int>(process.tried.size()) >=
-      config_.max_actions_per_process - 1) {
+  if (process.quarantined) {
+    // Flapping machines have demonstrated that their health reports cannot
+    // be trusted; stop burning repair attempts and hand them to a human.
+    action = RepairAction::kRma;
+  } else if (static_cast<int>(process.tried.size()) >=
+             config_.max_actions_per_process - 1) {
     action = RepairAction::kRma;
     ++stats_.manual_repairs_forced;
   } else {
@@ -43,14 +137,15 @@ std::optional<RepairAction> RecoveryManager::OnRecoveryNeeded(
     ctx.initial_symptom_name = log_.symptoms().Name(process.initial_symptom);
     ctx.tried = process.tried;
     ctx.process_start = process.start;
-    ctx.now = time;
+    ctx.now = now;
     ctx.last_recovery_end = process.last_recovery_end;
     action = policy_.ChooseAction(ctx);
   }
 
   process.tried.push_back(action);
-  process.last_action_start = time;
-  log_.Append(LogEntry::Action(time, machine, action));
+  process.last_action_start = now;
+  process.action_in_flight = true;
+  log_.Append(LogEntry::Action(now, machine, action));
   ++stats_.actions_taken;
   return action;
 }
@@ -58,34 +153,87 @@ std::optional<RepairAction> RecoveryManager::OnRecoveryNeeded(
 void RecoveryManager::OnActionResult(SimTime time, MachineId machine,
                                      bool healthy) {
   const auto it = open_.find(machine);
-  AER_CHECK(it != open_.end());
-  OpenProcess& process = it->second;
-
-  // Result monitoring: feed the outcome back to the policy.
-  if (!process.tried.empty() && process.last_action_start >= 0) {
-    RecoveryContext ctx;
-    ctx.machine = machine;
-    ctx.initial_symptom = process.initial_symptom;
-    ctx.initial_symptom_name = log_.symptoms().Name(process.initial_symptom);
-    ctx.tried = std::span<const RepairAction>(process.tried.data(),
-                                              process.tried.size() - 1);
-    ctx.process_start = process.start;
-    ctx.now = time;
-    ctx.last_recovery_end = process.last_recovery_end;
-    policy_.OnActionOutcome(ctx, process.tried.back(),
-                            time - process.last_action_start, healthy);
+  if (it == open_.end()) {
+    // Result for a process that no longer exists: a duplicate delivery or a
+    // report from a decommissioned flow. Dirty telemetry, not a bug.
+    ++stats_.stale_results_ignored;
+    return;
   }
+  OpenProcess& process = it->second;
+  const SimTime now = ClampTime(process, time);
+
+  if (process.action_in_flight) {
+    // Result monitoring: feed the outcome back to the policy.
+    ReportOutcome(machine, process, now, healthy);
+    process.action_in_flight = false;
+  } else if (!healthy) {
+    // Failure report with nothing pending (late arrival after a timeout, or
+    // a duplicate): the process state already reflects a failure.
+    ++stats_.stale_results_ignored;
+    return;
+  }
+  // A healthy report with nothing pending still closes the process: the
+  // machine recovered (late result or spontaneously) and holding the
+  // process open would leak it.
 
   if (!healthy) return;  // caller drives the next OnRecoveryNeeded
-  log_.Append(LogEntry::Success(time, machine));
+  log_.Append(LogEntry::Success(now, machine));
   ++stats_.processes_completed;
-  stats_.total_downtime += time - it->second.start;
-  last_recovery_end_[machine] = time;
+  stats_.total_downtime += now - process.start;
+  history_[machine].last_recovery_end = now;
   open_.erase(it);
+  if (++closes_since_sweep_ >= 64) MaybeEvictHistory(now);
+}
+
+std::vector<MachineId> RecoveryManager::PollTimeouts(SimTime now) {
+  std::vector<MachineId> timed_out;
+  if (config_.action_timeout <= 0) return timed_out;
+  for (auto& [machine, process] : open_) {
+    if (process.action_in_flight && now >= ActionDeadline(process)) {
+      timed_out.push_back(machine);
+    }
+  }
+  // open_ iteration order is unspecified; sort for deterministic replay.
+  std::sort(timed_out.begin(), timed_out.end());
+  for (const MachineId machine : timed_out) {
+    OpenProcess& process = open_[machine];
+    const SimTime deadline = ActionDeadline(process);
+    ReportOutcome(machine, process, deadline, /*cured=*/false);
+    process.action_in_flight = false;
+    process.last_event_time = std::max(process.last_event_time, deadline);
+    ++process.timeouts;
+    ++stats_.actions_timed_out;
+  }
+  return timed_out;
+}
+
+void RecoveryManager::MaybeEvictHistory(SimTime now) {
+  closes_since_sweep_ = 0;
+  const SimTime horizon = now - config_.history_retention;
+  for (auto it = history_.begin(); it != history_.end();) {
+    MachineHistory& history = it->second;
+    std::erase_if(history.recent_opens, [&](SimTime open_time) {
+      return open_time <= now - config_.flap_window;
+    });
+    const bool stale = history.last_recovery_end < horizon &&
+                       history.recent_opens.empty() &&
+                       !open_.contains(it->first);
+    if (stale) {
+      it = history_.erase(it);
+      ++stats_.history_evictions;
+    } else {
+      ++it;
+    }
+  }
 }
 
 bool RecoveryManager::HasOpenProcess(MachineId machine) const {
   return open_.contains(machine);
+}
+
+bool RecoveryManager::IsQuarantined(MachineId machine) const {
+  const auto it = open_.find(machine);
+  return it != open_.end() && it->second.quarantined;
 }
 
 }  // namespace aer

@@ -9,11 +9,27 @@
 // The manager is deliberately transport-agnostic: callers (a production
 // event bus, or the cluster simulator in the examples) push timestamped
 // events and execute the returned actions.
+//
+// Production telemetry is dirty, so the manager tolerates it rather than
+// trusting it (docs/ROBUSTNESS.md):
+//   - out-of-order events are clamped to the process's last seen time;
+//   - duplicate symptom reports and stale/duplicate action results are
+//     absorbed and counted, never fatal;
+//   - an in-flight action that outlives its (backoff-scaled) deadline is
+//     treated as failed via PollTimeouts(), advancing toward the N-cap so a
+//     hung repair still escalates;
+//   - machines that reopen processes too often inside a window are
+//     flap-quarantined: their processes go straight to manual repair
+//     instead of burning retries on a machine that lies about its health;
+//   - per-machine history is evicted after a retention window, so a fleet
+//     of mostly-healthy machines cannot grow the manager's memory without
+//     bound.
 #ifndef AER_CORE_RECOVERY_MANAGER_H_
 #define AER_CORE_RECOVERY_MANAGER_H_
 
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "cluster/policy.h"
 #include "log/recovery_log.h"
@@ -23,6 +39,25 @@ namespace aer {
 struct RecoveryManagerConfig {
   // The paper's N: the last permitted action of a process is manual repair.
   int max_actions_per_process = 20;
+
+  // Per-action result deadline; 0 disables timeout handling. An in-flight
+  // action whose result has not arrived within
+  //   action_timeout * timeout_backoff^(timeouts already hit in process)
+  // is declared failed by PollTimeouts(): the policy sees a failure outcome,
+  // the action still counts toward the N-cap, and the caller should request
+  // the next action (which retries or escalates per the policy).
+  SimTime action_timeout = 0;
+  double timeout_backoff = 2.0;
+
+  // Flap quarantine: a machine that opens more than `flap_threshold`
+  // recovery processes within `flap_window` is quarantined — subsequent
+  // decisions for it bypass the policy and go straight to RMA. 0 disables.
+  int flap_threshold = 0;
+  SimTime flap_window = 6 * kHour;
+
+  // Per-machine history (previous recovery end, recent process opens) is
+  // dropped once it is older than this; bounds memory on large fleets.
+  SimTime history_retention = 30 * kDay;
 };
 
 class RecoveryManager {
@@ -31,22 +66,41 @@ class RecoveryManager {
   RecoveryManager(RecoveryPolicy& policy, RecoveryManagerConfig config = {});
 
   // Event monitoring: a symptom was observed on a machine. Opens a recovery
-  // process if none is active; records the symptom either way.
+  // process if none is active; records the symptom either way. Tolerates
+  // out-of-order and duplicate reports (see Stats).
   void OnSymptom(SimTime time, MachineId machine, std::string_view symptom);
 
   // Fault detection: the machine needs (another) repair action now. Returns
   // the action the caller must execute, or nullopt if no process is open.
   // Records the action and enforces the N-cap (the N-th action is RMA).
+  // Re-requesting while the previous action is still in flight (and not
+  // timed out) returns that action again without recording a duplicate.
   std::optional<RepairAction> OnRecoveryNeeded(SimTime time,
                                                MachineId machine);
 
   // Result monitoring: the outcome of the last action. `healthy` closes the
   // process (records Success); otherwise the caller should follow up with
-  // OnRecoveryNeeded.
+  // OnRecoveryNeeded. A result with no matching open process or in-flight
+  // action (duplicate delivery, result after timeout) is counted and
+  // ignored.
   void OnActionResult(SimTime time, MachineId machine, bool healthy);
+
+  // Declares every in-flight action whose deadline is at or before `now`
+  // failed (policy outcome, timeout stats, N-cap advancement) and returns
+  // the affected machines in ascending id order; the caller should invoke
+  // OnRecoveryNeeded for each. No-op unless config.action_timeout > 0.
+  std::vector<MachineId> PollTimeouts(SimTime now);
 
   bool HasOpenProcess(MachineId machine) const;
   std::size_t open_process_count() const { return open_.size(); }
+
+  // True while the machine's currently open process was opened under flap
+  // quarantine (its reopen rate exceeded the threshold inside the window).
+  bool IsQuarantined(MachineId machine) const;
+
+  // Number of machines with retained history (for eviction regression
+  // tests and capacity monitoring).
+  std::size_t history_size() const { return history_.size(); }
 
   // The log of everything this manager observed and decided; feed it back
   // into PolicyGenerator to close the loop.
@@ -57,6 +111,14 @@ class RecoveryManager {
     std::int64_t actions_taken = 0;
     std::int64_t manual_repairs_forced = 0;  // N-cap hits
     SimTime total_downtime = 0;
+    // Dirty-telemetry counters.
+    std::int64_t actions_timed_out = 0;
+    std::int64_t stale_results_ignored = 0;
+    std::int64_t out_of_order_events = 0;
+    std::int64_t duplicate_symptoms = 0;
+    std::int64_t duplicate_recovery_requests = 0;
+    std::int64_t flap_quarantines = 0;  // processes opened under quarantine
+    std::int64_t history_evictions = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -67,13 +129,40 @@ class RecoveryManager {
     std::vector<RepairAction> tried;
     SimTime last_recovery_end = -1;
     SimTime last_action_start = -1;
+    SimTime last_event_time = 0;  // monotonic clamp for dirty timestamps
+    SymptomId last_symptom = kInvalidSymptom;  // dedupe of retransmissions
+    SimTime last_symptom_time = -1;
+    bool action_in_flight = false;
+    int timeouts = 0;  // timeouts hit so far (drives backoff)
+    bool quarantined = false;
   };
+
+  struct MachineHistory {
+    SimTime last_recovery_end = -1;
+    // Recent process-open times inside the flap window, oldest first.
+    std::vector<SimTime> recent_opens;
+  };
+
+  // Clamps a possibly out-of-order timestamp against the process's last
+  // seen time and advances the watermark.
+  SimTime ClampTime(OpenProcess& process, SimTime time);
+
+  // Deadline of the currently in-flight action.
+  SimTime ActionDeadline(const OpenProcess& process) const;
+
+  // Reports the in-flight action of `process` as failed to the policy.
+  void ReportOutcome(MachineId machine, OpenProcess& process, SimTime time,
+                     bool cured);
+
+  // Drops history entries older than config.history_retention.
+  void MaybeEvictHistory(SimTime now);
 
   RecoveryPolicy& policy_;
   RecoveryManagerConfig config_;
   RecoveryLog log_;
   std::unordered_map<MachineId, OpenProcess> open_;
-  std::unordered_map<MachineId, SimTime> last_recovery_end_;
+  std::unordered_map<MachineId, MachineHistory> history_;
+  int closes_since_sweep_ = 0;
   Stats stats_;
 };
 

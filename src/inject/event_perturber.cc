@@ -1,0 +1,58 @@
+#include "inject/event_perturber.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace aer {
+
+RecoveryLog PerturbLog(const RecoveryLog& in, const LogPerturbConfig& config,
+                       LogPerturbStats* stats) {
+  AER_CHECK_GE(config.drop_symptom, 0.0);
+  AER_CHECK_LE(config.drop_symptom, 1.0);
+  AER_CHECK_GE(config.duplicate_entry, 0.0);
+  AER_CHECK_GE(config.delay_entry, 0.0);
+  AER_CHECK_GE(config.retry_action, 0.0);
+  AER_CHECK_GT(config.max_delay, 0);
+  AER_CHECK_GT(config.retry_gap, 0);
+
+  Rng rng(config.seed);
+  LogPerturbStats local;
+  RecoveryLog out;
+  // Pre-intern the full symptom table so ids survive even when every entry
+  // of some symptom is dropped (downstream code indexes by id).
+  for (SymptomId id = 0; id < static_cast<SymptomId>(in.symptoms().size());
+       ++id) {
+    out.symptoms().Intern(in.symptoms().Name(id));
+  }
+
+  for (const LogEntry& entry : in.entries()) {
+    if (entry.kind == EntryKind::kSymptom &&
+        rng.NextBool(config.drop_symptom)) {
+      ++local.dropped;
+      continue;
+    }
+    LogEntry delivered = entry;
+    if (rng.NextBool(config.delay_entry)) {
+      delivered.time +=
+          rng.NextInt(1, static_cast<std::int64_t>(config.max_delay));
+      ++local.delayed;
+    }
+    out.Append(delivered);
+    if (rng.NextBool(config.duplicate_entry)) {
+      out.Append(delivered);
+      ++local.duplicated;
+    }
+    if (entry.kind == EntryKind::kAction &&
+        rng.NextBool(config.retry_action)) {
+      LogEntry retry = delivered;
+      retry.time += config.retry_gap;
+      out.Append(retry);
+      ++local.retried;
+    }
+  }
+  out.SortByTime();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace aer

@@ -1,0 +1,52 @@
+// Deterministic perturbation of recovery-log event streams — the half of
+// the fault-injection subsystem that attacks *telemetry* (the other half,
+// file_corruptor.h, attacks *bytes*). Models what production monitoring
+// does to a clean event stream: loses events, delivers them twice, delays
+// them out of order, and records the retry trails of timed-out actions.
+//
+// All perturbations draw from an aer::Rng seeded in the config, so an
+// injection run is exactly reproducible — a failing robustness test is a
+// replayable artifact, not a flake.
+#ifndef AER_INJECT_EVENT_PERTURBER_H_
+#define AER_INJECT_EVENT_PERTURBER_H_
+
+#include "log/recovery_log.h"
+
+namespace aer {
+
+struct LogPerturbConfig {
+  std::uint64_t seed = 20070625;  // DSN 2007
+  // Per-symptom-entry probability of being dropped (event loss). Success
+  // and action entries are kept: losing them models operator-log damage,
+  // which file_corruptor covers at the byte level.
+  double drop_symptom = 0.0;
+  // Per-entry probability of being delivered twice.
+  double duplicate_entry = 0.0;
+  // Per-entry probability of being delayed by up to `max_delay` (the log is
+  // re-sorted afterwards, so delayed entries land out of their causal
+  // order).
+  double delay_entry = 0.0;
+  SimTime max_delay = 120;
+  // Per-action-entry probability of a timeout-and-retry trail: the action
+  // is re-emitted `retry_gap` later, as a manager with per-action deadlines
+  // would record it.
+  double retry_action = 0.0;
+  SimTime retry_gap = 1800;
+};
+
+// Counts of what PerturbLog actually did (for reports and assertions).
+struct LogPerturbStats {
+  std::int64_t dropped = 0;
+  std::int64_t duplicated = 0;
+  std::int64_t delayed = 0;
+  std::int64_t retried = 0;
+};
+
+// Returns a perturbed copy of `in` (same symptom table contents, re-sorted
+// by time). `stats`, when non-null, receives the injection counts.
+RecoveryLog PerturbLog(const RecoveryLog& in, const LogPerturbConfig& config,
+                       LogPerturbStats* stats = nullptr);
+
+}  // namespace aer
+
+#endif  // AER_INJECT_EVENT_PERTURBER_H_

@@ -1,0 +1,101 @@
+#include "inject/file_corruptor.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace aer {
+
+void BitFlip(std::string& text, int flips, Rng& rng) {
+  AER_CHECK_GE(flips, 0);
+  if (text.empty()) return;
+  for (int i = 0; i < flips; ++i) {
+    // Retry until the victim byte is not a newline; bounded so a text of
+    // only newlines cannot loop forever.
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const std::size_t pos =
+          static_cast<std::size_t>(rng.NextBounded(text.size()));
+      if (text[pos] == '\n') continue;
+      text[pos] = static_cast<char>(
+          static_cast<unsigned char>(text[pos]) ^
+          static_cast<unsigned char>(1u << rng.NextBounded(8)));
+      break;
+    }
+  }
+}
+
+std::string TruncateRandomly(std::string_view text, Rng& rng) {
+  if (text.size() <= 1) return std::string(text);
+  const std::size_t cut =
+      1 + static_cast<std::size_t>(rng.NextBounded(text.size() - 1));
+  return std::string(text.substr(0, cut));
+}
+
+std::string CorruptLines(std::string_view text, double fraction, Rng& rng) {
+  AER_CHECK_GE(fraction, 0.0);
+  AER_CHECK_LE(fraction, 1.0);
+  std::ostringstream out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    const std::size_t end = nl == std::string_view::npos ? text.size() : nl;
+    std::string line(text.substr(start, end - start));
+    if (!Trim(line).empty() && rng.NextBool(fraction)) {
+      switch (rng.NextBounded(4)) {
+        case 0:  // field-content bit flip
+          BitFlip(line, 1, rng);
+          break;
+        case 1: {  // delete one tab-separated field
+          const auto fields = Split(line, '\t');
+          if (fields.size() > 1) {
+            const std::size_t victim = rng.NextBounded(fields.size());
+            std::vector<std::string> kept;
+            for (std::size_t i = 0; i < fields.size(); ++i) {
+              if (i != victim) kept.emplace_back(fields[i]);
+            }
+            line = Join(kept, "\t");
+          } else {
+            line.clear();
+          }
+          break;
+        }
+        case 2:  // replace with garbage
+          line = "\xef\xbb\xbfgarbage " +
+                 std::to_string(rng.NextBounded(1u << 20));
+          break;
+        default:  // stray carriage return (a Windows-edited log)
+          line += '\r';
+          break;
+      }
+    }
+    out << line;
+    if (nl == std::string_view::npos) break;
+    out << '\n';
+    start = end + 1;
+  }
+  return out.str();
+}
+
+bool CorruptFile(const std::string& path, double fraction,
+                 double truncate_probability, Rng& rng) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) return false;
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  is.close();
+
+  std::string text = CorruptLines(buffer.str(), fraction, rng);
+  if (rng.NextBool(truncate_probability)) {
+    text = TruncateRandomly(text, rng);
+  }
+
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os.good()) return false;
+  os << text;
+  return os.good();
+}
+
+}  // namespace aer

@@ -1,0 +1,41 @@
+// Deterministic byte-level corruption of serialized artifacts (recovery
+// logs, Q-table checkpoints) — the injection layer that validates every
+// parser's "corrupted input returns an error, never crashes" contract.
+//
+// Operates on in-memory strings so tests and benches can corrupt a
+// serialization without touching the filesystem; CorruptFile wraps the same
+// transforms for on-disk artifacts.
+#ifndef AER_INJECT_FILE_CORRUPTOR_H_
+#define AER_INJECT_FILE_CORRUPTOR_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/rng.h"
+
+namespace aer {
+
+// Flips `flips` random bits in-place (never in a byte of value '\n', so the
+// line structure survives and the damage hits field contents — the harder
+// case for a parser).
+void BitFlip(std::string& text, int flips, Rng& rng);
+
+// Returns `text` truncated at a random byte in (0, size) — models a crash
+// mid-write or a partial download. The cut deliberately lands anywhere,
+// including mid-line and mid-field.
+std::string TruncateRandomly(std::string_view text, Rng& rng);
+
+// Returns a copy with ~`fraction` of the non-empty lines individually
+// damaged: a bit flip, a deleted field, garbage replacement, or a stray CR
+// appended (each chosen per line by the rng).
+std::string CorruptLines(std::string_view text, double fraction, Rng& rng);
+
+// Applies CorruptLines (and, with probability `truncate_probability`,
+// TruncateRandomly) to the file at `path`, rewriting it in place. Returns
+// false if the file cannot be read or written.
+bool CorruptFile(const std::string& path, double fraction,
+                 double truncate_probability, Rng& rng);
+
+}  // namespace aer
+
+#endif  // AER_INJECT_FILE_CORRUPTOR_H_

@@ -1,0 +1,122 @@
+// InjectionHarness — drives a live RecoveryManager + policy through scripted
+// incidents while injecting the faults the manager claims to survive:
+// dropped / duplicated / delayed symptom events, repair actions that hang
+// past their deadline, and actions that report success on a still-sick
+// machine. The acceptance contract (docs/ROBUSTNESS.md) is that every run at
+// default severities terminates with every incident cured and no process
+// left open — enforced here by a hard event budget rather than wall-clock.
+//
+// Two properties make termination provable rather than hopeful:
+//   - RMA is immune to injection (it neither hangs nor false-succeeds and
+//     always cures), and the manager's N-cap guarantees RMA is eventually
+//     chosen; and
+//   - a sick machine re-emits its symptom every `reemit_interval`, so a
+//     dropped event or a falsely-closed process is always re-detected.
+#ifndef AER_INJECT_HARNESS_H_
+#define AER_INJECT_HARNESS_H_
+
+#include <array>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/recovery_manager.h"
+
+namespace aer {
+
+// One scripted failure: at `time`, `machine` falls sick with `symptom`, and
+// stays sick until an action of index >= `cure_strength` runs (kTryNop=0 ..
+// kRma=3; RMA always cures regardless).
+struct HarnessIncident {
+  SimTime time = 0;
+  MachineId machine = 0;
+  std::string symptom;
+  int cure_strength = 0;
+};
+
+struct HarnessConfig {
+  std::uint64_t seed = 20070625;
+
+  // Live-event injection (applied to each symptom emission).
+  double drop_event = 0.0;       // monitoring loses the report
+  double duplicate_event = 0.0;  // monitoring delivers it twice
+  double delay_event = 0.0;      // delivery slips by up to max_delay
+  SimTime max_delay = 120;
+
+  // Action-execution injection. Neither applies to RMA: manual repair is the
+  // injection-immune floor of the degradation ladder.
+  double hang_action = 0.0;    // action never reports a result
+  double false_success = 0.0;  // non-curing action reports healthy anyway
+
+  // A sick machine re-reports its symptom at this cadence until cured; this
+  // is what turns event loss and false success into delays instead of
+  // permanently lost machines.
+  SimTime reemit_interval = 15 * 60;
+
+  // PollTimeouts() cadence while processes are open (only used when the
+  // manager config enables action timeouts).
+  SimTime poll_interval = 10 * 60;
+
+  // Wall-clock cost of executing each action (indexed by RepairAction).
+  std::array<SimTime, kNumActions> action_duration = {60, 900, 2 * kHour,
+                                                      8 * kHour};
+
+  // Hard stop: a run that schedules more events than this is declared hung
+  // (all_completed = false) instead of looping forever.
+  std::size_t max_events = 1'000'000;
+};
+
+struct HarnessResult {
+  // True iff the event queue drained naturally with every incident cured
+  // and no recovery process left open.
+  bool all_completed = false;
+  std::int64_t incidents = 0;
+  std::int64_t cures = 0;  // sick -> healthy transitions observed
+
+  // What the harness actually injected.
+  std::int64_t events_dropped = 0;
+  std::int64_t events_duplicated = 0;
+  std::int64_t events_delayed = 0;
+  std::int64_t hangs_injected = 0;
+  std::int64_t false_successes_injected = 0;
+
+  SimTime end_time = 0;
+  std::size_t events_processed = 0;
+  RecoveryManager::Stats manager;
+};
+
+class InjectionHarness {
+ public:
+  // `policy` must outlive the harness. `manager_config.action_timeout` must
+  // be > 0 whenever `config.hang_action` is — otherwise a hung action is
+  // genuinely unrecoverable and the run cannot complete.
+  InjectionHarness(RecoveryPolicy& policy,
+                   RecoveryManagerConfig manager_config,
+                   HarnessConfig config);
+
+  // Runs all incidents to quiescence (or the event budget). Callable once.
+  HarnessResult Run(const std::vector<HarnessIncident>& incidents);
+
+  const RecoveryManager& manager() const { return manager_; }
+
+ private:
+  struct MachineState {
+    bool sick = false;
+    int cure_strength = 0;
+    std::string symptom;
+    bool awaiting_result = false;  // harness-side in-flight marker
+    // Result-correlation id, bumped per executed action: a completion from
+    // an action the manager already timed out is discarded instead of being
+    // misattributed to the action currently in flight (real executors
+    // correlate results to requests the same way).
+    int epoch = 0;
+  };
+
+  HarnessConfig config_;
+  RecoveryManager manager_;
+  std::unordered_map<MachineId, MachineState> machines_;
+};
+
+}  // namespace aer
+
+#endif  // AER_INJECT_HARNESS_H_

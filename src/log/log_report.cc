@@ -26,6 +26,14 @@ LogReport BuildLogReport(const RecoveryLog& log, std::size_t top_k) {
   return report;
 }
 
+LogReport BuildLogReport(const RecoveryLog& log, const LogParseResult& parse,
+                         std::size_t top_k) {
+  LogReport report = BuildLogReport(log, top_k);
+  report.ingest_skipped = parse.skipped;
+  report.ingest_repaired = parse.repaired;
+  return report;
+}
+
 std::string FormatLogReport(const LogReport& report,
                             const SymptomTable& symptoms) {
   std::ostringstream os;
@@ -34,6 +42,11 @@ std::string FormatLogReport(const LogReport& report,
                   "entries)\n",
                   report.processes, report.incomplete,
                   report.orphan_entries);
+  if (report.ingest_skipped > 0 || report.ingest_repaired > 0) {
+    os << StrFormat("ingestion:           %zu line(s) skipped, %zu "
+                    "repaired (lenient parse)\n",
+                    report.ingest_skipped, report.ingest_repaired);
+  }
   os << StrFormat("total downtime:      %.3f Msec (mean %.0f s / process)\n",
                   static_cast<double>(report.total_downtime) / 1e6,
                   report.mean_downtime_s);

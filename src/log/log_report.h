@@ -18,11 +18,20 @@ struct LogReport {
   SimTime total_downtime = 0;
   double mean_downtime_s = 0.0;
   std::size_t error_types = 0;
+  // Ingestion health, populated when the log came through a lenient parse:
+  // lines dropped and lines repaired on the way in (see RecoveryLog::Read).
+  std::size_t ingest_skipped = 0;
+  std::size_t ingest_repaired = 0;
   // Top error types by process count (rank order).
   std::vector<ErrorTypeStat> top_types;
 };
 
 LogReport BuildLogReport(const RecoveryLog& log, std::size_t top_k = 5);
+
+// As above, but carries the parse counters of the read that produced `log`
+// into the report so operators see ingestion damage alongside the totals.
+LogReport BuildLogReport(const RecoveryLog& log, const LogParseResult& parse,
+                         std::size_t top_k = 5);
 
 // Multi-line text rendering; `symptoms` must be the log's own table.
 std::string FormatLogReport(const LogReport& report,

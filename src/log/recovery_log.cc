@@ -8,6 +8,73 @@
 #include "common/string_util.h"
 
 namespace aer {
+namespace {
+
+// Parses one already-split line into `e`. Returns false with a reason when
+// any field is malformed. The symptom table is only touched on success.
+bool ParseFields(const std::vector<std::string_view>& fields,
+                 SymptomTable& symptoms, LogEntry& e, std::string& reason) {
+  if (fields.size() != 3) {
+    reason = StrFormat("expected 3 tab-separated fields, got %zu",
+                       fields.size());
+    return false;
+  }
+  const auto time = ParseInt64(fields[0]);
+  if (!time.has_value()) {
+    reason = "unparseable time field";
+    return false;
+  }
+  std::string_view machine_field = Trim(fields[1]);
+  if (machine_field.empty() || machine_field.front() != 'm') {
+    reason = "machine field lacks 'm' prefix";
+    return false;
+  }
+  const auto machine = ParseInt64(machine_field.substr(1));
+  if (!machine.has_value()) {
+    reason = "unparseable machine id";
+    return false;
+  }
+  const std::string_view desc = Trim(fields[2]);
+
+  e.time = *time;
+  e.machine = static_cast<MachineId>(*machine);
+  if (desc == "Success") {
+    e.kind = EntryKind::kSuccess;
+  } else if (StartsWith(desc, "error:")) {
+    e.kind = EntryKind::kSymptom;
+    e.symptom = symptoms.Intern(desc.substr(6));
+  } else if (auto action = ParseAction(desc); action.has_value()) {
+    e.kind = EntryKind::kAction;
+    e.action = *action;
+  } else {
+    reason = "unknown description";
+    return false;
+  }
+  return true;
+}
+
+// Lenient repair: splits on runs of any whitespace instead of single tabs
+// (tolerates space-separated exports and stray CRs) and drops trailing
+// empty fields. Returns the repaired field list, or empty if hopeless.
+std::vector<std::string_view> RepairFields(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t' ||
+                               line[i] == '\r')) {
+      ++i;
+    }
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t' &&
+           line[i] != '\r') {
+      ++i;
+    }
+    if (i > start) fields.push_back(line.substr(start, i - start));
+  }
+  return fields;
+}
+
+}  // namespace
 
 void RecoveryLog::SortByTime() {
   std::stable_sort(entries_.begin(), entries_.end(),
@@ -43,49 +110,71 @@ void RecoveryLog::Write(std::ostream& os) const {
 
 void RecoveryLog::WriteFile(const std::string& path) const {
   std::ofstream os(path);
-  AER_CHECK(os.good());
+  AER_CHECK(os.good()) << "cannot open " << path << " for writing";
   Write(os);
-  AER_CHECK(os.good());
+  AER_CHECK(os.good()) << "short write to " << path;
+}
+
+LogParseResult RecoveryLog::Read(std::istream& is, RecoveryLog& out,
+                                 LogParseMode mode) {
+  out = RecoveryLog();
+  LogParseResult result;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (Trim(line).empty()) continue;
+
+    LogEntry e;
+    std::string reason;
+    if (ParseFields(Split(line, '\t'), out.symptoms_, e, reason)) {
+      out.entries_.push_back(e);
+      ++result.parsed;
+      continue;
+    }
+
+    if (mode == LogParseMode::kLenient) {
+      std::string repair_reason;
+      if (ParseFields(RepairFields(line), out.symptoms_, e, repair_reason)) {
+        out.entries_.push_back(e);
+        ++result.parsed;
+        ++result.repaired;
+        continue;
+      }
+    }
+
+    if (result.first_error_line == 0) {
+      result.first_error_line = lineno;
+      result.first_error = reason;
+    }
+    if (mode == LogParseMode::kStrict) {
+      result.ok = false;
+      return result;
+    }
+    ++result.skipped;
+  }
+  return result;
+}
+
+LogParseResult RecoveryLog::ReadFile(const std::string& path,
+                                     RecoveryLog& out, LogParseMode mode) {
+  std::ifstream is(path);
+  if (!is.good()) {
+    out = RecoveryLog();
+    LogParseResult result;
+    result.ok = false;
+    result.first_error = "cannot open " + path;
+    return result;
+  }
+  return Read(is, out, mode);
 }
 
 bool RecoveryLog::Read(std::istream& is, RecoveryLog& out) {
-  out = RecoveryLog();
-  std::string line;
-  while (std::getline(is, line)) {
-    if (Trim(line).empty()) continue;
-    const auto fields = Split(line, '\t');
-    if (fields.size() != 3) return false;
-    const auto time = ParseInt64(fields[0]);
-    if (!time.has_value()) return false;
-    std::string_view machine_field = fields[1];
-    if (machine_field.empty() || machine_field.front() != 'm') return false;
-    const auto machine = ParseInt64(machine_field.substr(1));
-    if (!machine.has_value()) return false;
-    const std::string_view desc = Trim(fields[2]);
-
-    LogEntry e;
-    e.time = *time;
-    e.machine = static_cast<MachineId>(*machine);
-    if (desc == "Success") {
-      e.kind = EntryKind::kSuccess;
-    } else if (StartsWith(desc, "error:")) {
-      e.kind = EntryKind::kSymptom;
-      e.symptom = out.symptoms_.Intern(desc.substr(6));
-    } else if (auto action = ParseAction(desc); action.has_value()) {
-      e.kind = EntryKind::kAction;
-      e.action = *action;
-    } else {
-      return false;
-    }
-    out.entries_.push_back(e);
-  }
-  return true;
+  return Read(is, out, LogParseMode::kStrict).ok;
 }
 
 bool RecoveryLog::ReadFile(const std::string& path, RecoveryLog& out) {
-  std::ifstream is(path);
-  if (!is.good()) return false;
-  return Read(is, out);
+  return ReadFile(path, out, LogParseMode::kStrict).ok;
 }
 
 }  // namespace aer

@@ -13,6 +13,29 @@
 
 namespace aer {
 
+// How Read() treats malformed lines. Strict is the default everywhere (a
+// log written by this class must round-trip exactly, and tests depend on
+// that); lenient is for production ingestion, where a truncated tail or a
+// garbled line must cost one entry, not the whole file.
+enum class LogParseMode {
+  kStrict,   // abort on the first malformed line
+  kLenient,  // skip malformed lines (after attempting repair) and count them
+};
+
+// Outcome of a (possibly lenient) parse. `ok` is false when a strict parse
+// hit a malformed line or the file could not be opened; a lenient parse of a
+// readable stream always has ok == true, however dirty the input.
+struct LogParseResult {
+  bool ok = true;
+  std::size_t parsed = 0;    // entries appended to the output log
+  std::size_t repaired = 0;  // subset of `parsed` that needed repair
+  std::size_t skipped = 0;   // malformed lines dropped (lenient only)
+  // Line number (1-based) and description of the first malformed line, for
+  // operator-facing error messages. Set even when lenient skips the line.
+  std::size_t first_error_line = 0;
+  std::string first_error;
+};
+
 class RecoveryLog {
  public:
   RecoveryLog() = default;
@@ -39,10 +62,19 @@ class RecoveryLog {
   void Write(std::ostream& os) const;
   void WriteFile(const std::string& path) const;
 
-  // Parses a log written by Write(); aborts the parse (returns false) on the
-  // first malformed line. Symptom names are re-interned, so round-tripping
-  // preserves entry equality up to symptom-id renumbering; ids are identical
-  // when the log was written by this class (first-seen order).
+  // Parses a log written by Write(). Strict mode aborts the parse on the
+  // first malformed line; lenient mode first attempts line repair (stray CR,
+  // space-for-tab separators, trailing empty fields), then skips what still
+  // does not parse, counting both. Symptom names are re-interned, so
+  // round-tripping preserves entry equality up to symptom-id renumbering;
+  // ids are identical when the log was written by this class (first-seen
+  // order).
+  static LogParseResult Read(std::istream& is, RecoveryLog& out,
+                             LogParseMode mode);
+  static LogParseResult ReadFile(const std::string& path, RecoveryLog& out,
+                                 LogParseMode mode);
+
+  // Strict-mode conveniences (the original API).
   static bool Read(std::istream& is, RecoveryLog& out);
   static bool ReadFile(const std::string& path, RecoveryLog& out);
 

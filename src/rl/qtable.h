@@ -62,10 +62,24 @@ class QTable {
     return table_;
   }
 
-  // Text checkpointing: one explored (state, action) per line,
-  // "<hex state key>\t<ACTION>\t<q>\t<visits>", sorted for stable diffs.
+  // Outcome of a checked deserialization. `ok` is false on any structural
+  // damage — missing/unsupported header, malformed line, checksum or entry
+  // count mismatch — with a human-readable reason; the output table is left
+  // empty. Corruption is never fatal: a Q-table file is untrusted input.
+  struct ReadResult {
+    bool ok = true;
+    std::string error;
+  };
+
+  // Text checkpointing, format v1:
+  //   #aerq\tv1\t<entry count>\t<fnv1a64 of body, hex>
+  //   <hex state key>\t<ACTION>\t<q>\t<visits>     (sorted for stable diffs)
+  // The header's checksum covers every byte after the header line, so
+  // bit flips and truncation are detected instead of silently loading.
   // Read() restores exactly (the fixed-alpha setting is the caller's).
   void Write(std::ostream& os) const;
+  static ReadResult ReadChecked(std::istream& is, QTable& out);
+  // Convenience wrapper: ReadChecked().ok.
   static bool Read(std::istream& is, QTable& out);
 
  private:

@@ -1,0 +1,221 @@
+// Dirty-telemetry behavior of the RecoveryManager: out-of-order and
+// duplicate events, per-action timeouts with backoff, flap quarantine, and
+// bounded per-machine history. The clean-path behavior is covered by
+// recovery_manager_test.cc.
+#include <gtest/gtest.h>
+
+#include "cluster/user_policy.h"
+#include "core/recovery_manager.h"
+
+namespace aer {
+namespace {
+
+constexpr auto Y = RepairAction::kTryNop;
+constexpr auto B = RepairAction::kReboot;
+constexpr auto A = RepairAction::kRma;
+
+TEST(RecoveryManagerRobustnessTest, OutOfOrderSymptomIsClampedNotFatal) {
+  UserDefinedPolicy policy;
+  RecoveryManager manager(policy);
+  manager.OnSymptom(100, 1, "s1");
+  manager.OnSymptom(50, 1, "s2");  // delayed delivery: before the watermark
+  EXPECT_EQ(manager.stats().out_of_order_events, 1);
+  // The log stays monotonic per process (clamped, not reordered).
+  ASSERT_EQ(manager.log().size(), 2u);
+  EXPECT_EQ(manager.log().entries()[1].time, 100);
+}
+
+TEST(RecoveryManagerRobustnessTest, DuplicateSymptomReportIsAbsorbed) {
+  UserDefinedPolicy policy;
+  RecoveryManager manager(policy);
+  manager.OnSymptom(100, 1, "s1");
+  manager.OnSymptom(100, 1, "s1");  // monitoring delivered it twice
+  EXPECT_EQ(manager.stats().duplicate_symptoms, 1);
+  EXPECT_EQ(manager.log().size(), 1u);
+  // A *different* symptom at the same instant is real information.
+  manager.OnSymptom(100, 1, "s2");
+  EXPECT_EQ(manager.log().size(), 2u);
+}
+
+TEST(RecoveryManagerRobustnessTest, DuplicateRecoveryRequestIsIdempotent) {
+  UserDefinedPolicy policy;
+  RecoveryManager manager(policy);
+  manager.OnSymptom(0, 1, "s");
+  const auto first = manager.OnRecoveryNeeded(10, 1);
+  const auto second = manager.OnRecoveryNeeded(11, 1);  // retransmission
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*first, *second);
+  EXPECT_EQ(manager.stats().actions_taken, 1);  // recorded once
+  EXPECT_EQ(manager.stats().duplicate_recovery_requests, 1);
+}
+
+TEST(RecoveryManagerRobustnessTest, TimeoutFailsActionAndEscalates) {
+  UserDefinedPolicy policy;
+  RecoveryManagerConfig config;
+  config.action_timeout = 100;
+  RecoveryManager manager(policy, config);
+  manager.OnSymptom(0, 1, "s");
+  EXPECT_EQ(*manager.OnRecoveryNeeded(10, 1), Y);
+
+  // Before the deadline nothing is overdue.
+  EXPECT_TRUE(manager.PollTimeouts(100).empty());
+  // At/after the deadline the hung action is declared failed.
+  const std::vector<MachineId> overdue = manager.PollTimeouts(110);
+  ASSERT_EQ(overdue.size(), 1u);
+  EXPECT_EQ(overdue[0], 1);
+  EXPECT_EQ(manager.stats().actions_timed_out, 1);
+
+  // The process escalates past the timed-out action.
+  EXPECT_EQ(*manager.OnRecoveryNeeded(120, 1), B);
+  manager.OnActionResult(130, 1, /*healthy=*/true);
+  // Once closed there is nothing left to time out.
+  EXPECT_TRUE(manager.PollTimeouts(500).empty());
+}
+
+TEST(RecoveryManagerRobustnessTest, TimeoutDeadlineBacksOff) {
+  UserDefinedPolicy policy;
+  RecoveryManagerConfig config;
+  config.action_timeout = 100;
+  config.timeout_backoff = 2.0;
+  RecoveryManager manager(policy, config);
+  manager.OnSymptom(0, 1, "s");
+
+  manager.OnRecoveryNeeded(0, 1);
+  ASSERT_EQ(manager.PollTimeouts(100).size(), 1u);  // first deadline: 100
+
+  manager.OnRecoveryNeeded(100, 1);
+  // Second action gets 100 * 2 = 200: not yet overdue at +150.
+  EXPECT_TRUE(manager.PollTimeouts(250).empty());
+  ASSERT_EQ(manager.PollTimeouts(300).size(), 1u);
+  EXPECT_EQ(manager.stats().actions_timed_out, 2);
+}
+
+TEST(RecoveryManagerRobustnessTest, TimeoutsAdvanceTheNCap) {
+  UserDefinedPolicy policy;
+  RecoveryManagerConfig config;
+  config.max_actions_per_process = 3;
+  config.action_timeout = 100;
+  config.timeout_backoff = 1.0;  // keep deadlines easy to compute
+  RecoveryManager manager(policy, config);
+  manager.OnSymptom(0, 1, "s");
+  manager.OnRecoveryNeeded(0, 1);
+  ASSERT_FALSE(manager.PollTimeouts(100).empty());
+  manager.OnRecoveryNeeded(100, 1);
+  ASSERT_FALSE(manager.PollTimeouts(200).empty());
+  // Two hung actions burned two of the three attempts: cap forces RMA.
+  EXPECT_EQ(*manager.OnRecoveryNeeded(200, 1), A);
+  EXPECT_EQ(manager.stats().manual_repairs_forced, 1);
+}
+
+TEST(RecoveryManagerRobustnessTest, LateResultAfterTimeoutIsIgnored) {
+  UserDefinedPolicy policy;
+  RecoveryManagerConfig config;
+  config.action_timeout = 100;
+  RecoveryManager manager(policy, config);
+  manager.OnSymptom(0, 1, "s");
+  manager.OnRecoveryNeeded(0, 1);
+  ASSERT_FALSE(manager.PollTimeouts(100).empty());
+  // The timed-out action's real (late) failure report arrives afterwards:
+  // nothing is in flight, so it must not double-count an outcome.
+  const auto actions_before = manager.stats().actions_taken;
+  manager.OnActionResult(150, 1, /*healthy=*/false);
+  EXPECT_EQ(manager.stats().stale_results_ignored, 1);
+  EXPECT_EQ(manager.stats().actions_taken, actions_before);
+  EXPECT_TRUE(manager.HasOpenProcess(1));
+}
+
+TEST(RecoveryManagerRobustnessTest, LateHealthyResultStillClosesProcess) {
+  // A machine that spontaneously recovers (or whose success report was
+  // delayed past the timeout) should not be kept in recovery forever.
+  UserDefinedPolicy policy;
+  RecoveryManagerConfig config;
+  config.action_timeout = 100;
+  RecoveryManager manager(policy, config);
+  manager.OnSymptom(0, 1, "s");
+  manager.OnRecoveryNeeded(0, 1);
+  ASSERT_FALSE(manager.PollTimeouts(100).empty());
+  manager.OnActionResult(150, 1, /*healthy=*/true);
+  EXPECT_FALSE(manager.HasOpenProcess(1));
+  EXPECT_EQ(manager.stats().processes_completed, 1);
+}
+
+TEST(RecoveryManagerRobustnessTest, FlappingMachineIsQuarantined) {
+  UserDefinedPolicy policy;
+  RecoveryManagerConfig config;
+  config.flap_threshold = 2;
+  config.flap_window = kHour;
+  RecoveryManager manager(policy, config);
+
+  // Two quick open/close cycles inside the window: still below threshold.
+  for (int i = 0; i < 2; ++i) {
+    const SimTime t = i * 600;
+    manager.OnSymptom(t, 1, "flappy");
+    manager.OnRecoveryNeeded(t + 10, 1);
+    manager.OnActionResult(t + 20, 1, true);
+    EXPECT_FALSE(manager.IsQuarantined(1));
+  }
+  // Third open within the hour crosses the threshold: straight to RMA.
+  manager.OnSymptom(1200, 1, "flappy");
+  EXPECT_TRUE(manager.IsQuarantined(1));
+  EXPECT_EQ(*manager.OnRecoveryNeeded(1210, 1), A);
+  EXPECT_EQ(manager.stats().flap_quarantines, 1);
+  manager.OnActionResult(1300, 1, true);
+
+  // Far outside the window the machine gets the normal ladder again.
+  manager.OnSymptom(1200 + 10 * kHour, 1, "flappy");
+  EXPECT_FALSE(manager.IsQuarantined(1));
+  EXPECT_EQ(*manager.OnRecoveryNeeded(1210 + 10 * kHour, 1), Y);
+}
+
+TEST(RecoveryManagerRobustnessTest, HistoryIsEvictedAfterRetention) {
+  // Regression test for unbounded last-recovery-end growth: one completed
+  // process per machine across a large fleet must not be retained forever.
+  UserDefinedPolicy policy;
+  RecoveryManagerConfig config;
+  config.history_retention = kDay;
+  RecoveryManager manager(policy, config);
+
+  constexpr int kMachines = 200;
+  for (int m = 0; m < kMachines; ++m) {
+    const SimTime t = m * 10;
+    manager.OnSymptom(t, m, "s");
+    manager.OnRecoveryNeeded(t + 1, m);
+    manager.OnActionResult(t + 2, m, true);
+  }
+  EXPECT_EQ(manager.history_size(), static_cast<std::size_t>(kMachines));
+
+  // A trickle of new processes far in the future sweeps the stale entries.
+  for (int m = 0; m < 100; ++m) {
+    const SimTime t = 10 * kDay + m * 10;
+    manager.OnSymptom(t, 1000 + m, "s");
+    manager.OnRecoveryNeeded(t + 1, 1000 + m);
+    manager.OnActionResult(t + 2, 1000 + m, true);
+  }
+  EXPECT_LT(manager.history_size(), static_cast<std::size_t>(kMachines));
+  EXPECT_GT(manager.stats().history_evictions, 0);
+}
+
+TEST(RecoveryManagerRobustnessTest, RecentHistorySurvivesEviction) {
+  UserDefinedPolicy policy;
+  RecoveryManagerConfig config;
+  config.history_retention = 30 * kDay;
+  RecoveryManager manager(policy, config);
+  // Complete a process, then many unrelated ones to trigger sweeps.
+  manager.OnSymptom(0, 7, "s");
+  manager.OnRecoveryNeeded(1, 7);
+  manager.OnActionResult(1000, 7, true);
+  for (int m = 0; m < 100; ++m) {
+    const SimTime t = 2000 + m * 10;
+    manager.OnSymptom(t, 100 + m, "s");
+    manager.OnRecoveryNeeded(t + 1, 100 + m);
+    manager.OnActionResult(t + 2, 100 + m, true);
+  }
+  // Machine 7's history is inside retention: the recurring-failure shortcut
+  // must still see last_recovery_end and skip the watch level.
+  manager.OnSymptom(1000 + kHour, 7, "s");
+  EXPECT_EQ(*manager.OnRecoveryNeeded(1001 + kHour, 7), B);
+}
+
+}  // namespace
+}  // namespace aer

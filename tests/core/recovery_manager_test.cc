@@ -119,10 +119,16 @@ TEST(RecoveryManagerTest, TrainedPolicyDrivesDecisions) {
   EXPECT_EQ(*manager.OnRecoveryNeeded(50, 1), Y);
 }
 
-TEST(RecoveryManagerDeathTest, ActionResultWithoutProcessAborts) {
+TEST(RecoveryManagerTest, ActionResultWithoutProcessIsIgnoredAndCounted) {
+  // A result with no open process is duplicate/stale telemetry (e.g. a
+  // retransmitted success after the process already closed); the manager
+  // absorbs it instead of aborting.
   UserDefinedPolicy policy;
   RecoveryManager manager(policy);
-  EXPECT_DEATH(manager.OnActionResult(10, 1, true), "AER_CHECK");
+  manager.OnActionResult(10, 1, true);
+  EXPECT_FALSE(manager.HasOpenProcess(1));
+  EXPECT_EQ(manager.stats().stale_results_ignored, 1);
+  EXPECT_EQ(manager.stats().processes_completed, 0);
 }
 
 }  // namespace

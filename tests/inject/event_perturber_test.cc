@@ -1,0 +1,106 @@
+#include "inject/event_perturber.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace aer {
+namespace {
+
+RecoveryLog MakeLog() {
+  RecoveryLog log;
+  const SymptomId watchdog = log.symptoms().Intern("Watchdog");
+  const SymptomId disk = log.symptoms().Intern("DiskError");
+  log.Append(LogEntry::Symptom(100, 1, watchdog));
+  log.Append(LogEntry::Action(160, 1, RepairAction::kReboot));
+  log.Append(LogEntry::Success(900, 1));
+  log.Append(LogEntry::Symptom(200, 2, disk));
+  log.Append(LogEntry::Action(260, 2, RepairAction::kReimage));
+  log.Append(LogEntry::Success(5000, 2));
+  log.SortByTime();
+  return log;
+}
+
+std::string Render(const RecoveryLog& log) {
+  std::ostringstream os;
+  log.Write(os);
+  return os.str();
+}
+
+TEST(EventPerturberTest, NoFaultsConfiguredIsIdentity) {
+  const RecoveryLog log = MakeLog();
+  const RecoveryLog out = PerturbLog(log, LogPerturbConfig{});
+  EXPECT_EQ(Render(out), Render(log));
+}
+
+TEST(EventPerturberTest, SameSeedSamePerturbation) {
+  const RecoveryLog log = MakeLog();
+  LogPerturbConfig config;
+  config.drop_symptom = 0.3;
+  config.duplicate_entry = 0.3;
+  config.delay_entry = 0.3;
+  config.retry_action = 0.3;
+  const RecoveryLog a = PerturbLog(log, config);
+  const RecoveryLog b = PerturbLog(log, config);
+  EXPECT_EQ(Render(a), Render(b));
+
+  config.seed = 7;
+  const RecoveryLog c = PerturbLog(log, config);
+  EXPECT_NE(Render(c), Render(a));  // a different injection run
+}
+
+TEST(EventPerturberTest, DropOnlyRemovesSymptoms) {
+  const RecoveryLog log = MakeLog();
+  LogPerturbConfig config;
+  config.drop_symptom = 1.0;
+  LogPerturbStats stats;
+  const RecoveryLog out = PerturbLog(log, config, &stats);
+  EXPECT_EQ(stats.dropped, 2);
+  ASSERT_EQ(out.size(), 4u);
+  for (const LogEntry& entry : out.entries()) {
+    EXPECT_NE(entry.kind, EntryKind::kSymptom);
+  }
+  // The symptom table survives total event loss: downstream consumers
+  // still resolve ids by name.
+  EXPECT_EQ(out.symptoms().size(), log.symptoms().size());
+  EXPECT_NE(out.symptoms().Find("Watchdog"), kInvalidSymptom);
+}
+
+TEST(EventPerturberTest, DuplicatesAreCountedAndPresent) {
+  const RecoveryLog log = MakeLog();
+  LogPerturbConfig config;
+  config.duplicate_entry = 1.0;
+  LogPerturbStats stats;
+  const RecoveryLog out = PerturbLog(log, config, &stats);
+  EXPECT_EQ(stats.duplicated, static_cast<std::int64_t>(log.size()));
+  EXPECT_EQ(out.size(), 2 * log.size());
+}
+
+TEST(EventPerturberTest, RetriesReemitActionsLater) {
+  const RecoveryLog log = MakeLog();
+  LogPerturbConfig config;
+  config.retry_action = 1.0;
+  config.retry_gap = 500;
+  LogPerturbStats stats;
+  const RecoveryLog out = PerturbLog(log, config, &stats);
+  EXPECT_EQ(stats.retried, 2);  // one retry per action entry
+  int actions = 0;
+  for (const LogEntry& entry : out.entries()) {
+    if (entry.kind == EntryKind::kAction) ++actions;
+  }
+  EXPECT_EQ(actions, 4);
+}
+
+TEST(EventPerturberTest, OutputIsTimeSorted) {
+  const RecoveryLog log = MakeLog();
+  LogPerturbConfig config;
+  config.delay_entry = 0.8;
+  config.max_delay = 10000;
+  const RecoveryLog out = PerturbLog(log, config);
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LE(out.entries()[i - 1].time, out.entries()[i].time);
+  }
+}
+
+}  // namespace
+}  // namespace aer

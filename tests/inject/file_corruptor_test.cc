@@ -1,0 +1,86 @@
+#include "inject/file_corruptor.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace aer {
+namespace {
+
+const char kText[] =
+    "100\tm1\terror:Watchdog\n"
+    "160\tm1\tREBOOT\n"
+    "900\tm1\tSuccess\n";
+
+TEST(FileCorruptorTest, BitFlipPreservesLineStructure) {
+  Rng rng(1);
+  std::string text = kText;
+  BitFlip(text, 20, rng);
+  EXPECT_EQ(text.size(), sizeof(kText) - 1);
+  EXPECT_NE(text, kText);
+  const auto count_newlines = [](const std::string& s) {
+    std::size_t n = 0;
+    for (const char c : s) n += c == '\n';
+    return n;
+  };
+  EXPECT_EQ(count_newlines(text), 3u);
+}
+
+TEST(FileCorruptorTest, BitFlipIsDeterministic) {
+  std::string a = kText;
+  std::string b = kText;
+  Rng rng_a(42);
+  Rng rng_b(42);
+  BitFlip(a, 5, rng_a);
+  BitFlip(b, 5, rng_b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(FileCorruptorTest, TruncateShortensButKeepsPrefix) {
+  Rng rng(3);
+  const std::string cut = TruncateRandomly(kText, rng);
+  EXPECT_LT(cut.size(), sizeof(kText) - 1);
+  EXPECT_GT(cut.size(), 0u);
+  EXPECT_EQ(cut, std::string(kText).substr(0, cut.size()));
+}
+
+TEST(FileCorruptorTest, CorruptLinesZeroFractionIsIdentity) {
+  Rng rng(4);
+  EXPECT_EQ(CorruptLines(kText, 0.0, rng), kText);
+}
+
+TEST(FileCorruptorTest, CorruptLinesFullFractionDamagesEveryLine) {
+  Rng rng(5);
+  const std::string damaged = CorruptLines(kText, 1.0, rng);
+  EXPECT_NE(damaged, kText);
+  // Line count is preserved: damage is per line, not structural.
+  std::size_t newlines = 0;
+  for (const char c : damaged) newlines += c == '\n';
+  EXPECT_EQ(newlines, 3u);
+}
+
+TEST(FileCorruptorTest, CorruptFileRewritesInPlace) {
+  const std::string path =
+      testing::TempDir() + "/file_corruptor_test_artifact.txt";
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << kText;
+  }
+  Rng rng(6);
+  ASSERT_TRUE(CorruptFile(path, 1.0, /*truncate_probability=*/0.0, rng));
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  EXPECT_NE(buffer.str(), kText);
+  std::remove(path.c_str());
+}
+
+TEST(FileCorruptorTest, CorruptFileMissingFileFails) {
+  Rng rng(7);
+  EXPECT_FALSE(CorruptFile("/nonexistent/dir/nope.txt", 0.5, 0.5, rng));
+}
+
+}  // namespace
+}  // namespace aer

@@ -1,0 +1,131 @@
+// Lenient log ingestion: damaged lines cost one entry each, never the file,
+// and the damage is counted all the way up into the operator report.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "inject/file_corruptor.h"
+#include "log/log_report.h"
+#include "log/recovery_log.h"
+
+namespace aer {
+namespace {
+
+const char kCleanLog[] =
+    "100\tm1\terror:Watchdog\n"
+    "160\tm1\tREBOOT\n"
+    "900\tm1\tSuccess\n"
+    "1000\tm2\terror:DiskError\n"
+    "1100\tm2\tREIMAGE\n"
+    "5000\tm2\tSuccess\n";
+
+TEST(LenientParseTest, CleanInputParsesIdenticallyInBothModes) {
+  std::istringstream strict_in(kCleanLog);
+  std::istringstream lenient_in(kCleanLog);
+  RecoveryLog strict_log;
+  RecoveryLog lenient_log;
+  const LogParseResult strict =
+      RecoveryLog::Read(strict_in, strict_log, LogParseMode::kStrict);
+  const LogParseResult lenient =
+      RecoveryLog::Read(lenient_in, lenient_log, LogParseMode::kLenient);
+  EXPECT_TRUE(strict.ok);
+  EXPECT_TRUE(lenient.ok);
+  EXPECT_EQ(strict.parsed, 6u);
+  EXPECT_EQ(lenient.parsed, 6u);
+  EXPECT_EQ(lenient.repaired, 0u);
+  EXPECT_EQ(lenient.skipped, 0u);
+  EXPECT_EQ(strict_log.entries(), lenient_log.entries());
+}
+
+TEST(LenientParseTest, StrictStopsAtFirstBadLineLenientSkipsIt) {
+  const std::string dirty =
+      "100\tm1\terror:Watchdog\n"
+      "garbage that is not a log line\n"
+      "900\tm1\tSuccess\n";
+
+  std::istringstream strict_in(dirty);
+  RecoveryLog strict_log;
+  const LogParseResult strict =
+      RecoveryLog::Read(strict_in, strict_log, LogParseMode::kStrict);
+  EXPECT_FALSE(strict.ok);
+  EXPECT_EQ(strict.first_error_line, 2u);
+
+  std::istringstream lenient_in(dirty);
+  RecoveryLog lenient_log;
+  const LogParseResult lenient =
+      RecoveryLog::Read(lenient_in, lenient_log, LogParseMode::kLenient);
+  EXPECT_TRUE(lenient.ok);
+  EXPECT_EQ(lenient.parsed, 2u);
+  EXPECT_EQ(lenient.skipped, 1u);
+  EXPECT_EQ(lenient.first_error_line, 2u);  // still reported for operators
+}
+
+TEST(LenientParseTest, RepairsSpaceSeparatedAndCrDamagedLines) {
+  const std::string dirty =
+      "100 m1 error:Watchdog\n"       // space-separated export
+      "160\tm1\tREBOOT\r\n"           // CRLF: strict already tolerates this
+      "900\t\tm1\t\tSuccess\n";       // doubled separators
+  std::istringstream is(dirty);
+  RecoveryLog log;
+  const LogParseResult result =
+      RecoveryLog::Read(is, log, LogParseMode::kLenient);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.parsed, 3u);
+  EXPECT_EQ(result.repaired, 2u);
+  EXPECT_EQ(result.skipped, 0u);
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.entries()[1].kind, EntryKind::kAction);
+}
+
+TEST(LenientParseTest, MissingFileFailsInBothModes) {
+  RecoveryLog log;
+  const LogParseResult result = RecoveryLog::ReadFile(
+      "/nonexistent/recovery.log", log, LogParseMode::kLenient);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.first_error.find("cannot open"), std::string::npos);
+}
+
+TEST(LenientParseTest, CorruptedLogNeverKillsTheParse) {
+  // Property check against the corruptor itself: whatever CorruptLines does
+  // to a clean log, a lenient parse returns (no crash) and every line is
+  // either parsed or counted as skipped.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    const std::string dirty = CorruptLines(kCleanLog, 0.7, rng);
+    std::istringstream is(dirty);
+    RecoveryLog log;
+    const LogParseResult result =
+        RecoveryLog::Read(is, log, LogParseMode::kLenient);
+    EXPECT_TRUE(result.ok) << "seed " << seed;
+    EXPECT_EQ(result.parsed, log.size()) << "seed " << seed;
+    EXPECT_LE(result.parsed + result.skipped, 6u) << "seed " << seed;
+  }
+}
+
+TEST(LenientParseTest, IngestionCountsSurfaceInLogReport) {
+  const std::string dirty =
+      "100 m1 error:Watchdog\n"
+      "not a line at all\n"
+      "160\tm1\tREBOOT\n"
+      "900\tm1\tSuccess\n";
+  std::istringstream is(dirty);
+  RecoveryLog log;
+  const LogParseResult parse =
+      RecoveryLog::Read(is, log, LogParseMode::kLenient);
+  const LogReport report = BuildLogReport(log, parse);
+  EXPECT_EQ(report.ingest_skipped, 1u);
+  EXPECT_EQ(report.ingest_repaired, 1u);
+
+  const std::string text = FormatLogReport(report, log.symptoms());
+  EXPECT_NE(text.find("skipped"), std::string::npos);
+  EXPECT_NE(text.find("repaired"), std::string::npos);
+
+  // A clean parse keeps the report free of ingestion noise.
+  const LogReport clean = BuildLogReport(log);
+  EXPECT_EQ(clean.ingest_skipped, 0u);
+  const std::string clean_text = FormatLogReport(clean, log.symptoms());
+  EXPECT_EQ(clean_text.find("skipped"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aer

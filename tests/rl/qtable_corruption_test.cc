@@ -1,0 +1,172 @@
+// Corruption round-trips for the Q-table checkpoint format: every damaged
+// input must come back as a ReadResult error with the table left empty —
+// never a crash, never a silently half-loaded policy.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "inject/file_corruptor.h"
+#include "rl/qtable.h"
+
+namespace aer {
+namespace {
+
+QTable MakeTable() {
+  QTable table;
+  table.Update(0x1234, RepairAction::kTryNop, 10.0);
+  table.Update(0x1234, RepairAction::kReboot, 250.0);
+  table.Update(0x1234, RepairAction::kReboot, 200.0);
+  table.Update(0xabcdef0011223344ULL, RepairAction::kReimage, 3600.0);
+  table.Update(0xabcdef0011223344ULL, RepairAction::kRma, 86400.0);
+  return table;
+}
+
+std::string Serialize(const QTable& table) {
+  std::ostringstream os;
+  table.Write(os);
+  return os.str();
+}
+
+TEST(QTableCorruptionTest, CleanRoundTripRestoresExactly) {
+  const QTable table = MakeTable();
+  std::istringstream is(Serialize(table));
+  QTable restored;
+  const QTable::ReadResult result = QTable::ReadChecked(is, restored);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(restored.num_states(), table.num_states());
+  EXPECT_EQ(restored.total_updates(), table.total_updates());
+  EXPECT_EQ(restored.Q(0x1234, RepairAction::kReboot),
+            table.Q(0x1234, RepairAction::kReboot));
+  EXPECT_EQ(restored.Visits(0x1234, RepairAction::kReboot), 2);
+}
+
+TEST(QTableCorruptionTest, EmptyInputIsAnError) {
+  std::istringstream is("");
+  QTable out;
+  const QTable::ReadResult result = QTable::ReadChecked(is, out);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("header"), std::string::npos);
+  EXPECT_EQ(out.num_states(), 0u);
+}
+
+TEST(QTableCorruptionTest, HeaderlessLegacyFileIsAnError) {
+  std::istringstream is(
+      "0000000000001234\tTRYNOP\t10\t1\n"
+      "0000000000001234\tREBOOT\t225\t2\n");
+  QTable out;
+  const QTable::ReadResult result = QTable::ReadChecked(is, out);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("#aerq"), std::string::npos);
+}
+
+TEST(QTableCorruptionTest, WrongVersionIsAnError) {
+  std::string text = Serialize(MakeTable());
+  const std::size_t pos = text.find("v1");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 2, "v9");
+  std::istringstream is(text);
+  QTable out;
+  const QTable::ReadResult result = QTable::ReadChecked(is, out);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("version"), std::string::npos);
+}
+
+TEST(QTableCorruptionTest, TruncationIsDetected) {
+  const std::string text = Serialize(MakeTable());
+  // Cut at every possible byte: whatever survives must either fail cleanly
+  // (empty table, non-empty reason) or restore the exact original — the
+  // only benign cut is losing the final newline.
+  for (std::size_t cut = 0; cut < text.size(); ++cut) {
+    std::istringstream is(text.substr(0, cut));
+    QTable out;
+    const QTable::ReadResult result = QTable::ReadChecked(is, out);
+    if (result.ok) {
+      EXPECT_EQ(Serialize(out), text) << "cut at byte " << cut;
+    } else {
+      EXPECT_EQ(out.num_states(), 0u) << "cut at byte " << cut;
+      EXPECT_FALSE(result.error.empty()) << "cut at byte " << cut;
+    }
+  }
+}
+
+TEST(QTableCorruptionTest, BitFlipsAreDetectedOrHarmless) {
+  const std::string clean = Serialize(MakeTable());
+  QTable reference;
+  {
+    std::istringstream is(clean);
+    ASSERT_TRUE(QTable::ReadChecked(is, reference).ok);
+  }
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng(seed);
+    std::string text = clean;
+    BitFlip(text, 3, rng);
+    std::istringstream is(text);
+    QTable out;
+    const QTable::ReadResult result = QTable::ReadChecked(is, out);
+    if (text == clean) continue;  // flip of a flipped bit can cancel out
+    // Damage must never load silently: a clean error with an empty table.
+    EXPECT_FALSE(result.ok) << "seed " << seed;
+    EXPECT_EQ(out.num_states(), 0u) << "seed " << seed;
+  }
+}
+
+TEST(QTableCorruptionTest, LineLevelCorruptionNeverCrashes) {
+  const std::string clean = Serialize(MakeTable());
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    Rng rng(seed);
+    const std::string dirty = CorruptLines(clean, 0.8, rng);
+    if (dirty == clean) continue;
+    std::istringstream is(dirty);
+    QTable out;
+    const QTable::ReadResult result = QTable::ReadChecked(is, out);
+    if (result.ok) {
+      // Cosmetic-only damage (e.g. a stray CR on the header, which the
+      // header parser trims): the restore must be bit-exact.
+      EXPECT_EQ(Serialize(out), clean) << "seed " << seed;
+    } else {
+      EXPECT_EQ(out.num_states(), 0u) << "seed " << seed;
+    }
+  }
+}
+
+TEST(QTableCorruptionTest, DuplicateEntryIsAnError) {
+  // A duplicated body line passes field parsing; the duplicate detection
+  // (and the checksum) must still reject it.
+  QTable table;
+  table.Update(0x42, RepairAction::kReboot, 100.0);
+  std::string text = Serialize(table);
+  const std::size_t body_start = text.find('\n') + 1;
+  const std::string body = text.substr(body_start);
+  text += body;  // append the body lines again
+  std::istringstream is(text);
+  QTable out;
+  const QTable::ReadResult result = QTable::ReadChecked(is, out);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(out.num_states(), 0u);
+}
+
+TEST(QTableCorruptionTest, ChecksumCatchesValuePreservingEdits) {
+  // Swap two body lines: same bytes per line, same entry count, same parsed
+  // content — only the checksum-covered byte order changed. The format
+  // still flags it (sorted order is part of the contract).
+  const QTable table = MakeTable();
+  std::string text = Serialize(table);
+  std::istringstream lines(text);
+  std::string header;
+  std::string l1;
+  std::string l2;
+  ASSERT_TRUE(std::getline(lines, header));
+  ASSERT_TRUE(std::getline(lines, l1));
+  ASSERT_TRUE(std::getline(lines, l2));
+  std::string rest;
+  std::getline(lines, rest, '\0');
+  const std::string swapped = header + "\n" + l2 + "\n" + l1 + "\n" + rest;
+  std::istringstream is(swapped);
+  QTable out;
+  const QTable::ReadResult result = QTable::ReadChecked(is, out);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("checksum"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aer

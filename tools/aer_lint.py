@@ -21,6 +21,14 @@ trips them):
   no-unchecked-at   No container .at() in src/ or bench/: it throws a
                     context-free std::out_of_range. Bounds-check with
                     AER_CHECK_LT(...) << context, then index.
+  unchecked-io      In the deserialization layers (src/log/, src/rl/), which
+                    parse untrusted on-disk artifacts: no raw strto*/ato*/
+                    std::sto* (use ParseInt64/ParseDouble/ParseHexU64 from
+                    common/string_util.h — they reject junk instead of
+                    silently returning 0 or throwing); no discarded-result
+                    std::getline at statement position (test the stream);
+                    and every fstream construction must be followed within a
+                    few lines by a good()/is_open() check.
 
 Suppress a finding on one line with:  // aer-lint: allow(<rule>)
 
@@ -64,6 +72,21 @@ UNCHECKED_AT = re.compile(r"\.\s*at\s*\(")
 UNCHECKED_AT_SCOPES = ("src/", "bench/")
 
 GUARD_SCOPES = ("src/", "bench/")
+
+# The layers that deserialize untrusted files (recovery logs, Q-table
+# checkpoints). Their parsers must fail loudly, not wrap around or throw.
+UNCHECKED_IO_SCOPES = ("src/log/", "src/rl/")
+RAW_NUMERIC_PARSE = re.compile(
+    r"\b(?:strto(?:l|ll|ul|ull|ull_l|f|d|ld)|ato[ifl]l?|"
+    r"std\s*::\s*sto(?:i|l|ll|ul|ull|f|d|ld))\s*\(")
+# getline whose result is discarded (statement position). Condition-position
+# uses — while (std::getline(...)), if (!std::getline(...)) — do not match.
+DISCARDED_GETLINE = re.compile(r"^\s*(?:std\s*::\s*)?getline\s*\(")
+FSTREAM_CTOR = re.compile(
+    r"\bstd\s*::\s*[io]?fstream\s+\w+\s*[({]")
+STREAM_CHECKED = re.compile(r"\b(?:good|is_open|fail)\s*\(")
+# How many lines after an fstream construction may hold its health check.
+STREAM_CHECK_WINDOW = 4
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -192,9 +215,34 @@ class Linter:
                     path, lineno, "no-unchecked-at",
                     ".at() throws without context; use "
                     "AER_CHECK_LT(i, c.size()) << context, then c[i]", allows)
+            if rel.startswith(UNCHECKED_IO_SCOPES):
+                self.lint_unchecked_io(path, lineno, line, lines, allows)
 
         if path.suffix in (".h", ".hpp") and rel.startswith(GUARD_SCOPES):
             self.lint_include_guard(path, rel, lines, allows)
+
+    def lint_unchecked_io(self, path: Path, lineno: int, line: str,
+                          lines: list[str],
+                          allows: dict[int, set[str]]) -> None:
+        if RAW_NUMERIC_PARSE.search(line):
+            self.report(
+                path, lineno, "unchecked-io",
+                "raw numeric parse on untrusted input; use ParseInt64/"
+                "ParseDouble/ParseHexU64 from common/string_util.h", allows)
+        if DISCARDED_GETLINE.search(line):
+            self.report(
+                path, lineno, "unchecked-io",
+                "getline result discarded; test the stream (e.g. "
+                "while (std::getline(...)) or if (!std::getline(...)))",
+                allows)
+        if FSTREAM_CTOR.search(line):
+            window = lines[lineno - 1 : lineno - 1 + 1 + STREAM_CHECK_WINDOW]
+            if not any(STREAM_CHECKED.search(w) for w in window):
+                self.report(
+                    path, lineno, "unchecked-io",
+                    "fstream opened without a nearby good()/is_open() "
+                    "check; a silently-failed open reads as an empty file",
+                    allows)
 
     def lint_include_guard(self, path: Path, rel: str, lines: list[str],
                            allows: dict[int, set[str]]) -> None:

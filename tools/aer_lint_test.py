@@ -131,6 +131,62 @@ class AerLintTest(unittest.TestCase):
                                   "EXPECT_EQ(groups.at(7).size(), 3u);\n")
         self.assertEqual(findings, [])
 
+    # -- unchecked-io -------------------------------------------------------
+
+    def test_raw_strtoull_in_parser_layer_flagged(self):
+        findings = self.repo.lint(
+            "src/rl/qtable.cc",
+            "std::uint64_t k = std::strtoull(buf, &end, 16);\n")
+        self.assert_rule(findings, "unchecked-io")
+
+    def test_std_stoi_flagged_checked_parse_ok(self):
+        self.assert_rule(
+            self.repo.lint("src/log/recovery_log.cc",
+                           "int t = std::stoi(field);\n"),
+            "unchecked-io")
+        self.assertEqual(
+            self.repo.lint("src/log/recovery_log.cc",
+                           "const auto t = ParseInt64(field);\n"),
+            [])
+
+    def test_raw_parse_outside_io_layers_not_flagged(self):
+        # common/string_util.cc is where the checked wrappers live; the rule
+        # scopes to the deserialization layers only.
+        findings = self.repo.lint(
+            "src/common/string_util.cc",
+            "const long long v = std::strtoll(buf.c_str(), &end, 10);\n")
+        self.assertEqual(findings, [])
+
+    def test_discarded_getline_flagged(self):
+        findings = self.repo.lint("src/log/recovery_log.cc",
+                                  "std::getline(is, line);\n")
+        self.assert_rule(findings, "unchecked-io")
+
+    def test_condition_position_getline_ok(self):
+        findings = self.repo.lint(
+            "src/log/recovery_log.cc",
+            "while (std::getline(is, line)) { use(line); }\n"
+            "if (!std::getline(is, header)) return false;\n")
+        self.assertEqual(findings, [])
+
+    def test_unchecked_fstream_flagged(self):
+        findings = self.repo.lint("src/rl/qtable.cc",
+                                  "std::ifstream is(path);\n"
+                                  "Read(is, out);\n")
+        self.assert_rule(findings, "unchecked-io")
+
+    def test_checked_fstream_ok(self):
+        findings = self.repo.lint(
+            "src/rl/qtable.cc",
+            "std::ifstream is(path);\n"
+            "if (!is.good()) return false;\n")
+        self.assertEqual(findings, [])
+        findings = self.repo.lint(
+            "src/log/recovery_log.cc",
+            "std::ofstream os(path);\n"
+            "AER_CHECK(os.good()) << path;\n")
+        self.assertEqual(findings, [])
+
     # -- allow pragma & stripping -------------------------------------------
 
     def test_allow_pragma_suppresses(self):
