@@ -101,7 +101,7 @@ void Run() {
   for (const Variant& v : variants) {
     const ExperimentRunner runner(
         dataset.clean, dataset.trace.result.log.symptoms(), v.config);
-    const ExperimentResult result = runner.RunOne(0.4);
+    const ExperimentResult result = runner.RunOne(0.4, &GetPool());
     labels.push_back(v.name);
     hybrid_rel.values.push_back(result.hybrid.overall_relative_cost);
     coverage.values.push_back(result.trained.overall_coverage);

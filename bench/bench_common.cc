@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench_json.h"
 #include "common/string_util.h"
 #include "mining/error_type.h"
 
@@ -53,14 +54,20 @@ const ExperimentRunner& GetExperimentRunner() {
   return *runner;
 }
 
+ThreadPool& GetPool() {
+  static ThreadPool* pool = new ThreadPool();  // leaked: lives to exit
+  return *pool;
+}
+
 const std::vector<ExperimentResult>& GetExperimentResults() {
   static const std::vector<ExperimentResult> results =
-      GetExperimentRunner().RunAll();
+      GetExperimentRunner().RunAll(&GetPool());
   return results;
 }
 
 void Header(const std::string& id, const std::string& paper_item,
             const std::string& description) {
+  BenchRecord::Instance().Begin(id);
   const BenchDataset& dataset = GetDataset();
   std::printf("================================================================\n");
   std::printf("%s — reproduces %s\n", id.c_str(), paper_item.c_str());
@@ -75,11 +82,26 @@ void Header(const std::string& id, const std::string& paper_item,
   std::printf("================================================================\n");
 }
 
-void Footer() { std::printf("\n"); }
+void Footer() {
+  BenchRecord::Instance().Finish();
+  std::printf("\n");
+}
 
 void Report(const std::string& csv_name, const std::string& x_name,
             const std::vector<std::string>& labels,
             const std::vector<ChartSeries>& series, bool log_scale) {
+  // Fold the series into the bench's output checksum at full precision, so
+  // BENCH_<name>.json detects numeric drift the rounded table would hide.
+  BenchRecord& record = BenchRecord::Instance();
+  record.FoldChecksum(csv_name);
+  for (const std::string& label : labels) record.FoldChecksum(label);
+  for (const ChartSeries& s : series) {
+    record.FoldChecksum(s.name);
+    for (const double v : s.values) {
+      record.FoldChecksum(StrFormat("%.17g,", v));
+    }
+  }
+
   std::printf("\n%s\n", RenderTable(x_name, labels, series).c_str());
   std::printf("%s\n",
               (log_scale ? RenderLogBarChart(labels, series)

@@ -12,6 +12,7 @@
 #include "common/ascii_chart.h"
 #include "common/csv.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "eval/experiment.h"
 #include "mining/symptom_clusters.h"
 
@@ -35,12 +36,20 @@ const BenchDataset& GetDataset();
 // 1-4, selection-tree policy generation.
 ExperimentConfig DefaultExperimentConfig();
 
-// Runs tests 1-4 once per process and caches the results.
+// Runs tests 1-4 once per process and caches the results. Training shards
+// by error type over GetPool(); the results are bit-identical to a serial
+// run (docs/PARALLELISM.md).
 const std::vector<ExperimentResult>& GetExperimentResults();
 const ExperimentRunner& GetExperimentRunner();
 
+// The process-wide worker pool for figure regeneration, sized by
+// AER_THREADS (default: hardware concurrency).
+ThreadPool& GetPool();
+
 // Report output helpers. Every bench starts with Header(), prints one or
-// more Series blocks and ends with Footer().
+// more Series blocks and ends with Footer(). Header() also begins the
+// bench's machine-readable BENCH_<id>.json record (bench_json.h): Report()
+// folds every series into its output checksum and Footer() writes the file.
 void Header(const std::string& id, const std::string& paper_item,
             const std::string& description);
 void Footer();

@@ -1,0 +1,68 @@
+// Machine-readable perf records for the bench suite (docs/PARALLELISM.md).
+//
+// Every bench binary emits one BENCH_<name>.json next to its stdout report:
+// wall time, the bench's reported series folded into an FNV-1a output
+// checksum (so numeric drift is detectable without parsing the prose), and
+// any bench-specific metrics (episodes/sec, speedup vs serial, ...). The
+// figure benches get all of this for free through bench_common's
+// Header()/Report()/Footer(); training and micro benches add their own
+// metrics explicitly. bench/run_all.py runs the whole suite, aggregates the
+// records into BENCH_ALL.json and compares against a recorded baseline —
+// the repo's perf trajectory, in a diffable format.
+//
+// File format (keys always present, metrics bench-specific):
+//   {
+//     "name": "fig13_training_time",
+//     "scale": "small",                // AER_SCALE at run time
+//     "threads": 8,                    // ThreadPool::DefaultThreadCount()
+//     "wall_ms": 1234.5,               // Header() -> Finish() wall clock
+//     "checksum": "0123456789abcdef",  // FNV-1a 64 over reported series
+//     "metrics": { "episodes_per_sec": 52340.1, ... }
+//   }
+//
+// Output directory: AER_BENCH_JSON_DIR if set, else the working directory.
+// Setting AER_BENCH_JSON_DIR=off suppresses emission entirely.
+#ifndef AER_BENCH_BENCH_JSON_H_
+#define AER_BENCH_BENCH_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace aer::bench {
+
+// The per-process record under construction. Begin() is idempotent per
+// process (the first name wins); Finish() writes the file and is a no-op
+// on a record that never began.
+class BenchRecord {
+ public:
+  static BenchRecord& Instance();
+
+  // Starts the wall clock and names the output file BENCH_<name>.json.
+  void Begin(std::string_view name);
+
+  // Folds bytes into the running FNV-1a 64 output checksum. Report() feeds
+  // every series value through here; benches may add their own payloads
+  // (e.g. serialized Q-tables) to tighten the drift detection.
+  void FoldChecksum(std::string_view bytes);
+
+  // Bench-specific numeric metric ("episodes_per_sec", "speedup", ...).
+  // Re-setting a key overwrites it.
+  void SetMetric(std::string_view key, double value);
+  void SetIntMetric(std::string_view key, std::int64_t value);
+
+  // Stops the clock and writes BENCH_<name>.json. Safe to call once.
+  void Finish();
+
+  // The checksum accumulated so far, as 16 hex digits (for tests).
+  std::string ChecksumHex() const;
+
+ private:
+  BenchRecord();
+  struct Impl;
+  Impl* impl_;  // intentionally leaked: lives until process exit
+};
+
+}  // namespace aer::bench
+
+#endif  // AER_BENCH_BENCH_JSON_H_

@@ -1,0 +1,108 @@
+// Serial vs parallel training throughput (docs/PARALLELISM.md).
+//
+// Trains the full per-type policy twice from the same master seed — once on
+// the serial QLearningTrainer, once sharded by error type over the shared
+// ThreadPool — and reports episodes/sec for both plus the speedup. The two
+// runs must produce byte-identical serialized policies (the determinism
+// contract); the bench aborts if they ever diverge, and folds the serialized
+// policy and every per-type Q-table into the BENCH_training.json checksum so
+// run_all.py catches numeric drift across commits.
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "bench_common.h"
+#include "bench_json.h"
+#include "common/check.h"
+#include "mining/error_type.h"
+#include "rl/parallel_trainer.h"
+#include "rl/qlearning.h"
+#include "sim/platform.h"
+
+namespace aer::bench {
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void Run() {
+  Header("training",
+         "Section 4 training loop (engineering extension)",
+         "Serial vs per-error-type parallel training: same seed, same bytes "
+         "out, episodes/sec and speedup recorded to BENCH_training.json.");
+
+  const BenchDataset& dataset = GetDataset();
+  const ErrorTypeCatalog types(dataset.clean, 40);
+  const SimulationPlatform platform(
+      dataset.clean, types, dataset.trace.result.log.symptoms(), 20);
+  const TrainerConfig config = DefaultExperimentConfig().trainer;
+  const QLearningTrainer trainer(platform, dataset.clean, config);
+
+  // Serial arm: the unmodified reference trainer.
+  const auto serial_start = std::chrono::steady_clock::now();
+  const QLearningTrainer::TrainingOutput serial = trainer.TrainAll();
+  const double serial_ms = MsSince(serial_start);
+
+  // Parallel arm: sharded by type over the shared pool.
+  ThreadPool& pool = GetPool();
+  const ParallelTrainer parallel_trainer(trainer, pool);
+  std::vector<QTable> tables;
+  const auto parallel_start = std::chrono::steady_clock::now();
+  const QLearningTrainer::TrainingOutput parallel =
+      parallel_trainer.TrainAll(&tables);
+  const double parallel_ms = MsSince(parallel_start);
+
+  // Equivalence gate: the serialized policies must match byte for byte.
+  std::ostringstream serial_bytes;
+  serial.policy.Write(serial_bytes);
+  std::ostringstream parallel_bytes;
+  parallel.policy.Write(parallel_bytes);
+  AER_CHECK(serial_bytes.str() == parallel_bytes.str())
+      << "parallel training diverged from the serial trainer";
+
+  const std::int64_t episodes = ParallelTrainer::TotalEpisodes(serial);
+  AER_CHECK_EQ(episodes, ParallelTrainer::TotalEpisodes(parallel));
+  const double serial_eps = episodes / (serial_ms / 1000.0);
+  const double parallel_eps = episodes / (parallel_ms / 1000.0);
+
+  BenchRecord& record = BenchRecord::Instance();
+  record.FoldChecksum(parallel_bytes.str());
+  for (const QTable& table : tables) {
+    std::ostringstream table_bytes;
+    table.Write(table_bytes);
+    record.FoldChecksum(table_bytes.str());
+  }
+  record.SetIntMetric("episodes", episodes);
+  record.SetIntMetric("types", static_cast<std::int64_t>(types.num_types()));
+  record.SetMetric("serial_wall_ms", serial_ms);
+  record.SetMetric("parallel_wall_ms", parallel_ms);
+  record.SetMetric("episodes_per_sec_serial", serial_eps);
+  record.SetMetric("episodes_per_sec", parallel_eps);
+  record.SetMetric("speedup_vs_serial", serial_eps > 0.0
+                                            ? parallel_eps / serial_eps
+                                            : 0.0);
+
+  std::printf("\n%-10s %14s %16s\n", "arm", "wall ms", "episodes/sec");
+  std::printf("%-10s %14.1f %16.1f\n", "serial", serial_ms, serial_eps);
+  std::printf("%-10s %14.1f %16.1f\n", "parallel", parallel_ms, parallel_eps);
+  std::printf("\nepisodes: %lld across %zu types, %d worker thread(s), "
+              "speedup %.2fx\n",
+              static_cast<long long>(episodes), types.num_types(),
+              ThreadPool::DefaultThreadCount(),
+              serial_eps > 0.0 ? parallel_eps / serial_eps : 0.0);
+  std::printf("serialized policies: identical (%zu bytes)\n",
+              parallel_bytes.str().size());
+
+  Footer();
+}
+
+}  // namespace
+}  // namespace aer::bench
+
+int main() {
+  aer::bench::Run();
+  return 0;
+}

@@ -61,7 +61,7 @@ void Run() {
     experiment.user_policy = baseline.escalation;
     const ExperimentRunner runner(clean, trace.result.log.symptoms(),
                                   experiment);
-    const ExperimentResult result = runner.RunOne(0.4);
+    const ExperimentResult result = runner.RunOne(0.4, &GetPool());
 
     labels.push_back(baseline.name);
     baseline_mttr.values.push_back(

@@ -36,7 +36,7 @@ void Run() {
     const ExperimentRunner runner(
         clean, dataset.trace.result.log.symptoms(),
         DefaultExperimentConfig());
-    const ExperimentResult result = runner.RunOne(0.4);
+    const ExperimentResult result = runner.RunOne(0.4, &GetPool());
 
     labels.push_back(StrFormat("minp %.2f", minp));
     clean_frac.values.push_back(filtered.clean_fraction);

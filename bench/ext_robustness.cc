@@ -115,7 +115,7 @@ void Run() {
     ExperimentConfig experiment = DefaultExperimentConfig();
     experiment.user_policy = config.escalation;
     const ExperimentRunner runner(clean, log.symptoms(), experiment);
-    const ExperimentResult result = runner.RunOne(0.4);
+    const ExperimentResult result = runner.RunOne(0.4, &GetPool());
 
     labels.push_back(arm.name);
     entries_kept.values.push_back(kept);

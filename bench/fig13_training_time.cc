@@ -31,8 +31,8 @@ void Run() {
       dataset.clean, dataset.trace.result.log.symptoms(), with_tree);
   const ExperimentRunner runner_plain(
       dataset.clean, dataset.trace.result.log.symptoms(), without_tree);
-  const ExperimentResult tree = runner_tree.RunOne(0.4);
-  const ExperimentResult plain = runner_plain.RunOne(0.4);
+  const ExperimentResult tree = runner_tree.RunOne(0.4, &GetPool());
+  const ExperimentResult plain = runner_plain.RunOne(0.4, &GetPool());
 
   const std::size_t n = tree.training.size();
   ChartSeries with_s{"with tree", {}};

@@ -2,10 +2,12 @@
 // Boltzmann sampling, process replay steps, trainer sweeps, log
 // segmentation, m-pattern mining and log (de)serialization throughput.
 #include <sstream>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
+#include "bench_json.h"
 #include "mining/error_type.h"
 #include "rl/qlearning.h"
 
@@ -154,7 +156,33 @@ void BM_ClusterSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_ClusterSimulation);
 
+// Console output as usual, plus every benchmark's per-iteration real time
+// recorded as a "<name>_ns" metric in BENCH_micro_benchmarks.json so
+// run_all.py tracks micro-level regressions alongside the figure benches.
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.iterations <= 0) continue;
+      const double ns_per_iter = run.real_accumulated_time /
+                                 static_cast<double>(run.iterations) * 1e9;
+      BenchRecord::Instance().SetMetric(run.benchmark_name() + "_ns",
+                                        ns_per_iter);
+    }
+  }
+};
+
 }  // namespace
 }  // namespace aer::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  aer::bench::BenchRecord::Instance().Begin("micro_benchmarks");
+  aer::bench::RecordingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  aer::bench::BenchRecord::Instance().Finish();
+  return 0;
+}

@@ -1,0 +1,163 @@
+#include "common/json_writer.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace aer {
+namespace {
+
+void AppendEscaped(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", static_cast<unsigned>(
+                                          static_cast<unsigned char>(c)));
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void Indent(std::string& out, int depth) {
+  out.append(static_cast<std::size_t>(depth) * 2, ' ');
+}
+
+}  // namespace
+
+JsonValue JsonValue::String(std::string_view s) {
+  JsonValue v(Kind::kString);
+  v.string_ = std::string(s);
+  return v;
+}
+
+JsonValue JsonValue::Number(double value) {
+  AER_CHECK(std::isfinite(value)) << "JSON has no NaN/Inf";
+  JsonValue v(Kind::kNumber);
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::Int(std::int64_t value) {
+  JsonValue v(Kind::kInt);
+  v.int_ = value;
+  return v;
+}
+
+JsonValue JsonValue::Bool(bool value) {
+  JsonValue v(Kind::kBool);
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::Object() { return JsonValue(Kind::kObject); }
+
+JsonValue JsonValue::Array() { return JsonValue(Kind::kArray); }
+
+JsonValue& JsonValue::Set(std::string_view key, JsonValue value) {
+  AER_CHECK(kind_ == Kind::kObject) << "Set() on a non-object JSON value";
+  for (auto& [existing, member] : members_) {
+    if (existing == key) {
+      *member = std::move(value);
+      return *member;
+    }
+  }
+  members_.emplace_back(std::string(key),
+                        std::make_unique<JsonValue>(std::move(value)));
+  return *members_.back().second;
+}
+
+JsonValue* JsonValue::Find(std::string_view key) {
+  AER_CHECK(kind_ == Kind::kObject) << "Find() on a non-object JSON value";
+  for (auto& [existing, member] : members_) {
+    if (existing == key) return member.get();
+  }
+  return nullptr;
+}
+
+JsonValue& JsonValue::Append(JsonValue value) {
+  AER_CHECK(kind_ == Kind::kArray) << "Append() on a non-array JSON value";
+  elements_.push_back(std::make_unique<JsonValue>(std::move(value)));
+  return *elements_.back();
+}
+
+void JsonValue::Render(std::string& out, int depth) const {
+  switch (kind_) {
+    case Kind::kString:
+      AppendEscaped(out, string_);
+      break;
+    case Kind::kNumber:
+      out += StrFormat("%.17g", number_);
+      break;
+    case Kind::kInt:
+      out += StrFormat("%lld", static_cast<long long>(int_));
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        Indent(out, depth + 1);
+        AppendEscaped(out, members_[i].first);
+        out += ": ";
+        members_[i].second->Render(out, depth + 1);
+        if (i + 1 < members_.size()) out += ",";
+        out += "\n";
+      }
+      Indent(out, depth);
+      out += "}";
+      break;
+    }
+    case Kind::kArray: {
+      if (elements_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < elements_.size(); ++i) {
+        Indent(out, depth + 1);
+        elements_[i]->Render(out, depth + 1);
+        if (i + 1 < elements_.size()) out += ",";
+        out += "\n";
+      }
+      Indent(out, depth);
+      out += "]";
+      break;
+    }
+  }
+}
+
+std::string JsonValue::ToString() const {
+  std::string out;
+  Render(out, 0);
+  out.push_back('\n');
+  return out;
+}
+
+}  // namespace aer

@@ -1,0 +1,56 @@
+// Minimal JSON emission for machine-readable artifacts (the BENCH_*.json
+// perf records, see bench/bench_json.h). Append-only and ordered: keys are
+// emitted in insertion order so two runs of the same bench produce
+// textually diffable files. Writing only — the repo consumes these files
+// with external tooling (bench/run_all.py), never in C++.
+#ifndef AER_COMMON_JSON_WRITER_H_
+#define AER_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aer {
+
+class JsonValue {
+ public:
+  static JsonValue String(std::string_view s);
+  static JsonValue Number(double v);  // emitted with %.17g (round-trip safe)
+  static JsonValue Int(std::int64_t v);
+  static JsonValue Bool(bool v);
+  static JsonValue Object();
+  static JsonValue Array();
+
+  // Object operations (CHECK-fails on other kinds). Set() replaces the
+  // value of an existing key in place, keeping its original position.
+  JsonValue& Set(std::string_view key, JsonValue value);
+  JsonValue* Find(std::string_view key);  // nullptr when absent
+
+  // Array operation (CHECK-fails on other kinds).
+  JsonValue& Append(JsonValue value);
+
+  // Serializes with 2-space indentation and a trailing newline at the top
+  // level, RFC 8259 string escaping.
+  std::string ToString() const;
+
+ private:
+  enum class Kind { kString, kNumber, kInt, kBool, kObject, kArray };
+
+  explicit JsonValue(Kind kind) : kind_(kind) {}
+
+  void Render(std::string& out, int depth) const;
+
+  Kind kind_;
+  std::string string_;
+  double number_ = 0.0;
+  std::int64_t int_ = 0;
+  bool bool_ = false;
+  std::vector<std::pair<std::string, std::unique_ptr<JsonValue>>> members_;
+  std::vector<std::unique_ptr<JsonValue>> elements_;
+};
+
+}  // namespace aer
+
+#endif  // AER_COMMON_JSON_WRITER_H_

@@ -34,6 +34,23 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+// Derives the seed of an independent child stream from a master seed and a
+// stable stream identifier (an ErrorTypeId, a bootstrap resample index, a
+// replication number, ...). The result depends on nothing but the two
+// arguments — not on how many sibling streams exist, not on the order they
+// are created in, and not on which thread asks — which is what makes
+// sharded training and resampling bit-identical to their serial
+// counterparts (docs/PARALLELISM.md). The mapping is frozen: it is the
+// golden-ratio XOR the trainers have always used, so historical trained
+// artifacts and recorded bench checksums stay reproducible. Collisions
+// between (master_seed, stream_id) pairs are possible in principle (XOR is
+// linear) but irrelevant here: within one run the master seed is fixed and
+// distinct stream ids always map to distinct seeds.
+inline std::uint64_t DeriveStream(std::uint64_t master_seed,
+                                  std::uint64_t stream_id) {
+  return master_seed ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1));
+}
+
 // xoshiro256++ 1.0 (Blackman & Vigna). Fast, high-quality, 2^256-1 period.
 class Rng {
  public:

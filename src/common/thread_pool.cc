@@ -1,0 +1,189 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace aer {
+namespace {
+
+// Which worker of which pool the current thread is, so Submit() from inside
+// a task lands on the submitter's own deque.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local std::size_t tls_worker = 0;
+
+}  // namespace
+
+int ThreadPool::DefaultThreadCount() {
+  if (const char* env = std::getenv("AER_THREADS")) {
+    const auto parsed = ParseInt64(env);
+    if (parsed.has_value() && *parsed > 0) {
+      return static_cast<int>(*parsed < 512 ? *parsed : 512);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = num_threads > 0 ? num_threads : DefaultThreadCount();
+  deques_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    deques_.push_back(std::make_unique<Deque>());
+  }
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back(
+        [this, i]() { WorkerLoop(static_cast<std::size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    shutdown_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  AER_CHECK_EQ(pending_, 0u) << "worker exited with tasks still queued";
+}
+
+void ThreadPool::Enqueue(Task task) {
+  // Inside a worker of this pool: push to its own deque (newest-first pop
+  // keeps the chain hot). Outside: push to the shortest deque so external
+  // submissions spread without a shared queue.
+  std::size_t target = 0;
+  if (tls_pool == this) {
+    target = tls_worker;
+  } else {
+    std::size_t best_size = static_cast<std::size_t>(-1);
+    for (std::size_t i = 0; i < deques_.size(); ++i) {
+      std::lock_guard<std::mutex> lock(deques_[i]->mu);
+      const std::size_t size = deques_[i]->tasks.size();
+      if (size < best_size) {
+        best_size = size;
+        target = i;
+        if (size == 0) break;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(deques_[target]->mu);
+    deques_[target]->tasks.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    ++pending_;
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::TryAcquire(std::size_t own, Task& out) {
+  const std::size_t n = deques_.size();
+  {
+    std::lock_guard<std::mutex> lock(deques_[own]->mu);
+    if (!deques_[own]->tasks.empty()) {
+      out = std::move(deques_[own]->tasks.back());
+      deques_[own]->tasks.pop_back();
+      std::lock_guard<std::mutex> wake(wake_mu_);
+      AER_DCHECK_GT(pending_, 0u);
+      --pending_;
+      return true;
+    }
+  }
+  for (std::size_t step = 1; step < n; ++step) {
+    const std::size_t victim = (own + step) % n;
+    std::lock_guard<std::mutex> lock(deques_[victim]->mu);
+    if (!deques_[victim]->tasks.empty()) {
+      out = std::move(deques_[victim]->tasks.front());
+      deques_[victim]->tasks.pop_front();
+      std::lock_guard<std::mutex> wake(wake_mu_);
+      AER_DCHECK_GT(pending_, 0u);
+      --pending_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(std::size_t worker_index) {
+  tls_pool = this;
+  tls_worker = worker_index;
+  while (true) {
+    Task task;
+    if (TryAcquire(worker_index, task)) {
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait(lock, [this]() { return pending_ > 0 || shutdown_; });
+    if (pending_ == 0 && shutdown_) return;
+  }
+}
+
+std::size_t ThreadPool::QueuedTasks() const {
+  std::size_t total = 0;
+  for (const auto& deque : deques_) {
+    std::lock_guard<std::mutex> lock(deque->mu);
+    total += deque->tasks.size();
+  }
+  return total;
+}
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+
+  // Shared by the caller and the helper tasks; shared_ptr-owned so helpers
+  // that only get scheduled after the caller has already returned (because
+  // every index was long finished) still touch live state.
+  struct Control {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    std::atomic<std::size_t> next{0};
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::size_t completed = 0;
+    std::exception_ptr first_error;
+  };
+  auto control = std::make_shared<Control>();
+  control->fn = &fn;
+  control->n = n;
+
+  const auto run_indices = [](const std::shared_ptr<Control>& c) {
+    while (true) {
+      const std::size_t i = c->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= c->n) return;
+      std::exception_ptr error;
+      try {
+        (*c->fn)(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(c->mu);
+      if (error && !c->first_error) c->first_error = error;
+      if (++c->completed == c->n) c->done_cv.notify_all();
+    }
+  };
+
+  // One helper per worker (capped by n); the caller participates, so the
+  // loop completes even if no helper ever gets a thread.
+  const std::size_t helpers =
+      deques_.size() < n - 1 ? deques_.size() : n - 1;
+  for (std::size_t h = 0; h < helpers; ++h) {
+    Enqueue([control, run_indices]() { run_indices(control); });
+  }
+  run_indices(control);
+
+  std::unique_lock<std::mutex> lock(control->mu);
+  control->done_cv.wait(lock,
+                        [&]() { return control->completed == control->n; });
+  // The caller's `fn` reference outlives every *executing* index here:
+  // completed == n means no helper will touch fn again (late helpers bail
+  // on the exhausted counter before dereferencing it).
+  control->fn = nullptr;
+  if (control->first_error) std::rethrow_exception(control->first_error);
+}
+
+}  // namespace aer

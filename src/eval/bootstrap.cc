@@ -6,12 +6,13 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace aer {
 
 BootstrapInterval BootstrapRatioCI(
     std::span<const std::pair<double, double>> pairs, int resamples,
-    double confidence, std::uint64_t seed) {
+    double confidence, std::uint64_t seed, ThreadPool* pool) {
   AER_CHECK_GT(resamples, 0);
   AER_CHECK_GT(confidence, 0.0);
   AER_CHECK_LT(confidence, 1.0);
@@ -29,10 +30,12 @@ BootstrapInterval BootstrapRatioCI(
   }
   interval.point = den > 0 ? num / den : 0.0;
 
-  Rng rng(seed);
-  std::vector<double> ratios;
-  ratios.reserve(static_cast<std::size_t>(resamples));
-  for (int r = 0; r < resamples; ++r) {
+  // Each resample draws from its own derived stream, so ratios[r] is a pure
+  // function of (seed, r) — identical whether the loop below runs serially
+  // or fanned out over the pool.
+  std::vector<double> ratios(static_cast<std::size_t>(resamples));
+  const auto one_resample = [&](std::size_t r) {
+    Rng rng(DeriveStream(seed, static_cast<std::uint64_t>(r)));
     double rn = 0.0;
     double rd = 0.0;
     for (std::size_t i = 0; i < pairs.size(); ++i) {
@@ -40,8 +43,14 @@ BootstrapInterval BootstrapRatioCI(
       rn += n;
       rd += d;
     }
-    ratios.push_back(rd > 0 ? rn / rd : 0.0);
+    ratios[r] = rd > 0 ? rn / rd : 0.0;
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(ratios.size(), one_resample);
+  } else {
+    for (std::size_t r = 0; r < ratios.size(); ++r) one_resample(r);
   }
+
   std::sort(ratios.begin(), ratios.end());
   const double alpha = (1.0 - confidence) / 2.0;
   const auto at = [&](double q) {

@@ -11,6 +11,8 @@
 
 namespace aer {
 
+class ThreadPool;
+
 struct BootstrapInterval {
   double point = 0.0;  // Σ numerator / Σ denominator on the full sample
   double low = 0.0;
@@ -21,10 +23,15 @@ struct BootstrapInterval {
 
 // Pairs are (numerator_i, denominator_i) for one process: (policy cost,
 // actual cost). Resamples pairs with replacement and takes the percentile
-// interval of the ratio of sums. Deterministic for a given seed.
+// interval of the ratio of sums. Deterministic for a given seed: resample r
+// draws from its own stream DeriveStream(seed, r), so the result does not
+// depend on how the resamples are scheduled — passing a `pool` fans them
+// out over its workers and produces bit-identical intervals to the serial
+// path (the equivalence is enforced by tests/eval/parallel_eval_test.cc).
 BootstrapInterval BootstrapRatioCI(
     std::span<const std::pair<double, double>> pairs, int resamples = 2000,
-    double confidence = 0.95, std::uint64_t seed = 1);
+    double confidence = 0.95, std::uint64_t seed = 1,
+    ThreadPool* pool = nullptr);
 
 }  // namespace aer
 

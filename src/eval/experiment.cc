@@ -1,6 +1,8 @@
 #include "eval/experiment.h"
 
 #include "common/check.h"
+#include "common/thread_pool.h"
+#include "rl/parallel_trainer.h"
 
 namespace aer {
 
@@ -14,7 +16,8 @@ ExperimentRunner::ExperimentRunner(
   AER_CHECK(!clean_.empty());
 }
 
-ExperimentResult ExperimentRunner::RunOne(double train_fraction) const {
+ExperimentResult ExperimentRunner::RunOne(double train_fraction,
+                                          ThreadPool* pool) const {
   ExperimentResult result;
   result.train_fraction = train_fraction;
 
@@ -29,9 +32,12 @@ ExperimentResult ExperimentRunner::RunOne(double train_fraction) const {
   const QLearningTrainer trainer(train_platform, split.train, config_.trainer);
   QLearningTrainer::TrainingOutput output;
   if (config_.use_selection_tree) {
-    output = SelectionTreeTrainer(trainer, config_.tree).TrainAll();
+    const SelectionTreeTrainer tree(trainer, config_.tree);
+    output = pool != nullptr ? ParallelTrainer(tree, *pool).TrainAll()
+                             : tree.TrainAll();
   } else {
-    output = trainer.TrainAll();
+    output = pool != nullptr ? ParallelTrainer(trainer, *pool).TrainAll()
+                             : trainer.TrainAll();
   }
   result.training = std::move(output.per_type);
   result.policy = std::move(output.policy);
@@ -49,11 +55,15 @@ ExperimentResult ExperimentRunner::RunOne(double train_fraction) const {
   return result;
 }
 
-std::vector<ExperimentResult> ExperimentRunner::RunAll() const {
+std::vector<ExperimentResult> ExperimentRunner::RunAll(
+    ThreadPool* pool) const {
   std::vector<ExperimentResult> results;
   results.reserve(config_.train_fractions.size());
+  // Replications stay in submission order; each one fans its ~40 per-type
+  // training shards out over the pool, which keeps every worker busy
+  // without nesting replication-level parallelism on top.
   for (double fraction : config_.train_fractions) {
-    results.push_back(RunOne(fraction));
+    results.push_back(RunOne(fraction, pool));
   }
   return results;
 }

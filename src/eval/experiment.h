@@ -42,6 +42,8 @@ struct ExperimentResult {
   std::int64_t test_processes = 0;
 };
 
+class ThreadPool;
+
 class ExperimentRunner {
  public:
   // `clean_processes`: noise-filtered, time-ordered processes; `symptoms`:
@@ -49,8 +51,14 @@ class ExperimentRunner {
   ExperimentRunner(std::span<const RecoveryProcess> clean_processes,
                    const SymptomTable& symptoms, ExperimentConfig config);
 
-  ExperimentResult RunOne(double train_fraction) const;
-  std::vector<ExperimentResult> RunAll() const;
+  // With a pool, training shards by error type through ParallelTrainer;
+  // results are bit-identical to the serial path for any thread count
+  // (docs/PARALLELISM.md). The experiment replications (one per train
+  // fraction) are themselves independent, so RunAll() keeps the pool busy
+  // across the per-type shards of whichever replication is in flight.
+  ExperimentResult RunOne(double train_fraction,
+                          ThreadPool* pool = nullptr) const;
+  std::vector<ExperimentResult> RunAll(ThreadPool* pool = nullptr) const;
 
   const ErrorTypeCatalog& types() const { return types_; }
   const ExperimentConfig& config() const { return config_; }

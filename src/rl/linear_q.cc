@@ -102,8 +102,7 @@ void ApproxQLearningTrainer::TrainType(ErrorTypeId type,
               platform_.estimator().EstimateCost(type, a, /*success=*/true));
   }
 
-  Rng rng(config_.seed ^ (0x9e3779b97f4a7c15ULL *
-                          static_cast<std::uint64_t>(type + 1)));
+  Rng rng(DeriveStream(config_.seed, static_cast<std::uint64_t>(type)));
 
   struct Transition {
     LinearQFunction::FeatureVector features;

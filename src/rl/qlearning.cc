@@ -214,8 +214,10 @@ TypeTrainingResult QLearningTrainer::TrainType(ErrorTypeId type,
   result.training_processes = static_cast<std::int64_t>(processes.size());
   if (processes.empty()) return result;
 
-  Rng rng(config_.seed ^ (0x9e3779b97f4a7c15ULL *
-                          static_cast<std::uint64_t>(type + 1)));
+  // One stream per (master seed, type): a type's draws depend on nothing
+  // else, so types can train in any order — or on any thread — and still
+  // produce the exact bytes the serial path produces.
+  Rng rng(DeriveStream(config_.seed, static_cast<std::uint64_t>(type)));
   QTable table(config_.fixed_alpha);
   QTable table_b(config_.fixed_alpha);
   AER_CHECK(!config_.double_q || config_.td_lambda == 0.0);
@@ -254,6 +256,7 @@ TypeTrainingResult QLearningTrainer::TrainType(ErrorTypeId type,
   }
 
   result.sweeps = result.converged ? stable_since : config_.max_sweeps;
+  result.episodes = sweep < config_.max_sweeps ? sweep + 1 : config_.max_sweeps;
   QTable final_table =
       config_.double_q ? merged_view() : std::move(table);
   result.sequence = GreedySequence(final_table, type, config_.max_actions);

@@ -66,6 +66,9 @@ struct TypeTrainingResult {
   // Sweep count at which the finally-stable policy first appeared (the
   // paper's "sweep number before convergence"), or the cap if never stable.
   std::int64_t sweeps = 0;
+  // Episodes actually rolled out (= sweeps executed before the convergence
+  // break or the cap) — the work unit behind the benches' episodes/sec.
+  std::int64_t episodes = 0;
   bool converged = false;
   ActionSequence sequence;  // the generated policy for this type
   std::size_t states_explored = 0;

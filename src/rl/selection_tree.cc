@@ -74,8 +74,7 @@ TypeTrainingResult SelectionTreeTrainer::TrainType(ErrorTypeId type,
   result.training_processes = static_cast<std::int64_t>(processes.size());
   if (processes.empty()) return result;
 
-  Rng rng(tc.seed ^ (0x9e3779b97f4a7c15ULL *
-                     static_cast<std::uint64_t>(type + 1)));
+  Rng rng(DeriveStream(tc.seed, static_cast<std::uint64_t>(type)));
   QTable table(tc.fixed_alpha);
   QTable table_b(tc.fixed_alpha);  // Double Q twin (unused otherwise)
 
@@ -164,6 +163,7 @@ TypeTrainingResult SelectionTreeTrainer::TrainType(ErrorTypeId type,
   }
 
   result.sweeps = result.converged ? stable_since : tc.max_sweeps;
+  result.episodes = sweep < tc.max_sweeps ? sweep + 1 : tc.max_sweeps;
   result.sequence = stable_sequence.empty() ? scan_tree() : stable_sequence;
   QTable final_table =
       tc.double_q ? MergeTablesByMean(table, table_b) : std::move(table);

@@ -59,6 +59,9 @@ class SelectionTreeTrainer {
 
   QLearningTrainer::TrainingOutput TrainAll() const;
 
+  // The wrapped plain trainer (platform, process grouping, sweep config).
+  const QLearningTrainer& base() const { return base_; }
+
  private:
   const QLearningTrainer& base_;
   SelectionTreeConfig config_;

@@ -1,0 +1,94 @@
+#include "common/json_writer.h"
+
+#include <gtest/gtest.h>
+
+namespace aer {
+namespace {
+
+TEST(JsonWriterTest, ScalarsRender) {
+  EXPECT_EQ(JsonValue::String("hi").ToString(), "\"hi\"\n");
+  EXPECT_EQ(JsonValue::Int(-42).ToString(), "-42\n");
+  EXPECT_EQ(JsonValue::Bool(true).ToString(), "true\n");
+  EXPECT_EQ(JsonValue::Bool(false).ToString(), "false\n");
+  EXPECT_EQ(JsonValue::Number(0.5).ToString(), "0.5\n");
+}
+
+TEST(JsonWriterTest, NumberRoundTripsAtFullPrecision) {
+  // %.17g: enough digits that a parser recovers the exact double.
+  const double v = 0.1 + 0.2;
+  const std::string rendered = JsonValue::Number(v).ToString();
+  EXPECT_EQ(std::stod(rendered), v);
+}
+
+TEST(JsonWriterTest, EmptyContainersRender) {
+  EXPECT_EQ(JsonValue::Object().ToString(), "{}\n");
+  EXPECT_EQ(JsonValue::Array().ToString(), "[]\n");
+}
+
+TEST(JsonWriterTest, ObjectKeepsInsertionOrder) {
+  JsonValue object = JsonValue::Object();
+  object.Set("zebra", JsonValue::Int(1));
+  object.Set("alpha", JsonValue::Int(2));
+  object.Set("middle", JsonValue::Int(3));
+  EXPECT_EQ(object.ToString(),
+            "{\n"
+            "  \"zebra\": 1,\n"
+            "  \"alpha\": 2,\n"
+            "  \"middle\": 3\n"
+            "}\n");
+}
+
+TEST(JsonWriterTest, SetReplacesInPlaceKeepingPosition) {
+  JsonValue object = JsonValue::Object();
+  object.Set("first", JsonValue::Int(1));
+  object.Set("second", JsonValue::Int(2));
+  object.Set("first", JsonValue::String("replaced"));
+  EXPECT_EQ(object.ToString(),
+            "{\n"
+            "  \"first\": \"replaced\",\n"
+            "  \"second\": 2\n"
+            "}\n");
+}
+
+TEST(JsonWriterTest, FindLocatesKeys) {
+  JsonValue object = JsonValue::Object();
+  object.Set("present", JsonValue::Int(5));
+  EXPECT_NE(object.Find("present"), nullptr);
+  EXPECT_EQ(object.Find("absent"), nullptr);
+}
+
+TEST(JsonWriterTest, NestedStructuresIndent) {
+  JsonValue root = JsonValue::Object();
+  JsonValue metrics = JsonValue::Object();
+  metrics.Set("eps", JsonValue::Number(2.0));
+  root.Set("name", JsonValue::String("bench"));
+  root.Set("metrics", std::move(metrics));
+  JsonValue list = JsonValue::Array();
+  list.Append(JsonValue::Int(1));
+  list.Append(JsonValue::Int(2));
+  root.Set("values", std::move(list));
+  EXPECT_EQ(root.ToString(),
+            "{\n"
+            "  \"name\": \"bench\",\n"
+            "  \"metrics\": {\n"
+            "    \"eps\": 2\n"
+            "  },\n"
+            "  \"values\": [\n"
+            "    1,\n"
+            "    2\n"
+            "  ]\n"
+            "}\n");
+}
+
+TEST(JsonWriterTest, StringsEscapePerRfc8259) {
+  EXPECT_EQ(JsonValue::String("a\"b\\c").ToString(), "\"a\\\"b\\\\c\"\n");
+  EXPECT_EQ(JsonValue::String("line\nbreak\ttab").ToString(),
+            "\"line\\nbreak\\ttab\"\n");
+  EXPECT_EQ(JsonValue::String(std::string("nul\x01"
+                                          "byte"))
+                .ToString(),
+            "\"nul\\u0001byte\"\n");
+}
+
+}  // namespace
+}  // namespace aer

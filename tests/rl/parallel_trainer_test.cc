@@ -1,0 +1,217 @@
+// The ParallelTrainer equivalence contract (docs/PARALLELISM.md): for every
+// seed and every thread count, sharded training must produce byte-identical
+// serialized artifacts — Q-tables and deployable policy — to the serial
+// QLearningTrainer / SelectionTreeTrainer. Not "statistically equivalent",
+// not "same greedy policy": the same bytes. Anything weaker would let
+// figure-level drift hide behind scheduling.
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "rl/parallel_trainer.h"
+#include "rl/qlearning.h"
+#include "rl/selection_tree.h"
+
+namespace aer {
+namespace {
+
+constexpr auto Y = RepairAction::kTryNop;
+constexpr auto B = RepairAction::kReboot;
+constexpr auto I = RepairAction::kReimage;
+
+RecoveryProcess MakeProcess(
+    std::vector<std::pair<RepairAction, SimTime>> attempts_with_costs,
+    SymptomId symptom, MachineId machine, SimTime start) {
+  std::vector<SymptomEvent> symptoms = {{start, symptom}};
+  std::vector<ActionAttempt> attempts;
+  SimTime t = start + 50;
+  for (const auto& [action, cost] : attempts_with_costs) {
+    attempts.push_back({action, t, cost, false});
+    t += cost;
+  }
+  attempts.back().cured = true;
+  return RecoveryProcess(machine, std::move(symptoms), std::move(attempts),
+                         t);
+}
+
+// Three error types with distinct optimal sequences so the merge phase has
+// real per-type structure to preserve.
+struct Fixture {
+  SymptomTable symptoms;
+  std::vector<RecoveryProcess> processes;
+  ErrorTypeCatalog catalog;
+  SimulationPlatform platform;
+
+  static std::vector<RecoveryProcess> Build() {
+    std::vector<RecoveryProcess> out;
+    SimTime start = 0;
+    MachineId m = 0;
+    for (int i = 0; i < 40; ++i) {
+      out.push_back(MakeProcess({{Y, 900}, {B, 2400}}, 0, m++, start));
+      start += 10;
+    }
+    for (int i = 0; i < 30; ++i) {
+      out.push_back(MakeProcess({{Y, 900}}, 1, m++, start));
+      start += 10;
+    }
+    for (int i = 0; i < 20; ++i) {
+      out.push_back(
+          MakeProcess({{B, 2400}, {I, 9000}}, 2, m++, start));
+      start += 10;
+    }
+    return out;
+  }
+
+  Fixture()
+      : processes(Build()),
+        catalog(processes, 30),
+        platform(processes, catalog, symptoms, 20) {
+    symptoms.Intern("stuck");
+    symptoms.Intern("transient");
+    symptoms.Intern("disk");
+  }
+};
+
+TrainerConfig ConfigWithSeed(std::uint64_t seed) {
+  TrainerConfig config;
+  config.max_sweeps = 4000;
+  config.min_sweeps = 500;
+  config.check_every = 100;
+  config.stable_checks = 5;
+  config.seed = seed;
+  return config;
+}
+
+std::string Serialize(const TrainedPolicy& policy) {
+  std::ostringstream os;
+  policy.Write(os);
+  return os.str();
+}
+
+std::string Serialize(const QTable& table) {
+  std::ostringstream os;
+  table.Write(os);
+  return os.str();
+}
+
+struct SerialReference {
+  std::string policy_bytes;
+  std::vector<std::string> table_bytes;
+  std::vector<TypeTrainingResult> per_type;
+};
+
+// The serial ground truth: TrainAll() for the policy + per-type telemetry,
+// TrainType(type, &table) for the table bytes.
+template <typename Trainer>
+SerialReference SerialRun(const Trainer& trainer, std::size_t num_types) {
+  SerialReference ref;
+  const QLearningTrainer::TrainingOutput output = trainer.TrainAll();
+  ref.policy_bytes = Serialize(output.policy);
+  ref.per_type = output.per_type;
+  for (std::size_t t = 0; t < num_types; ++t) {
+    QTable table;
+    trainer.TrainType(static_cast<ErrorTypeId>(t), &table);
+    ref.table_bytes.push_back(Serialize(table));
+  }
+  return ref;
+}
+
+template <typename Trainer>
+void ExpectParallelMatchesSerial(const Trainer& trainer,
+                                 std::size_t num_types,
+                                 const SerialReference& ref, int threads,
+                                 std::uint64_t seed) {
+  ThreadPool pool(threads);
+  const ParallelTrainer parallel(trainer, pool);
+  std::vector<QTable> tables;
+  const QLearningTrainer::TrainingOutput output = parallel.TrainAll(&tables);
+
+  EXPECT_EQ(Serialize(output.policy), ref.policy_bytes)
+      << "seed " << seed << ", " << threads
+      << " threads: serialized policy diverged from the serial trainer";
+
+  ASSERT_EQ(tables.size(), num_types);
+  for (std::size_t t = 0; t < num_types; ++t) {
+    EXPECT_EQ(Serialize(tables[t]), ref.table_bytes[t])
+        << "seed " << seed << ", " << threads << " threads, type " << t
+        << ": serialized Q-table diverged from the serial trainer";
+  }
+
+  ASSERT_EQ(output.per_type.size(), ref.per_type.size());
+  for (std::size_t i = 0; i < ref.per_type.size(); ++i) {
+    EXPECT_EQ(output.per_type[i].type, ref.per_type[i].type);
+    EXPECT_EQ(output.per_type[i].sweeps, ref.per_type[i].sweeps);
+    EXPECT_EQ(output.per_type[i].episodes, ref.per_type[i].episodes);
+    EXPECT_EQ(output.per_type[i].converged, ref.per_type[i].converged);
+    EXPECT_EQ(output.per_type[i].sequence, ref.per_type[i].sequence);
+  }
+}
+
+constexpr std::uint64_t kSeeds[] = {1, 2, 3, 4, 5};
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+TEST(ParallelTrainerTest, PlainTrainerByteIdenticalAcrossSeedsAndThreads) {
+  const Fixture fx;
+  const std::size_t num_types = fx.platform.types().num_types();
+  for (const std::uint64_t seed : kSeeds) {
+    const QLearningTrainer trainer(fx.platform, fx.processes,
+                                   ConfigWithSeed(seed));
+    const SerialReference ref = SerialRun(trainer, num_types);
+    for (const int threads : kThreadCounts) {
+      ExpectParallelMatchesSerial(trainer, num_types, ref, threads, seed);
+    }
+  }
+}
+
+TEST(ParallelTrainerTest, TreeTrainerByteIdenticalAcrossSeedsAndThreads) {
+  const Fixture fx;
+  const std::size_t num_types = fx.platform.types().num_types();
+  for (const std::uint64_t seed : kSeeds) {
+    const QLearningTrainer base(fx.platform, fx.processes,
+                                ConfigWithSeed(seed));
+    const SelectionTreeTrainer tree(base, SelectionTreeConfig{});
+    const SerialReference ref = SerialRun(tree, num_types);
+    for (const int threads : kThreadCounts) {
+      ExpectParallelMatchesSerial(tree, num_types, ref, threads, seed);
+    }
+  }
+}
+
+TEST(ParallelTrainerTest, TotalEpisodesSumsPerTypeCounts) {
+  const Fixture fx;
+  const QLearningTrainer trainer(fx.platform, fx.processes,
+                                 ConfigWithSeed(7));
+  const QLearningTrainer::TrainingOutput output = trainer.TrainAll();
+  std::int64_t expected = 0;
+  for (const TypeTrainingResult& r : output.per_type) {
+    EXPECT_GT(r.episodes, 0) << "type " << r.type;
+    expected += r.episodes;
+  }
+  EXPECT_EQ(ParallelTrainer::TotalEpisodes(output), expected);
+}
+
+TEST(ParallelTrainerTest, SharedPoolAcrossConcurrentTrainAlls) {
+  // Two ParallelTrainers sharing one pool (the bench layout) must not
+  // interfere with each other's results.
+  const Fixture fx;
+  const QLearningTrainer trainer(fx.platform, fx.processes,
+                                 ConfigWithSeed(11));
+  const SerialReference ref =
+      SerialRun(trainer, fx.platform.types().num_types());
+  ThreadPool pool(4);
+  const ParallelTrainer a(trainer, pool);
+  const ParallelTrainer b(trainer, pool);
+  std::future<std::string> fa =
+      pool.Submit([&a] { return Serialize(a.TrainAll().policy); });
+  std::future<std::string> fb =
+      pool.Submit([&b] { return Serialize(b.TrainAll().policy); });
+  EXPECT_EQ(fa.get(), ref.policy_bytes);
+  EXPECT_EQ(fb.get(), ref.policy_bytes);
+}
+
+}  // namespace
+}  // namespace aer
