@@ -78,6 +78,15 @@ void BenchRecord::SetIntMetric(std::string_view key, std::int64_t value) {
   impl_->metrics.emplace_back(std::string(key), JsonValue::Int(value));
 }
 
+void BenchRecord::RecordRegistrySnapshot(const obs::MetricsRegistry& registry) {
+  obs::MetricsRegistry::ExportOptions options;
+  options.include_volatile = false;
+  FoldChecksum(registry.ExportText(options));
+  for (const auto& [name, value] : registry.CounterValues()) {
+    SetIntMetric(name, value);
+  }
+}
+
 std::string BenchRecord::ChecksumHex() const {
   return StrFormat("%016llx",
                    static_cast<unsigned long long>(impl_->checksum));

@@ -29,6 +29,8 @@
 #include <string>
 #include <string_view>
 
+#include "obs/metrics.h"
+
 namespace aer::bench {
 
 // The per-process record under construction. Begin() is idempotent per
@@ -50,6 +52,12 @@ class BenchRecord {
   // Re-setting a key overwrites it.
   void SetMetric(std::string_view key, double value);
   void SetIntMetric(std::string_view key, std::int64_t value);
+
+  // Folds the registry's deterministic text snapshot (volatile metrics
+  // excluded) into the checksum and mirrors every counter into an int
+  // metric under its own name, so run_all.py --compare diffs observability
+  // counters exactly, alongside the throughput metrics.
+  void RecordRegistrySnapshot(const obs::MetricsRegistry& registry);
 
   // Stops the clock and writes BENCH_<name>.json. Safe to call once.
   void Finish();

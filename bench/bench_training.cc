@@ -15,8 +15,10 @@
 #include "bench_json.h"
 #include "common/check.h"
 #include "mining/error_type.h"
+#include "obs/metrics.h"
 #include "rl/parallel_trainer.h"
 #include "rl/qlearning.h"
+#include "rl/telemetry.h"
 #include "sim/platform.h"
 
 namespace aer::bench {
@@ -68,7 +70,33 @@ void Run() {
   const double serial_eps = episodes / (serial_ms / 1000.0);
   const double parallel_eps = episodes / (parallel_ms / 1000.0);
 
+  // Telemetry arm: the serial trainer again, with per-episode telemetry
+  // collection on. Two gates: telemetry is observation-only (byte-identical
+  // policy) and near-free (< 5% wall overhead, with a small absolute slack
+  // so sub-second small-scale runs aren't failed by scheduler noise).
+  TrainerConfig telemetry_config = config;
+  telemetry_config.collect_telemetry = true;
+  const QLearningTrainer telemetry_trainer(platform, dataset.clean,
+                                           telemetry_config);
+  const auto telemetry_start = std::chrono::steady_clock::now();
+  const QLearningTrainer::TrainingOutput telemetry =
+      telemetry_trainer.TrainAll();
+  const double telemetry_ms = MsSince(telemetry_start);
+  std::ostringstream telemetry_bytes;
+  telemetry.policy.Write(telemetry_bytes);
+  AER_CHECK(telemetry_bytes.str() == serial_bytes.str())
+      << "telemetry collection changed the trained policy";
+  AER_CHECK_LE(telemetry_ms, serial_ms * 1.05 + 250.0)
+      << "telemetry overhead above 5%: " << telemetry_ms << " ms vs "
+      << serial_ms << " ms baseline";
+  const double telemetry_eps = episodes / (telemetry_ms / 1000.0);
+
+  obs::MetricsRegistry registry;
+  PublishTrainingTelemetry(registry, telemetry.per_type);
+  PublishTrainingThroughput(registry, telemetry_eps);
+
   BenchRecord& record = BenchRecord::Instance();
+  record.RecordRegistrySnapshot(registry);
   record.FoldChecksum(parallel_bytes.str());
   for (const QTable& table : tables) {
     std::ostringstream table_bytes;
@@ -85,9 +113,14 @@ void Run() {
                                             ? parallel_eps / serial_eps
                                             : 0.0);
 
+  record.SetMetric("episodes_per_sec_telemetry", telemetry_eps);
+  record.SetMetric("telemetry_wall_ms", telemetry_ms);
+
   std::printf("\n%-10s %14s %16s\n", "arm", "wall ms", "episodes/sec");
   std::printf("%-10s %14.1f %16.1f\n", "serial", serial_ms, serial_eps);
   std::printf("%-10s %14.1f %16.1f\n", "parallel", parallel_ms, parallel_eps);
+  std::printf("%-10s %14.1f %16.1f\n", "telemetry", telemetry_ms,
+              telemetry_eps);
   std::printf("\nepisodes: %lld across %zu types, %d worker thread(s), "
               "speedup %.2fx\n",
               static_cast<long long>(episodes), types.num_types(),

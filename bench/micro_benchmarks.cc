@@ -8,7 +8,10 @@
 
 #include "bench_common.h"
 #include "bench_json.h"
+#include "common/string_util.h"
 #include "mining/error_type.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "rl/qlearning.h"
 
 namespace aer::bench {
@@ -145,6 +148,71 @@ void BM_LogSerializationRoundTrip(benchmark::State& state) {
                               dataset.trace.result.log.size()));
 }
 BENCHMARK(BM_LogSerializationRoundTrip);
+
+// Observability overhead (docs/OBSERVABILITY.md): the instrumented hot
+// paths pay one cached-pointer counter increment or histogram observe per
+// event, never a registry lookup — these pin the cost of each.
+void BM_ObsCounterInc(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Counter& counter = registry.GetCounter("aer_bench_counter");
+  for (auto _ : state) {
+    counter.Inc();
+  }
+  benchmark::DoNotOptimize(counter.value());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& histogram = registry.GetHistogram("aer_bench_histogram");
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    histogram.Observe(static_cast<double>(i++ % 100000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+void BM_ObsRegistryLookup(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("aer_bench_counter");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&registry.GetCounter("aer_bench_counter"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsRegistryLookup);
+
+void BM_ObsSpanLifecycle(benchmark::State& state) {
+  obs::Tracer tracer(1024);
+  SimTime now = 0;
+  for (auto _ : state) {
+    const obs::SpanId span = tracer.StartSpan("recovery", now);
+    tracer.AddEvent(span, now + 1, "symptom:Watchdog");
+    tracer.EndSpan(span, now + 2);
+    now += 3;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsSpanLifecycle);
+
+void BM_ObsRegistryExportText(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  for (int i = 0; i < 64; ++i) {
+    registry.GetCounter(StrFormat("aer_bench_counter_%02d", i)).Inc(i);
+  }
+  for (int i = 0; i < 8; ++i) {
+    obs::Histogram& h =
+        registry.GetHistogram(StrFormat("aer_bench_histogram_%d", i));
+    for (int j = 0; j < 100; ++j) h.Observe(j * 97.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.ExportText());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsRegistryExportText);
 
 void BM_ClusterSimulation(benchmark::State& state) {
   TraceConfig config = TraceConfigForScale("small");

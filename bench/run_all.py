@@ -38,6 +38,10 @@ SMOKE_EXTRA_ARGS = {
 # they vary run to run and machine to machine.
 BASELINE_METRIC_KEYS = ("episodes", "types")
 THROUGHPUT_PREFIX = "episodes_per_sec"
+# Observability counters mirrored from a MetricsRegistry snapshot
+# (bench_json RecordRegistrySnapshot). Deterministic by contract
+# (docs/OBSERVABILITY.md), so they are compared exactly like checksums.
+OBS_METRIC_PREFIX = "aer_"
 
 
 def discover_benches(build_dir: Path) -> list[Path]:
@@ -94,7 +98,7 @@ def baseline_view(records: dict) -> dict:
         metrics = {}
         for key, value in record.get("metrics", {}).items():
             if key in BASELINE_METRIC_KEYS or key.startswith(
-                    THROUGHPUT_PREFIX):
+                    (THROUGHPUT_PREFIX, OBS_METRIC_PREFIX)):
                 metrics[key] = value
         if metrics:
             entry["metrics"] = metrics
@@ -123,7 +127,8 @@ def compare(records: dict, baseline_path: Path, threshold: float) -> list:
             value = record.get("metrics", {}).get(key)
             if value is None:
                 errors.append(f"{name}: metric {key} missing from run")
-            elif key in BASELINE_METRIC_KEYS and value != base_value:
+            elif (key in BASELINE_METRIC_KEYS or
+                  key.startswith(OBS_METRIC_PREFIX)) and value != base_value:
                 errors.append(f"{name}: {key} changed {base_value} -> {value}")
             elif key.startswith(THROUGHPUT_PREFIX) and \
                     value < base_value * (1.0 - threshold):

@@ -22,11 +22,16 @@
 #include <string>
 
 #include "cluster/trace.h"
-#include "rl/policy_diff.h"
+#include "cluster/user_policy.h"
+#include "core/guarded_policy.h"
 #include "core/policy_generator.h"
 #include "eval/experiment.h"
+#include "inject/harness.h"
 #include "log/log_report.h"
 #include "mining/symptom_clusters.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "rl/policy_diff.h"
 
 namespace {
 
@@ -86,7 +91,10 @@ int Usage() {
       "  aerctl evaluate  --log trace.log --policy policy.txt "
       "[--train-fraction 0.4]\n"
       "  aerctl simulate  --policy policy.txt [--scale small] [--seed N]\n"
-      "  aerctl diff      --old old.txt --new new.txt [--log recent.log]\n");
+      "  aerctl diff      --old old.txt --new new.txt [--log recent.log]\n"
+      "  aerctl metrics   [--incidents N] [--seed N] [--clean] [--json]\n"
+      "  aerctl trace     [--incidents N] [--seed N] [--clean] "
+      "[--type SYMPTOM] [--top N] [--json]\n");
   return 0;
 }
 
@@ -277,6 +285,87 @@ int Diff(const Flags& flags) {
   return 0;
 }
 
+// Shared by `metrics` and `trace`: drives a guarded policy through scripted
+// incidents under fault injection with both observability sinks attached.
+// Fully deterministic for a given (seed, incidents, clean) triple — the
+// registry snapshot and the trace dump are byte-identical across runs
+// (docs/OBSERVABILITY.md), which is what makes the output diffable.
+void RunObservedPipeline(const Flags& flags, obs::Tracer& tracer,
+                         obs::MetricsRegistry& metrics) {
+  const int count = static_cast<int>(flags.GetInt("incidents", 40));
+  std::vector<HarnessIncident> incidents;
+  const char* symptoms[] = {"Watchdog", "DiskError", "EventLog", "NicDown"};
+  for (int i = 0; i < count; ++i) {
+    HarnessIncident incident;
+    incident.time = 100 + i * 700;
+    incident.machine = i % 7;
+    incident.symptom = symptoms[i % 4];
+    incident.cure_strength = i % kNumActions;
+    incidents.push_back(incident);
+  }
+
+  UserDefinedPolicy primary;
+  UserDefinedPolicy fallback;
+  GuardedPolicy guard(primary, fallback);
+  guard.SetObservers(&tracer, &metrics);
+
+  RecoveryManagerConfig manager_config;
+  manager_config.action_timeout = 10 * kHour;
+  manager_config.flap_threshold = 6;
+  manager_config.flap_window = 12 * kHour;
+
+  HarnessConfig harness_config;
+  harness_config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+  if (!flags.Has("clean")) {
+    harness_config.drop_event = 0.2;
+    harness_config.duplicate_event = 0.1;
+    harness_config.delay_event = 0.2;
+    harness_config.hang_action = 0.1;
+    harness_config.false_success = 0.1;
+  }
+
+  InjectionHarness harness(guard, manager_config, harness_config);
+  harness.SetObservers(&tracer, &metrics);
+  harness.Run(incidents);
+}
+
+int Metrics(const Flags& flags) {
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  RunObservedPipeline(flags, tracer, metrics);
+  obs::MetricsRegistry::ExportOptions options;
+  options.include_volatile = false;
+  if (flags.Has("json")) {
+    std::printf("%s\n", metrics.ExportJson(options).ToString().c_str());
+  } else {
+    std::printf("%s", metrics.ExportText(options).c_str());
+  }
+  return 0;
+}
+
+int Trace(const Flags& flags) {
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  RunObservedPipeline(flags, tracer, metrics);
+  std::vector<obs::Span> spans = tracer.Snapshot();
+  if (flags.Has("type")) {
+    spans = obs::Tracer::FilterByLabel(spans, flags.Get("type", ""));
+  }
+  if (flags.Has("top")) {
+    spans = obs::Tracer::TopSlowest(
+        spans, static_cast<std::size_t>(flags.GetInt("top", 10)), "recovery");
+  }
+  if (flags.Has("json")) {
+    std::printf("%s\n", obs::Tracer::SpansToJson(spans).ToString().c_str());
+  } else {
+    std::printf("%s", obs::Tracer::FormatSpans(spans).c_str());
+    std::printf("%lld spans (%lld dropped by ring)\n",
+                static_cast<long long>(spans.size()),
+                static_cast<long long>(tracer.dropped_count()));
+  }
+  return 0;
+}
+
 int Simulate(const Flags& flags) {
   TrainedPolicy policy;
   {
@@ -327,6 +416,8 @@ int main(int argc, char** argv) {
   if (command == "evaluate") return Evaluate(flags);
   if (command == "simulate") return Simulate(flags);
   if (command == "diff") return Diff(flags);
+  if (command == "metrics") return Metrics(flags);
+  if (command == "trace") return Trace(flags);
   std::fprintf(stderr, "unknown command: %s\n\n", command.c_str());
   Usage();
   return 1;

@@ -376,6 +376,15 @@ SimulationResult ClusterSimulator::Run(RecoveryPolicy& policy) {
                      if (a.start != b.start) return a.start < b.start;
                      return a.machine < b.machine;
                    });
+
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("aer_sim_processes_total")
+        .Inc(result.processes_completed);
+    metrics_->GetCounter("aer_sim_faults_skipped_total")
+        .Inc(result.fault_arrivals_skipped);
+    metrics_->GetCounter("aer_sim_downtime_seconds_total")
+        .Inc(result.total_downtime);
+  }
   return result;
 }
 

@@ -20,6 +20,7 @@
 #include "cluster/policy.h"
 #include "common/rng.h"
 #include "log/recovery_log.h"
+#include "obs/metrics.h"
 
 namespace aer {
 
@@ -103,11 +104,18 @@ class ClusterSimulator {
   // catalog, policy); the policy is invoked in deterministic event order.
   SimulationResult Run(RecoveryPolicy& policy);
 
+  // Optional observability sink. Each Run() folds its SimulationResult into
+  // aer_sim_* counters at the end of the simulation (docs/OBSERVABILITY.md);
+  // the simulation itself is untouched, so instrumented and uninstrumented
+  // runs produce identical logs. The registry must outlive the simulator.
+  void SetMetrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
   const FaultCatalog& catalog() const { return catalog_; }
 
  private:
   ClusterSimConfig config_;
   FaultCatalog catalog_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace aer

@@ -8,11 +8,20 @@
 
 namespace aer {
 
+void RunningStat::AddToSum(double x) {
+  // Kahan: sum_comp_ carries the low-order bits the naive add would drop.
+  const double y = x - sum_comp_;
+  const double t = sum_ + y;
+  sum_comp_ = (t - sum_) - y;
+  sum_ = t;
+}
+
 void RunningStat::Add(double x) {
   ++count_;
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(count_);
   m2_ += delta * (x - mean_);
+  AddToSum(x);
   min_ = std::min(min_, x);
   max_ = std::max(max_, x);
 }
@@ -37,6 +46,8 @@ void RunningStat::Merge(const RunningStat& other) {
                          static_cast<double>(n);
   mean_ += delta * static_cast<double>(other.count_) / static_cast<double>(n);
   count_ = n;
+  AddToSum(other.sum_);
+  AddToSum(-other.sum_comp_);
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
 }
@@ -66,6 +77,16 @@ void LogHistogram::Add(double x) {
   const int clamped =
       std::min(idx, static_cast<int>(counts_.size()) - 1);
   ++counts_[static_cast<size_t>(clamped)];
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  AER_CHECK(base_ == other.base_ && growth_ == other.growth_ &&
+            counts_.size() == other.counts_.size())
+      << "LogHistogram::Merge requires identical geometry: (" << base_ << ", "
+      << growth_ << ", " << counts_.size() << ") vs (" << other.base_ << ", "
+      << other.growth_ << ", " << other.counts_.size() << ")";
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
 }
 
 double LogHistogram::ApproxQuantile(double q) const {

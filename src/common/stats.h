@@ -20,7 +20,9 @@ class RunningStat {
   double mean() const { return count_ > 0 ? mean_ : 0.0; }
   double min() const { return count_ > 0 ? min_ : 0.0; }
   double max() const { return count_ > 0 ? max_ : 0.0; }
-  double sum() const { return count_ > 0 ? mean_ * count_ : 0.0; }
+  // Kahan-compensated running sum: exact up to one rounding of the total,
+  // not mean_ * count_ (which loses low-order bits for large counts).
+  double sum() const { return count_ > 0 ? sum_ : 0.0; }
 
   // Sample variance (n-1 denominator); 0 for fewer than two samples.
   double variance() const;
@@ -30,9 +32,13 @@ class RunningStat {
   void Merge(const RunningStat& other);
 
  private:
+  void AddToSum(double x);
+
   std::int64_t count_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
+  double sum_ = 0.0;
+  double sum_comp_ = 0.0;  // Kahan compensation (lost low-order bits)
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
 };
@@ -47,13 +53,23 @@ class LogHistogram {
 
   void Add(double x);
 
+  // Adds another histogram's counts bucket-by-bucket. CHECK-fails unless
+  // both histograms share the same (base, growth, bucket_count) geometry.
+  void Merge(const LogHistogram& other);
+
   std::int64_t total_count() const { return total_; }
   int bucket_count() const { return static_cast<int>(counts_.size()); }
   std::int64_t bucket(int i) const { return counts_[static_cast<size_t>(i)]; }
   // Lower bound of bucket i (0 for the first).
   double bucket_lower(int i) const;
+  double base() const { return base_; }
+  double growth() const { return growth_; }
 
   // Approximate quantile by linear interpolation within the bucket.
+  // Pinned edge behavior (see stats_test.cc): an empty histogram returns 0;
+  // q=0 returns the lower edge of the first non-empty bucket; q=1 returns
+  // the upper edge of the last non-empty bucket; samples in the overflow
+  // bucket interpolate inside [lower, lower*growth).
   double ApproxQuantile(double q) const;
 
   std::string ToString() const;

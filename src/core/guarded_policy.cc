@@ -17,6 +17,26 @@ GuardedPolicy::GuardedPolicy(RecoveryPolicy& primary,
   baseline_mean_ = config_.baseline_mean_downtime;
 }
 
+void GuardedPolicy::SetObservers(obs::Tracer* tracer,
+                                 obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  if (metrics == nullptr) {
+    obs_ = ObsMetrics{};
+    return;
+  }
+  obs_.primary_decisions =
+      &metrics->GetCounter("aer_guard_primary_decisions_total");
+  obs_.fallback_decisions =
+      &metrics->GetCounter("aer_guard_fallback_decisions_total");
+  obs_.faults_absorbed =
+      &metrics->GetCounter("aer_guard_faults_absorbed_total");
+  obs_.invalid_actions =
+      &metrics->GetCounter("aer_guard_invalid_actions_total");
+  obs_.breaker_trips = &metrics->GetCounter("aer_guard_breaker_trips_total");
+  obs_.breaker_open = &metrics->GetGauge("aer_guard_breaker_open");
+  obs_.breaker_open->Set(fallback_remaining_ > 0 ? 1.0 : 0.0);
+}
+
 bool GuardedPolicy::ProcessUsesFallback(const RecoveryContext& context) {
   const auto it = open_process_fallback_.find(context.machine);
   if (it != open_process_fallback_.end()) return it->second;
@@ -30,6 +50,7 @@ bool GuardedPolicy::ProcessUsesFallback(const RecoveryContext& context) {
 RepairAction GuardedPolicy::ChooseAction(const RecoveryContext& context) {
   if (ProcessUsesFallback(context)) {
     ++stats_.fallback_decisions;
+    if (obs_.fallback_decisions) obs_.fallback_decisions->Inc();
     return fallback_.ChooseAction(context);
   }
 
@@ -41,24 +62,38 @@ RepairAction GuardedPolicy::ChooseAction(const RecoveryContext& context) {
     action = primary_.ChooseAction(context);
   } catch (...) {
     ++stats_.faults_absorbed;
+    if (obs_.faults_absorbed) obs_.faults_absorbed->Inc();
+    if (tracer_) {
+      tracer_->Instant("guard:fault_absorbed", context.now,
+                       context.initial_symptom_name, obs::kNoSpan,
+                       context.machine);
+    }
     faulted = true;
   }
   if (!faulted) {
     const int index = static_cast<int>(action);
     if (index < 0 || index >= kNumActions) {
       ++stats_.invalid_actions;
+      if (obs_.invalid_actions) obs_.invalid_actions->Inc();
+      if (tracer_) {
+        tracer_->Instant("guard:invalid_action", context.now,
+                         context.initial_symptom_name, obs::kNoSpan,
+                         context.machine);
+      }
       faulted = true;
     }
   }
   if (faulted) {
     ++stats_.fallback_decisions;
+    if (obs_.fallback_decisions) obs_.fallback_decisions->Inc();
     return fallback_.ChooseAction(context);
   }
   ++stats_.primary_decisions;
+  if (obs_.primary_decisions) obs_.primary_decisions->Inc();
   return action;
 }
 
-void GuardedPolicy::RecordPrimaryCompletion(double downtime) {
+void GuardedPolicy::RecordPrimaryCompletion(double downtime, SimTime now) {
   window_.push_back(downtime);
   if (static_cast<int>(window_.size()) > config_.window) window_.pop_front();
   if (static_cast<int>(window_.size()) < config_.window) return;
@@ -76,6 +111,9 @@ void GuardedPolicy::RecordPrimaryCompletion(double downtime) {
     ++stats_.breaker_trips;
     fallback_remaining_ = config_.probation;
     window_.clear();
+    if (obs_.breaker_trips) obs_.breaker_trips->Inc();
+    if (obs_.breaker_open) obs_.breaker_open->Set(1.0);
+    if (tracer_) tracer_->Instant("breaker:trip", now);
   }
 }
 
@@ -102,11 +140,13 @@ void GuardedPolicy::OnActionOutcome(const RecoveryContext& context,
     if (fallback_remaining_ > 0 && --fallback_remaining_ == 0) {
       // Half-open: probation served; the primary gets a fresh window.
       window_.clear();
+      if (obs_.breaker_open) obs_.breaker_open->Set(0.0);
+      if (tracer_) tracer_->Instant("breaker:half_open", context.now);
     }
     return;
   }
   RecordPrimaryCompletion(
-      static_cast<double>(context.now - context.process_start));
+      static_cast<double>(context.now - context.process_start), context.now);
 }
 
 }  // namespace aer

@@ -32,6 +32,8 @@
 #include <unordered_map>
 
 #include "cluster/policy.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 
 namespace aer {
 
@@ -54,6 +56,12 @@ class GuardedPolicy final : public RecoveryPolicy {
   // Both referenced policies must outlive the guard.
   GuardedPolicy(RecoveryPolicy& primary, RecoveryPolicy& fallback,
                 GuardedPolicyConfig config = {});
+
+  // Attaches observability sinks (either may be null; both must outlive the
+  // guard). Mirrors the Stats counters into aer_guard_* metrics, keeps the
+  // aer_guard_breaker_open gauge current, and emits instant spans for
+  // fault absorption and breaker trip / half-open transitions.
+  void SetObservers(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
 
   RepairAction ChooseAction(const RecoveryContext& context) override;
 
@@ -80,7 +88,7 @@ class GuardedPolicy final : public RecoveryPolicy {
   // True if this machine's open process is routed to the fallback.
   bool ProcessUsesFallback(const RecoveryContext& context);
 
-  void RecordPrimaryCompletion(double downtime);
+  void RecordPrimaryCompletion(double downtime, SimTime now);
 
   RecoveryPolicy& primary_;
   RecoveryPolicy& fallback_;
@@ -95,6 +103,19 @@ class GuardedPolicy final : public RecoveryPolicy {
   double baseline_mean_ = 0.0;  // 0 until learned/configured
   int fallback_remaining_ = 0;  // >0: breaker open, counts down probation
   Stats stats_;
+
+  obs::Tracer* tracer_ = nullptr;
+  // Cached metric handles (see RecoveryManager::SetObservers); all null
+  // when no registry is attached.
+  struct ObsMetrics {
+    obs::Counter* primary_decisions = nullptr;
+    obs::Counter* fallback_decisions = nullptr;
+    obs::Counter* faults_absorbed = nullptr;
+    obs::Counter* invalid_actions = nullptr;
+    obs::Counter* breaker_trips = nullptr;
+    obs::Gauge* breaker_open = nullptr;
+  };
+  ObsMetrics obs_;
 };
 
 }  // namespace aer

@@ -1,8 +1,11 @@
 #include "core/recovery_manager.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/check.h"
+#include "common/string_util.h"
+#include "log/action.h"
 
 namespace aer {
 
@@ -17,9 +20,39 @@ RecoveryManager::RecoveryManager(RecoveryPolicy& policy,
   AER_CHECK_GT(config_.history_retention, 0);
 }
 
+void RecoveryManager::SetObservers(obs::Tracer* tracer,
+                                   obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  if (metrics == nullptr) {
+    obs_ = ObsMetrics{};
+    return;
+  }
+  obs_.processes = &metrics->GetCounter("aer_recovery_processes_total");
+  obs_.actions = &metrics->GetCounter("aer_recovery_actions_total");
+  obs_.manual_forced =
+      &metrics->GetCounter("aer_recovery_manual_forced_total");
+  obs_.timeouts = &metrics->GetCounter("aer_recovery_timeouts_total");
+  obs_.stale_results =
+      &metrics->GetCounter("aer_recovery_stale_results_total");
+  obs_.out_of_order = &metrics->GetCounter("aer_recovery_out_of_order_total");
+  obs_.duplicate_symptoms =
+      &metrics->GetCounter("aer_recovery_duplicate_symptoms_total");
+  obs_.duplicate_requests =
+      &metrics->GetCounter("aer_recovery_duplicate_requests_total");
+  obs_.flap_quarantines =
+      &metrics->GetCounter("aer_recovery_flap_quarantines_total");
+  obs_.history_evictions =
+      &metrics->GetCounter("aer_recovery_history_evictions_total");
+  obs_.downtime = &metrics->GetHistogram("aer_recovery_downtime_seconds");
+  obs_.actions_per_process = &metrics->GetHistogram(
+      "aer_recovery_actions_per_process", /*base=*/1.0, /*growth=*/2.0,
+      /*bucket_count=*/8);
+}
+
 SimTime RecoveryManager::ClampTime(OpenProcess& process, SimTime time) {
   if (time < process.last_event_time) {
     ++stats_.out_of_order_events;
+    if (obs_.out_of_order) obs_.out_of_order->Inc();
     return process.last_event_time;
   }
   process.last_event_time = time;
@@ -65,11 +98,16 @@ void RecoveryManager::OnSymptom(SimTime time, MachineId machine,
     // instant adds no information — absorb it instead of bloating the log.
     if (id == process.last_symptom && seen == process.last_symptom_time) {
       ++stats_.duplicate_symptoms;
+      if (obs_.duplicate_symptoms) obs_.duplicate_symptoms->Inc();
       return;
     }
     process.last_symptom = id;
     process.last_symptom_time = seen;
     log_.Append(LogEntry::Symptom(seen, machine, id));
+    if (tracer_) {
+      tracer_->AddEvent(process.span, seen,
+                        StrFormat("symptom:%s", std::string(symptom).c_str()));
+    }
     return;
   }
 
@@ -91,6 +129,17 @@ void RecoveryManager::OnSymptom(SimTime time, MachineId machine,
       static_cast<int>(history.recent_opens.size()) > config_.flap_threshold) {
     process.quarantined = true;
     ++stats_.flap_quarantines;
+    if (obs_.flap_quarantines) obs_.flap_quarantines->Inc();
+  }
+
+  if (obs_.processes) obs_.processes->Inc();
+  if (tracer_) {
+    process.span = tracer_->StartSpan("recovery", time);
+    tracer_->SetLabel(process.span, symptom);
+    tracer_->SetMachine(process.span, machine);
+    if (process.quarantined) {
+      tracer_->AddEvent(process.span, time, "flap_quarantine");
+    }
   }
 
   log_.Append(LogEntry::Symptom(time, machine, id));
@@ -108,15 +157,12 @@ std::optional<RepairAction> RecoveryManager::OnRecoveryNeeded(
     if (config_.action_timeout > 0 && now >= ActionDeadline(process)) {
       // The pending action is overdue: declare it failed and fall through
       // to choose the next (possibly escalated) action.
-      ReportOutcome(machine, process, ActionDeadline(process),
-                    /*cured=*/false);
-      process.action_in_flight = false;
-      ++process.timeouts;
-      ++stats_.actions_timed_out;
+      ExpireInFlightAction(machine, process);
     } else {
       // Duplicate fault-detection request while the action is still being
       // executed: repeat the standing decision instead of double-acting.
       ++stats_.duplicate_recovery_requests;
+      if (obs_.duplicate_requests) obs_.duplicate_requests->Inc();
       return process.tried.back();
     }
   }
@@ -126,10 +172,13 @@ std::optional<RepairAction> RecoveryManager::OnRecoveryNeeded(
     // Flapping machines have demonstrated that their health reports cannot
     // be trusted; stop burning repair attempts and hand them to a human.
     action = RepairAction::kRma;
+    if (tracer_) tracer_->AddEvent(process.span, now, "quarantine:rma");
   } else if (static_cast<int>(process.tried.size()) >=
              config_.max_actions_per_process - 1) {
     action = RepairAction::kRma;
     ++stats_.manual_repairs_forced;
+    if (obs_.manual_forced) obs_.manual_forced->Inc();
+    if (tracer_) tracer_->AddEvent(process.span, now, "ncap:manual_repair");
   } else {
     RecoveryContext ctx;
     ctx.machine = machine;
@@ -147,6 +196,13 @@ std::optional<RepairAction> RecoveryManager::OnRecoveryNeeded(
   process.action_in_flight = true;
   log_.Append(LogEntry::Action(now, machine, action));
   ++stats_.actions_taken;
+  if (obs_.actions) obs_.actions->Inc();
+  if (tracer_) {
+    process.action_span = tracer_->StartSpan(
+        StrFormat("action:%s", std::string(ActionName(action)).c_str()), now,
+        process.span);
+    tracer_->SetMachine(process.action_span, machine);
+  }
   return action;
 }
 
@@ -157,6 +213,7 @@ void RecoveryManager::OnActionResult(SimTime time, MachineId machine,
     // Result for a process that no longer exists: a duplicate delivery or a
     // report from a decommissioned flow. Dirty telemetry, not a bug.
     ++stats_.stale_results_ignored;
+    if (obs_.stale_results) obs_.stale_results->Inc();
     return;
   }
   OpenProcess& process = it->second;
@@ -166,10 +223,17 @@ void RecoveryManager::OnActionResult(SimTime time, MachineId machine,
     // Result monitoring: feed the outcome back to the policy.
     ReportOutcome(machine, process, now, healthy);
     process.action_in_flight = false;
+    if (tracer_) {
+      tracer_->AddEvent(process.action_span, now,
+                        healthy ? "result:cured" : "result:failed");
+      tracer_->EndSpan(process.action_span, now);
+      process.action_span = obs::kNoSpan;
+    }
   } else if (!healthy) {
     // Failure report with nothing pending (late arrival after a timeout, or
     // a duplicate): the process state already reflects a failure.
     ++stats_.stale_results_ignored;
+    if (obs_.stale_results) obs_.stale_results->Inc();
     return;
   }
   // A healthy report with nothing pending still closes the process: the
@@ -180,6 +244,14 @@ void RecoveryManager::OnActionResult(SimTime time, MachineId machine,
   log_.Append(LogEntry::Success(now, machine));
   ++stats_.processes_completed;
   stats_.total_downtime += now - process.start;
+  if (obs_.downtime) {
+    obs_.downtime->Observe(static_cast<double>(now - process.start));
+  }
+  if (obs_.actions_per_process) {
+    obs_.actions_per_process->Observe(
+        static_cast<double>(process.tried.size()));
+  }
+  if (tracer_) tracer_->EndSpan(process.span, now);
   history_[machine].last_recovery_end = now;
   open_.erase(it);
   if (++closes_since_sweep_ >= 64) MaybeEvictHistory(now);
@@ -196,15 +268,27 @@ std::vector<MachineId> RecoveryManager::PollTimeouts(SimTime now) {
   // open_ iteration order is unspecified; sort for deterministic replay.
   std::sort(timed_out.begin(), timed_out.end());
   for (const MachineId machine : timed_out) {
-    OpenProcess& process = open_[machine];
-    const SimTime deadline = ActionDeadline(process);
-    ReportOutcome(machine, process, deadline, /*cured=*/false);
-    process.action_in_flight = false;
-    process.last_event_time = std::max(process.last_event_time, deadline);
-    ++process.timeouts;
-    ++stats_.actions_timed_out;
+    ExpireInFlightAction(machine, open_[machine]);
   }
   return timed_out;
+}
+
+void RecoveryManager::ExpireInFlightAction(MachineId machine,
+                                           OpenProcess& process) {
+  const SimTime deadline = ActionDeadline(process);
+  ReportOutcome(machine, process, deadline, /*cured=*/false);
+  process.action_in_flight = false;
+  process.last_event_time = std::max(process.last_event_time, deadline);
+  ++process.timeouts;
+  ++stats_.actions_timed_out;
+  if (obs_.timeouts) obs_.timeouts->Inc();
+  if (tracer_) {
+    tracer_->AddEvent(process.action_span, deadline, "timeout");
+    tracer_->EndSpan(process.action_span, deadline);
+    process.action_span = obs::kNoSpan;
+    tracer_->AddEvent(process.span, deadline,
+                      StrFormat("timeout:backoff=%d", process.timeouts));
+  }
 }
 
 void RecoveryManager::MaybeEvictHistory(SimTime now) {
@@ -221,6 +305,7 @@ void RecoveryManager::MaybeEvictHistory(SimTime now) {
     if (stale) {
       it = history_.erase(it);
       ++stats_.history_evictions;
+      if (obs_.history_evictions) obs_.history_evictions->Inc();
     } else {
       ++it;
     }

@@ -33,6 +33,8 @@
 
 #include "cluster/policy.h"
 #include "log/recovery_log.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 
 namespace aer {
 
@@ -64,6 +66,14 @@ class RecoveryManager {
  public:
   // `policy` must outlive the manager.
   RecoveryManager(RecoveryPolicy& policy, RecoveryManagerConfig config = {});
+
+  // Attaches observability sinks (either may be null; both must outlive the
+  // manager). With a tracer set, each recovery process gets a "recovery"
+  // span labeled with its initiating symptom, each action attempt a child
+  // "action:<name>" span, and timeout/backoff/quarantine/N-cap transitions
+  // become span events. With a registry set, the Stats counters are mirrored
+  // into the aer_recovery_* metrics (docs/OBSERVABILITY.md).
+  void SetObservers(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
 
   // Event monitoring: a symptom was observed on a machine. Opens a recovery
   // process if none is active; records the symptom either way. Tolerates
@@ -135,6 +145,8 @@ class RecoveryManager {
     bool action_in_flight = false;
     int timeouts = 0;  // timeouts hit so far (drives backoff)
     bool quarantined = false;
+    obs::SpanId span = obs::kNoSpan;         // the process's "recovery" span
+    obs::SpanId action_span = obs::kNoSpan;  // the in-flight action's span
   };
 
   struct MachineHistory {
@@ -157,6 +169,10 @@ class RecoveryManager {
   // Drops history entries older than config.history_retention.
   void MaybeEvictHistory(SimTime now);
 
+  // Declares the in-flight action timed out: closes its span, reports the
+  // failure to the policy, and advances the backoff/N-cap state.
+  void ExpireInFlightAction(MachineId machine, OpenProcess& process);
+
   RecoveryPolicy& policy_;
   RecoveryManagerConfig config_;
   RecoveryLog log_;
@@ -164,6 +180,25 @@ class RecoveryManager {
   std::unordered_map<MachineId, MachineHistory> history_;
   int closes_since_sweep_ = 0;
   Stats stats_;
+
+  obs::Tracer* tracer_ = nullptr;
+  // Cached metric handles (resolved once in SetObservers) so the hot path
+  // never takes the registry lock; all null when no registry is attached.
+  struct ObsMetrics {
+    obs::Counter* processes = nullptr;
+    obs::Counter* actions = nullptr;
+    obs::Counter* manual_forced = nullptr;
+    obs::Counter* timeouts = nullptr;
+    obs::Counter* stale_results = nullptr;
+    obs::Counter* out_of_order = nullptr;
+    obs::Counter* duplicate_symptoms = nullptr;
+    obs::Counter* duplicate_requests = nullptr;
+    obs::Counter* flap_quarantines = nullptr;
+    obs::Counter* history_evictions = nullptr;
+    obs::Histogram* downtime = nullptr;
+    obs::Histogram* actions_per_process = nullptr;
+  };
+  ObsMetrics obs_;
 };
 
 }  // namespace aer

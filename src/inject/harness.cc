@@ -61,6 +61,25 @@ InjectionHarness::InjectionHarness(RecoveryPolicy& policy,
   }
 }
 
+void InjectionHarness::SetObservers(obs::Tracer* tracer,
+                                    obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  manager_.SetObservers(tracer, metrics);
+  if (metrics == nullptr) {
+    obs_ = ObsMetrics{};
+    return;
+  }
+  obs_.incidents = &metrics->GetCounter("aer_inject_incidents_total");
+  obs_.cures = &metrics->GetCounter("aer_inject_cures_total");
+  obs_.dropped = &metrics->GetCounter("aer_inject_events_dropped_total");
+  obs_.duplicated =
+      &metrics->GetCounter("aer_inject_events_duplicated_total");
+  obs_.delayed = &metrics->GetCounter("aer_inject_events_delayed_total");
+  obs_.hangs = &metrics->GetCounter("aer_inject_hangs_total");
+  obs_.false_successes =
+      &metrics->GetCounter("aer_inject_false_successes_total");
+}
+
 HarnessResult InjectionHarness::Run(
     const std::vector<HarnessIncident>& incidents) {
   Rng rng(config_.seed);
@@ -91,8 +110,11 @@ HarnessResult InjectionHarness::Run(
 
   // Emits one symptom report through the injection layer.
   const auto emit_symptom = [&](SimTime now, MachineId machine) {
+    const std::string& symptom = machines_[machine].symptom;
     if (rng.NextBool(config_.drop_event)) {
       ++result.events_dropped;
+      if (obs_.dropped) obs_.dropped->Inc();
+      if (tracer_) tracer_->Instant("inject:drop", now, symptom, obs::kNoSpan, machine);
       return;
     }
     Event e;
@@ -102,11 +124,15 @@ HarnessResult InjectionHarness::Run(
     if (rng.NextBool(config_.delay_event)) {
       e.time += rng.NextInt(1, config_.max_delay);
       ++result.events_delayed;
+      if (obs_.delayed) obs_.delayed->Inc();
+      if (tracer_) tracer_->Instant("inject:delay", now, symptom, obs::kNoSpan, machine);
     }
     push(e);
     if (rng.NextBool(config_.duplicate_event)) {
       push(e);
       ++result.events_duplicated;
+      if (obs_.duplicated) obs_.duplicated->Inc();
+      if (tracer_) tracer_->Instant("inject:duplicate", now, symptom, obs::kNoSpan, machine);
     }
   };
 
@@ -121,6 +147,11 @@ HarnessResult InjectionHarness::Run(
         ActionStrength(action) >= state.cure_strength;
     if (action != RepairAction::kRma && rng.NextBool(config_.hang_action)) {
       ++result.hangs_injected;
+      if (obs_.hangs) obs_.hangs->Inc();
+      if (tracer_) {
+        tracer_->Instant("inject:hang", now, state.symptom, obs::kNoSpan,
+                         machine);
+      }
       return;  // no result event: only PollTimeouts can unstick this
     }
     Event e;
@@ -135,6 +166,11 @@ HarnessResult InjectionHarness::Run(
         rng.NextBool(config_.false_success)) {
       e.report_healthy = true;  // lies: machine is still sick
       ++result.false_successes_injected;
+      if (obs_.false_successes) obs_.false_successes->Inc();
+      if (tracer_) {
+        tracer_->Instant("inject:false_success", e.time, state.symptom,
+                         obs::kNoSpan, machine);
+      }
     }
     push(e);
   };
@@ -175,6 +211,11 @@ HarnessResult InjectionHarness::Run(
         MachineState& state = machines_[event.machine];
         state.sick = true;
         state.symptom = event.symptom;
+        if (obs_.incidents) obs_.incidents->Inc();
+        if (tracer_) {
+          tracer_->Instant("inject:incident", event.time, event.symptom,
+                           obs::kNoSpan, event.machine);
+        }
         // Overlapping incidents on one machine: the harder fault wins.
         state.cure_strength =
             std::max(state.cure_strength, event.cure_strength);
@@ -209,6 +250,7 @@ HarnessResult InjectionHarness::Run(
           state.sick = false;
           state.cure_strength = 0;
           ++result.cures;
+          if (obs_.cures) obs_.cures->Inc();
         }
         manager_.OnActionResult(event.time, event.machine,
                                 event.report_healthy);

@@ -94,6 +94,12 @@ class InjectionHarness {
                    RecoveryManagerConfig manager_config,
                    HarnessConfig config);
 
+  // Attaches observability sinks (either may be null; both must outlive the
+  // harness) and forwards them to the wrapped RecoveryManager, so traces
+  // show the injected fault (instant "inject:*" spans) alongside the
+  // recovery spans it perturbs. Injection counts mirror into aer_inject_*.
+  void SetObservers(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
   // Runs all incidents to quiescence (or the event budget). Callable once.
   HarnessResult Run(const std::vector<HarnessIncident>& incidents);
 
@@ -115,6 +121,20 @@ class InjectionHarness {
   HarnessConfig config_;
   RecoveryManager manager_;
   std::unordered_map<MachineId, MachineState> machines_;
+
+  obs::Tracer* tracer_ = nullptr;
+  // Cached metric handles (see RecoveryManager::SetObservers); all null
+  // when no registry is attached.
+  struct ObsMetrics {
+    obs::Counter* incidents = nullptr;
+    obs::Counter* cures = nullptr;
+    obs::Counter* dropped = nullptr;
+    obs::Counter* duplicated = nullptr;
+    obs::Counter* delayed = nullptr;
+    obs::Counter* hangs = nullptr;
+    obs::Counter* false_successes = nullptr;
+  };
+  ObsMetrics obs_;
 };
 
 }  // namespace aer

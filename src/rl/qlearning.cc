@@ -1,5 +1,8 @@
 #include "rl/qlearning.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/check.h"
 
 namespace aer {
@@ -67,9 +70,31 @@ std::span<const RecoveryProcess* const> QLearningTrainer::processes_of(
   return by_type_[static_cast<std::size_t>(type)];
 }
 
-void QLearningTrainer::RunSweep(
-    ErrorTypeId type, std::span<const RecoveryProcess* const> processes,
-    std::int64_t sweep, QTable& table, Rng& rng, QTable* table_b) const {
+void QLearningTrainer::FillCoverage(ErrorTypeId type, const QTable& table,
+                                    TypeTelemetry& telemetry) const {
+  std::int64_t visited = 0;
+  for (const auto& [key, entries] : table.raw()) {
+    for (const auto& entry : entries) {
+      if (entry.visits > 0) ++visited;
+    }
+  }
+  const std::int64_t allowed = static_cast<std::int64_t>(
+      platform_.estimator().ObservedActions(type).size());
+  telemetry.visited_state_actions = visited;
+  telemetry.explorable_state_actions =
+      static_cast<std::int64_t>(table.num_states()) * allowed;
+  telemetry.visit_coverage =
+      telemetry.explorable_state_actions > 0
+          ? static_cast<double>(visited) /
+                static_cast<double>(telemetry.explorable_state_actions)
+          : 0.0;
+}
+
+void QLearningTrainer::RunSweep(ErrorTypeId type,
+                                std::span<const RecoveryProcess* const> processes,
+                                std::int64_t sweep, QTable& table, Rng& rng,
+                                QTable* table_b,
+                                TypeTelemetry* telemetry) const {
   // SelectProcess: uniform over the type's training processes.
   const RecoveryProcess& p = *processes[rng.NextBounded(processes.size())];
   ProcessReplay replay(p, type, platform_.estimator(),
@@ -144,6 +169,17 @@ void QLearningTrainer::RunSweep(
   const double lambda = config_.td_lambda;
   const std::size_t T = episode.size();
 
+  // Telemetry is observation-only: it reads the deltas Update() already
+  // computes and draws nothing from the RNG, so collecting it cannot change
+  // the trained bytes.
+  double max_delta = 0.0;
+  const auto record_sweep = [&]() {
+    if (telemetry == nullptr) return;
+    telemetry->temperature.Add(temperature);
+    telemetry->max_q_delta.Add(max_delta);
+    telemetry->q_updates += static_cast<std::int64_t>(T);
+  };
+
   if (table_b != nullptr) {
     // Double Q-learning (TD(0) only): per transition, flip which table is
     // updated; the selected bootstrap action comes from the updated table,
@@ -165,9 +201,12 @@ void QLearningTrainer::RunSweep(
         }
         future = q_of(value_table, episode[t].next, chosen);
       }
-      update_table.Update(episode[t].state, episode[t].action,
-                          episode[t].cost + gamma * future);
+      const double delta =
+          update_table.Update(episode[t].state, episode[t].action,
+                              episode[t].cost + gamma * future);
+      max_delta = std::max(max_delta, std::abs(delta));
     }
+    record_sweep();
     return;
   }
 
@@ -202,8 +241,11 @@ void QLearningTrainer::RunSweep(
         }
       }
     }
-    table.Update(episode[t].state, episode[t].action, target);
+    const double delta =
+        table.Update(episode[t].state, episode[t].action, target);
+    max_delta = std::max(max_delta, std::abs(delta));
   }
+  record_sweep();
 }
 
 TypeTrainingResult QLearningTrainer::TrainType(ErrorTypeId type,
@@ -231,10 +273,13 @@ TypeTrainingResult QLearningTrainer::TrainType(ErrorTypeId type,
   std::int64_t stable_since = 0;  // sweep at which stable_sequence appeared
   int stable_checks = 0;
 
+  TypeTelemetry* telemetry =
+      config_.collect_telemetry ? &result.telemetry : nullptr;
+
   std::int64_t sweep = 0;
   for (; sweep < config_.max_sweeps; ++sweep) {
     RunSweep(type, processes, sweep, table, rng,
-             config_.double_q ? &table_b : nullptr);
+             config_.double_q ? &table_b : nullptr, telemetry);
     if ((sweep + 1) % config_.check_every != 0) continue;
 
     ActionSequence sequence =
@@ -261,6 +306,7 @@ TypeTrainingResult QLearningTrainer::TrainType(ErrorTypeId type,
       config_.double_q ? merged_view() : std::move(table);
   result.sequence = GreedySequence(final_table, type, config_.max_actions);
   result.states_explored = final_table.num_states();
+  if (telemetry != nullptr) FillCoverage(type, final_table, *telemetry);
   if (table_out != nullptr) *table_out = std::move(final_table);
   return result;
 }

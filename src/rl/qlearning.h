@@ -15,6 +15,7 @@
 
 #include <span>
 
+#include "common/stats.h"
 #include "rl/boltzmann.h"
 #include "rl/policy.h"
 #include "rl/qtable.h"
@@ -59,6 +60,26 @@ struct TrainerConfig {
   // costs (the mirror image of max-Q's over-optimism). Only affects the
   // plain trainer's TD(0) path; incompatible with td_lambda > 0.
   bool double_q = false;
+  // Collect per-sweep training telemetry (temperature, max |ΔQ|, visit
+  // coverage) into TypeTrainingResult::telemetry. Pure observation: the
+  // trained tables and policies are bit-identical either way (no extra RNG
+  // draws), so flipping this cannot perturb an experiment.
+  bool collect_telemetry = false;
+};
+
+// Per-type training telemetry (populated when collect_telemetry is set).
+// Per-type values are independent of sibling types, so shards from parallel
+// training merge deterministically in catalog order — see
+// PublishTrainingTelemetry in rl/telemetry.h.
+struct TypeTelemetry {
+  RunningStat temperature;  // Boltzmann temperature, one sample per sweep
+  RunningStat max_q_delta;  // max |ΔQ| across a sweep's updates, per sweep
+  std::int64_t q_updates = 0;
+  // Visit coverage of the final table: explored (state, action) pairs over
+  // states_explored × the type's allowed-action repertoire.
+  std::int64_t visited_state_actions = 0;
+  std::int64_t explorable_state_actions = 0;
+  double visit_coverage = 0.0;
 };
 
 struct TypeTrainingResult {
@@ -73,6 +94,7 @@ struct TypeTrainingResult {
   ActionSequence sequence;  // the generated policy for this type
   std::size_t states_explored = 0;
   std::int64_t training_processes = 0;
+  TypeTelemetry telemetry;  // empty unless config.collect_telemetry
 };
 
 // Extracts the greedy action sequence for `type` from a Q table: follow the
@@ -119,11 +141,18 @@ class QLearningTrainer {
   // One episode: sample a process, roll out, update Q. `sweep` drives the
   // temperature. With `table_b` non-null, Double Q-learning: action
   // selection uses the mean of both tables and each transition updates one
-  // of them (coin flip), bootstrapping through the other.
+  // of them (coin flip), bootstrapping through the other. A non-null
+  // `telemetry` records the sweep's temperature and max |ΔQ| (observation
+  // only — identical table bytes either way).
   void RunSweep(ErrorTypeId type,
                 std::span<const RecoveryProcess* const> processes,
                 std::int64_t sweep, QTable& table, Rng& rng,
-                QTable* table_b = nullptr) const;
+                QTable* table_b = nullptr,
+                TypeTelemetry* telemetry = nullptr) const;
+
+  // Fills the coverage fields of `telemetry` from a finished table.
+  void FillCoverage(ErrorTypeId type, const QTable& table,
+                    TypeTelemetry& telemetry) const;
 
   const SimulationPlatform& platform_;
   TrainerConfig config_;

@@ -35,7 +35,7 @@ std::int64_t QTable::Visits(StateKey s, RepairAction a) const {
   return it->second[static_cast<std::size_t>(ActionIndex(a))].visits;
 }
 
-void QTable::Update(StateKey s, RepairAction a, double target) {
+double QTable::Update(StateKey s, RepairAction a, double target) {
   Entry& e = table_[s][static_cast<std::size_t>(ActionIndex(a))];
   // α = 1/(1+visits): the very first update adopts the target wholesale, so
   // the table needs no meaningful initial values. (First updates also adopt
@@ -44,9 +44,11 @@ void QTable::Update(StateKey s, RepairAction a, double target) {
       fixed_alpha_ > 0.0 && e.visits > 0
           ? fixed_alpha_
           : 1.0 / (1.0 + static_cast<double>(e.visits));
+  const double old_q = e.q;
   e.q = (1.0 - alpha) * e.q + alpha * target;
   ++e.visits;
   ++total_updates_;
+  return e.q - old_q;
 }
 
 std::optional<double> QTable::MinQ(StateKey s) const {

@@ -35,7 +35,9 @@ class QTable {
 
   // One Q-learning update toward `target` (= step cost + min over next
   // state): q ← (1-α) q + α target with α = 1/(1+visits); increments visits.
-  void Update(StateKey s, RepairAction a, double target);
+  // Returns the signed change in q (new − old) — the trainers' telemetry
+  // hook for convergence monitoring, free to compute in place.
+  double Update(StateKey s, RepairAction a, double target);
 
   // Minimum Q over the state's explored actions; nullopt if none explored.
   std::optional<double> MinQ(StateKey s) const;

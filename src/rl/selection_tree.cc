@@ -141,10 +141,13 @@ TypeTrainingResult SelectionTreeTrainer::TrainType(ErrorTypeId type,
   std::int64_t stable_since = 0;
   int stable_checks = 0;
 
+  TypeTelemetry* telemetry =
+      tc.collect_telemetry ? &result.telemetry : nullptr;
+
   std::int64_t sweep = 0;
   for (; sweep < tc.max_sweeps; ++sweep) {
     base_.RunSweep(type, processes, sweep, table, rng,
-                   tc.double_q ? &table_b : nullptr);
+                   tc.double_q ? &table_b : nullptr, telemetry);
     if ((sweep + 1) % tc.check_every != 0) continue;
 
     ActionSequence sequence = scan_tree();
@@ -168,6 +171,7 @@ TypeTrainingResult SelectionTreeTrainer::TrainType(ErrorTypeId type,
   QTable final_table =
       tc.double_q ? MergeTablesByMean(table, table_b) : std::move(table);
   result.states_explored = final_table.num_states();
+  if (telemetry != nullptr) base_.FillCoverage(type, final_table, *telemetry);
   if (table_out != nullptr) *table_out = std::move(final_table);
   return result;
 }

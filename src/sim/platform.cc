@@ -44,7 +44,22 @@ SimulationPlatform::ReplayOutcome SimulationPlatform::ReplayPolicy(
   }
   outcome.cost = replay.total_cost();
   outcome.steps = replay.steps();
+  if (obs_.replays != nullptr) {
+    obs_.replays->Inc();
+    if (outcome.forced_manual) obs_.forced_manual->Inc();
+    obs_.cost->Observe(outcome.cost);
+  }
   return outcome;
+}
+
+void SimulationPlatform::SetMetrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    obs_ = ObsMetrics{};
+    return;
+  }
+  obs_.replays = &metrics->GetCounter("aer_replay_total");
+  obs_.forced_manual = &metrics->GetCounter("aer_replay_forced_manual_total");
+  obs_.cost = &metrics->GetHistogram("aer_replay_cost_seconds");
 }
 
 std::vector<SimulationPlatform::ValidationRow>

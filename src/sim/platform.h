@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cluster/policy.h"
+#include "obs/metrics.h"
 #include "sim/replay.h"
 
 namespace aer {
@@ -47,6 +48,13 @@ class SimulationPlatform {
   ReplayOutcome ReplayPolicy(const RecoveryProcess& process,
                              RecoveryPolicy& policy) const;
 
+  // Optional observability sink: each ReplayPolicy call feeds the
+  // aer_replay_* counters and the cost histogram. Only commutative metric
+  // updates are emitted, so parallel evaluation (any interleaving of
+  // replays) yields byte-identical snapshots. The registry must outlive
+  // the platform.
+  void SetMetrics(obs::MetricsRegistry* metrics);
+
   struct ValidationRow {
     ErrorTypeId type = kInvalidErrorType;
     double actual_cost = 0.0;     // summed logged downtime
@@ -64,11 +72,20 @@ class SimulationPlatform {
       RecoveryPolicy& policy) const;
 
  private:
+  // Cached handles resolved once in SetMetrics so the (const) replay path
+  // never takes the registry lock. The pointed-to metrics are thread-safe.
+  struct ObsMetrics {
+    obs::Counter* replays = nullptr;
+    obs::Counter* forced_manual = nullptr;
+    obs::Histogram* cost = nullptr;
+  };
+
   const ErrorTypeCatalog& types_;
   const SymptomTable& symptoms_;
   CostEstimator estimator_;
   int max_actions_;
   const CapabilityModel& capabilities_;
+  ObsMetrics obs_;
 };
 
 }  // namespace aer

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Golden-output tests for aerctl.
+
+Each case runs an aerctl subcommand with pinned flags and compares its stdout
+byte-for-byte against a committed golden file — the CLI surface is part of
+the determinism contract (docs/OBSERVABILITY.md): same seed, same bytes.
+Every case is also run twice to catch nondeterminism directly, so a golden
+mismatch means the output *format or numbers* changed, not flakiness.
+
+Usage:
+  aerctl_golden_test.py <aerctl-binary> <golden-dir>            # verify
+  aerctl_golden_test.py <aerctl-binary> <golden-dir> --update   # regenerate
+
+Regenerate the goldens (and eyeball the diff) whenever an intentional output
+change lands: build, then run with --update from the repo root.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+# (golden file, aerctl argv). {trace} expands to a generated small trace.
+CASES = [
+    ("metrics.txt",
+     ["metrics", "--incidents", "24", "--seed", "7"]),
+    ("metrics.json",
+     ["metrics", "--incidents", "24", "--seed", "7", "--json"]),
+    ("metrics_clean.txt",
+     ["metrics", "--incidents", "24", "--seed", "7", "--clean"]),
+    ("trace.txt",
+     ["trace", "--incidents", "6", "--seed", "7"]),
+    ("trace_filtered.txt",
+     ["trace", "--incidents", "12", "--seed", "7",
+      "--type", "DiskError", "--top", "3"]),
+    ("trace.json",
+     ["trace", "--incidents", "4", "--seed", "7", "--json"]),
+    ("summarize.txt",
+     ["summarize", "--log", "{trace}"]),
+]
+
+
+def run(binary: str, args: list[str]) -> bytes:
+    proc = subprocess.run([binary] + args, capture_output=True)
+    if proc.returncode != 0:
+        sys.exit(f"FAIL: aerctl {' '.join(args)} exited "
+                 f"{proc.returncode}\n{proc.stderr.decode(errors='replace')}")
+    return proc.stdout
+
+
+def main() -> int:
+    if len(sys.argv) < 3:
+        sys.exit(__doc__)
+    binary = sys.argv[1]
+    golden_dir = Path(sys.argv[2])
+    update = "--update" in sys.argv[3:]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = str(Path(tmp) / "trace.log")
+        run(binary, ["generate", "--out", trace_path,
+                     "--scale", "small", "--seed", "7"])
+
+        failures = []
+        for golden_name, args in CASES:
+            argv = [a.replace("{trace}", trace_path) for a in args]
+            first = run(binary, argv)
+            second = run(binary, argv)
+            if first != second:
+                failures.append(f"{golden_name}: two identical invocations "
+                                f"produced different bytes (nondeterminism)")
+                continue
+            golden_path = golden_dir / golden_name
+            if update:
+                golden_path.parent.mkdir(parents=True, exist_ok=True)
+                golden_path.write_bytes(first)
+                print(f"  wrote {golden_path} ({len(first)} bytes)")
+                continue
+            if not golden_path.is_file():
+                failures.append(f"{golden_name}: golden file missing — "
+                                f"regenerate with --update")
+                continue
+            expected = golden_path.read_bytes()
+            if first != expected:
+                failures.append(
+                    f"{golden_name}: output differs from golden "
+                    f"({len(first)} vs {len(expected)} bytes); if the change "
+                    f"is intentional, rerun with --update and review the "
+                    f"diff")
+            else:
+                print(f"  ok   {golden_name}")
+
+    if failures:
+        print("aerctl_golden_test: FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"aerctl_golden_test: {'updated' if update else 'passed'} "
+          f"{len(CASES)} cases")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -81,6 +81,30 @@ TEST(RunningStatTest, MergeWithEmptySides) {
   EXPECT_DOUBLE_EQ(a.mean(), 6.0);
 }
 
+// Regression for the naive `sum_ += x` accumulator: adding many tiny values
+// to one huge value lost every low-order bit, so sum() drifted from the true
+// total by the full contribution of the tail. Kahan compensation keeps the
+// running sum exact to one final rounding.
+TEST(RunningStatTest, KahanSumSurvivesMagnitudeSpread) {
+  RunningStat s;
+  s.Add(1e16);
+  for (int i = 0; i < 10000; ++i) s.Add(1.0);
+  // Naive summation returns exactly 1e16 here (each +1.0 is below the ulp
+  // of 1e16, i.e. entirely absorbed); the compensated sum keeps the 1e4.
+  EXPECT_DOUBLE_EQ(s.sum(), 1e16 + 10000.0);
+}
+
+TEST(RunningStatTest, MergePreservesCompensatedSum) {
+  RunningStat left;
+  RunningStat right;
+  left.Add(1e16);
+  for (int i = 0; i < 5000; ++i) left.Add(1.0);
+  for (int i = 0; i < 5000; ++i) right.Add(1.0);
+  left.Merge(right);
+  EXPECT_EQ(left.count(), 10001);
+  EXPECT_DOUBLE_EQ(left.sum(), 1e16 + 10000.0);
+}
+
 TEST(LogHistogramTest, BucketBoundaries) {
   LogHistogram h(10.0, 10.0, 4);
   EXPECT_DOUBLE_EQ(h.bucket_lower(0), 0.0);
@@ -125,6 +149,44 @@ TEST(LogHistogramTest, QuantileOrderingAndBounds) {
 TEST(LogHistogramTest, EmptyQuantileIsZero) {
   LogHistogram h(1.0, 2.0, 5);
   EXPECT_EQ(h.ApproxQuantile(0.5), 0.0);
+  EXPECT_EQ(h.ApproxQuantile(0.0), 0.0);
+  EXPECT_EQ(h.ApproxQuantile(1.0), 0.0);
+}
+
+// Pins the documented edge behavior (common/stats.h): q=0 -> lower edge of
+// the first non-empty bucket, q=1 -> upper edge of the last non-empty one.
+TEST(LogHistogramTest, QuantileEdgesPinned) {
+  LogHistogram h(10.0, 10.0, 3);
+  h.Add(15.0);   // [10, 100)
+  h.Add(20.0);   // [10, 100)
+  h.Add(500.0);  // [100, 1000)
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(1.0), 1000.0);
+}
+
+// Samples past the last finite bound interpolate inside the synthetic
+// overflow range [lower, lower*growth).
+TEST(LogHistogramTest, QuantileAllOverflow) {
+  LogHistogram h(10.0, 10.0, 2);  // [0,10), [10,100), overflow [100, inf)
+  h.Add(1e6);
+  h.Add(1e7);
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(0.5), 550.0);   // 100 + 0.5 * (1000-100)
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(1.0), 1000.0);  // 100 * growth
+}
+
+TEST(LogHistogramTest, MergeAddsBucketwise) {
+  LogHistogram a(10.0, 10.0, 3);
+  LogHistogram b(10.0, 10.0, 3);
+  a.Add(5.0);
+  a.Add(50.0);
+  b.Add(50.0);
+  b.Add(1e9);  // overflow
+  a.Merge(b);
+  EXPECT_EQ(a.total_count(), 4);
+  EXPECT_EQ(a.bucket(0), 1);
+  EXPECT_EQ(a.bucket(1), 2);
+  EXPECT_EQ(a.bucket(3), 1);
 }
 
 TEST(LogHistogramTest, ToStringListsNonEmptyBuckets) {

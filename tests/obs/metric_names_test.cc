@@ -1,0 +1,169 @@
+// Frozen metric-name contract (docs/OBSERVABILITY.md). Every aer_* metric a
+// component can register is enumerated here; adding, renaming, or removing
+// one must update both this list and the catalog in the doc. Like the
+// DeriveStream contract, names are API: dashboards, baselines, and
+// run_all.py --compare key on them.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_sim.h"
+#include "cluster/fault_catalog.h"
+#include "cluster/trace.h"
+#include "cluster/user_policy.h"
+#include "core/guarded_policy.h"
+#include "core/recovery_manager.h"
+#include "inject/harness.h"
+#include "mining/error_type.h"
+#include "obs/metrics.h"
+#include "rl/telemetry.h"
+#include "sim/platform.h"
+
+namespace aer {
+namespace {
+
+std::vector<std::string> Sorted(std::vector<std::string> names) {
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+TEST(MetricNamesTest, RecoveryManagerRegistersFrozenSet) {
+  obs::MetricsRegistry registry;
+  UserDefinedPolicy policy;
+  RecoveryManager manager(policy);
+  manager.SetObservers(nullptr, &registry);
+  const std::vector<std::string> expected = {
+      "aer_recovery_actions_per_process",
+      "aer_recovery_actions_total",
+      "aer_recovery_downtime_seconds",
+      "aer_recovery_duplicate_requests_total",
+      "aer_recovery_duplicate_symptoms_total",
+      "aer_recovery_flap_quarantines_total",
+      "aer_recovery_history_evictions_total",
+      "aer_recovery_manual_forced_total",
+      "aer_recovery_out_of_order_total",
+      "aer_recovery_processes_total",
+      "aer_recovery_stale_results_total",
+      "aer_recovery_timeouts_total",
+  };
+  EXPECT_EQ(Sorted(registry.Names()), expected);
+}
+
+TEST(MetricNamesTest, GuardedPolicyRegistersFrozenSet) {
+  obs::MetricsRegistry registry;
+  UserDefinedPolicy primary;
+  UserDefinedPolicy fallback;
+  GuardedPolicy guard(primary, fallback);
+  guard.SetObservers(nullptr, &registry);
+  const std::vector<std::string> expected = {
+      "aer_guard_breaker_open",
+      "aer_guard_breaker_trips_total",
+      "aer_guard_fallback_decisions_total",
+      "aer_guard_faults_absorbed_total",
+      "aer_guard_invalid_actions_total",
+      "aer_guard_primary_decisions_total",
+  };
+  EXPECT_EQ(Sorted(registry.Names()), expected);
+}
+
+TEST(MetricNamesTest, InjectionHarnessRegistersFrozenSet) {
+  obs::MetricsRegistry registry;
+  UserDefinedPolicy policy;
+  InjectionHarness harness(policy, RecoveryManagerConfig{}, HarnessConfig{});
+  harness.SetObservers(nullptr, &registry);
+  // The harness forwards to its internal RecoveryManager, so its set is the
+  // aer_inject_* names plus the manager's.
+  const std::vector<std::string> expected_inject = {
+      "aer_inject_cures_total",
+      "aer_inject_events_delayed_total",
+      "aer_inject_events_dropped_total",
+      "aer_inject_events_duplicated_total",
+      "aer_inject_false_successes_total",
+      "aer_inject_hangs_total",
+      "aer_inject_incidents_total",
+  };
+  std::vector<std::string> inject_names;
+  for (const std::string& name : registry.Names()) {
+    if (name.rfind("aer_inject_", 0) == 0) inject_names.push_back(name);
+    else EXPECT_EQ(name.rfind("aer_recovery_", 0), 0u) << name;
+  }
+  EXPECT_EQ(Sorted(inject_names), expected_inject);
+  EXPECT_EQ(registry.size(), expected_inject.size() + 12);
+}
+
+TEST(MetricNamesTest, SimulationPlatformRegistersFrozenSet) {
+  TraceConfig config = TraceConfigForScale("small");
+  config.sim.num_machines = 50;
+  config.sim.duration = 20 * kDay;
+  const TraceDataset dataset = GenerateTrace(config);
+  const std::vector<RecoveryProcess> processes =
+      SegmentIntoProcesses(dataset.result.log).processes;
+  const ErrorTypeCatalog catalog(processes, 40);
+  SimulationPlatform platform(processes, catalog,
+                              dataset.result.log.symptoms());
+  obs::MetricsRegistry registry;
+  platform.SetMetrics(&registry);
+  const std::vector<std::string> expected = {
+      "aer_replay_cost_seconds",
+      "aer_replay_forced_manual_total",
+      "aer_replay_total",
+  };
+  EXPECT_EQ(Sorted(registry.Names()), expected);
+}
+
+TEST(MetricNamesTest, ClusterSimulatorRegistersFrozenSet) {
+  ClusterSimConfig config;
+  config.num_machines = 20;
+  config.duration = 5 * kDay;
+  config.machine_mtbf_days = 5.0;
+  config.seed = 3;
+  obs::MetricsRegistry registry;
+  UserDefinedPolicy policy;
+  ClusterSimulator sim(config, MakeDefaultCatalog());
+  sim.SetMetrics(&registry);
+  sim.Run(policy);
+  const std::vector<std::string> expected = {
+      "aer_sim_downtime_seconds_total",
+      "aer_sim_faults_skipped_total",
+      "aer_sim_processes_total",
+  };
+  EXPECT_EQ(Sorted(registry.Names()), expected);
+}
+
+TEST(MetricNamesTest, TrainingTelemetryRegistersFrozenSet) {
+  obs::MetricsRegistry registry;
+  PublishTrainingTelemetry(registry, {});
+  PublishTrainingThroughput(registry, 100.0);
+  const std::vector<std::string> expected = {
+      "aer_training_episodes_per_sec",
+      "aer_training_episodes_total",
+      "aer_training_max_q_delta",
+      "aer_training_q_updates_total",
+      "aer_training_sweeps",
+      "aer_training_temperature",
+      "aer_training_types",
+      "aer_training_types_converged",
+      "aer_training_visit_coverage",
+  };
+  EXPECT_EQ(Sorted(registry.Names()), expected);
+}
+
+TEST(MetricNamesTest, AllFrozenNamesAreValid) {
+  obs::MetricsRegistry registry;
+  UserDefinedPolicy primary;
+  UserDefinedPolicy fallback;
+  GuardedPolicy guard(primary, fallback);
+  guard.SetObservers(nullptr, &registry);
+  InjectionHarness harness(guard, RecoveryManagerConfig{}, HarnessConfig{});
+  harness.SetObservers(nullptr, &registry);
+  PublishTrainingTelemetry(registry, {});
+  for (const std::string& name : registry.Names()) {
+    EXPECT_TRUE(obs::IsValidMetricName(name)) << name;
+    EXPECT_EQ(name.rfind("aer_", 0), 0u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace aer

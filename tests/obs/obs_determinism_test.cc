@@ -1,0 +1,150 @@
+// The observability determinism contract (docs/OBSERVABILITY.md): for the
+// same seed, an instrumented pipeline produces byte-identical deterministic
+// metric snapshots and trace dumps, run after run. Also pins the span
+// structure RecoveryManager emits: one "recovery" span per process labeled
+// with the initiating symptom, child "action:<name>" spans per attempt.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_sim.h"
+#include "cluster/fault_catalog.h"
+#include "cluster/user_policy.h"
+#include "core/guarded_policy.h"
+#include "core/recovery_manager.h"
+#include "inject/harness.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
+namespace aer {
+namespace {
+
+TEST(ObsSpanStructureTest, RecoveryProcessSpansNestActions) {
+  UserDefinedPolicy policy;
+  RecoveryManager manager(policy);
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  manager.SetObservers(&tracer, &metrics);
+
+  manager.OnSymptom(100, 1, "Watchdog");
+  ASSERT_TRUE(manager.OnRecoveryNeeded(150, 1).has_value());
+  manager.OnActionResult(200, 1, /*healthy=*/false);
+  ASSERT_TRUE(manager.OnRecoveryNeeded(250, 1).has_value());
+  manager.OnActionResult(300, 1, /*healthy=*/true);
+
+  EXPECT_EQ(tracer.open_count(), 0u);
+  const std::vector<obs::Span> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 3u);  // two actions + the enclosing process
+
+  // The process span opened first, so it has the smallest id; it closes
+  // last, so it is the final ring entry.
+  const obs::Span& process = spans[2];
+  EXPECT_EQ(process.id, 1);
+  EXPECT_EQ(process.name, "recovery");
+  EXPECT_EQ(process.label, "Watchdog");
+  EXPECT_EQ(process.machine, 1);
+  EXPECT_EQ(process.start, 100);
+  EXPECT_EQ(process.end, 300);
+
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(spans[i].parent, process.id) << "action " << i;
+    EXPECT_EQ(spans[i].name.rfind("action:", 0), 0u) << spans[i].name;
+    EXPECT_EQ(spans[i].machine, 1);
+    ASSERT_EQ(spans[i].events.size(), 1u);
+  }
+  EXPECT_EQ(spans[0].events[0].label, "result:failed");
+  EXPECT_EQ(spans[1].events[0].label, "result:cured");
+
+  EXPECT_EQ(metrics.GetCounter("aer_recovery_processes_total").value(), 1);
+  EXPECT_EQ(metrics.GetCounter("aer_recovery_actions_total").value(), 2);
+}
+
+// One instrumented fault-injection run: scripted incidents through a
+// GuardedPolicy into an InjectionHarness with every fault class enabled.
+// Mirrors the pipeline behind `aerctl metrics` / `aerctl trace`.
+struct ObservedRun {
+  std::string metrics_text;
+  std::string trace_text;
+};
+
+ObservedRun RunObservedHarness(std::uint64_t seed) {
+  std::vector<HarnessIncident> incidents;
+  const char* symptoms[] = {"Watchdog", "DiskError", "EventLog", "NicDown"};
+  for (int i = 0; i < 30; ++i) {
+    HarnessIncident incident;
+    incident.time = 100 + i * 700;
+    incident.machine = i % 5;
+    incident.symptom = symptoms[i % 4];
+    incident.cure_strength = i % kNumActions;
+    incidents.push_back(incident);
+  }
+
+  UserDefinedPolicy primary;
+  UserDefinedPolicy fallback;
+  GuardedPolicy guard(primary, fallback);
+  RecoveryManagerConfig manager_config;
+  manager_config.action_timeout = 10 * kHour;
+  HarnessConfig harness_config;
+  harness_config.seed = seed;
+  harness_config.drop_event = 0.2;
+  harness_config.duplicate_event = 0.1;
+  harness_config.delay_event = 0.2;
+  harness_config.hang_action = 0.1;
+  harness_config.false_success = 0.1;
+
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  guard.SetObservers(&tracer, &metrics);
+  InjectionHarness harness(guard, manager_config, harness_config);
+  harness.SetObservers(&tracer, &metrics);
+  harness.Run(incidents);
+
+  ObservedRun run;
+  obs::MetricsRegistry::ExportOptions options;
+  options.include_volatile = false;
+  run.metrics_text = metrics.ExportText(options);
+  run.trace_text = obs::Tracer::FormatSpans(tracer.Snapshot());
+  return run;
+}
+
+TEST(ObsDeterminismTest, SameSeedByteIdenticalSnapshotsAndTraces) {
+  const ObservedRun a = RunObservedHarness(7);
+  const ObservedRun b = RunObservedHarness(7);
+  EXPECT_FALSE(a.metrics_text.empty());
+  EXPECT_FALSE(a.trace_text.empty());
+  EXPECT_EQ(a.metrics_text, b.metrics_text);
+  EXPECT_EQ(a.trace_text, b.trace_text);
+}
+
+TEST(ObsDeterminismTest, DifferentSeedsDiverge) {
+  // Sanity: the byte-equality above is not vacuous — injection actually
+  // depends on the seed.
+  const ObservedRun a = RunObservedHarness(7);
+  const ObservedRun b = RunObservedHarness(8);
+  EXPECT_NE(a.trace_text, b.trace_text);
+}
+
+TEST(ObsDeterminismTest, ClusterSimMetricsDeterministic) {
+  ClusterSimConfig config;
+  config.num_machines = 30;
+  config.duration = 10 * kDay;
+  config.machine_mtbf_days = 5.0;
+  config.seed = 11;
+  const FaultCatalog catalog = MakeDefaultCatalog();
+
+  std::string texts[2];
+  for (std::string& text : texts) {
+    obs::MetricsRegistry metrics;
+    UserDefinedPolicy policy;
+    ClusterSimulator sim(config, catalog);
+    sim.SetMetrics(&metrics);
+    sim.Run(policy);
+    text = metrics.ExportText();
+    EXPECT_GT(metrics.GetCounter("aer_sim_processes_total").value(), 0);
+  }
+  EXPECT_EQ(texts[0], texts[1]);
+}
+
+}  // namespace
+}  // namespace aer

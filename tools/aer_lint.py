@@ -29,6 +29,12 @@ trips them):
                     std::getline at statement position (test the stream);
                     and every fstream construction must be followed within a
                     few lines by a good()/is_open() check.
+  no-direct-output  No std::cout/std::cerr/printf-family output in src/core/,
+                    src/rl/, src/sim/: library layers report through return
+                    values, AER_CHECK messages, or obs/ metrics and spans
+                    (docs/OBSERVABILITY.md). Stray prints corrupt the CLI's
+                    machine-readable output and bypass the observability
+                    contract.
 
 Suppress a finding on one line with:  // aer-lint: allow(<rule>)
 
@@ -87,6 +93,13 @@ FSTREAM_CTOR = re.compile(
 STREAM_CHECKED = re.compile(r"\b(?:good|is_open|fail)\s*\(")
 # How many lines after an fstream construction may hold its health check.
 STREAM_CHECK_WINDOW = 4
+
+# Library layers that must stay silent: decisions and telemetry flow through
+# return values and the obs/ registry, never a process-global stream.
+DIRECT_OUTPUT_SCOPES = ("src/core/", "src/rl/", "src/sim/")
+DIRECT_OUTPUT = re.compile(
+    r"\bstd\s*::\s*(?:cout|cerr|clog)\b"
+    r"|\b(?:printf|fprintf|puts|fputs|putchar)\s*\(")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -215,6 +228,13 @@ class Linter:
                     path, lineno, "no-unchecked-at",
                     ".at() throws without context; use "
                     "AER_CHECK_LT(i, c.size()) << context, then c[i]", allows)
+            if rel.startswith(DIRECT_OUTPUT_SCOPES) and \
+                    DIRECT_OUTPUT.search(line):
+                self.report(
+                    path, lineno, "no-direct-output",
+                    "direct stream/printf output in a library layer; report "
+                    "through return values, AER_CHECK messages, or obs/ "
+                    "metrics and spans", allows)
             if rel.startswith(UNCHECKED_IO_SCOPES):
                 self.lint_unchecked_io(path, lineno, line, lines, allows)
 

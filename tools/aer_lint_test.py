@@ -187,6 +187,40 @@ class AerLintTest(unittest.TestCase):
             "AER_CHECK(os.good()) << path;\n")
         self.assertEqual(findings, [])
 
+    # -- no-direct-output ---------------------------------------------------
+
+    def test_cout_in_library_layer_flagged(self):
+        for snippet in ("std::cout << stats.cures << std::endl;",
+                        "std::cerr << \"timeout\" << machine;",
+                        "printf(\"trained %d types\\n\", n);",
+                        "std::fprintf(stderr, \"sweep %lld\\n\", sweep);"):
+            for scope in ("src/core/recovery_manager.cc",
+                          "src/rl/qlearning.cc", "src/sim/platform.cc"):
+                findings = self.repo.lint(scope, snippet + "\n")
+                self.assert_rule(findings, "no-direct-output")
+
+    def test_output_outside_library_layers_ok(self):
+        # The CLI, benches, and tests print by design; so may src layers
+        # outside the scoped three (e.g. log_report builds report strings).
+        for scope in ("examples/aerctl.cpp", "bench/bench_common.cc",
+                      "tests/core/manager_test.cc", "src/log/log_report.cc"):
+            findings = self.repo.lint(
+                scope, "std::printf(\"%s\", report.c_str());\n")
+            self.assertEqual(findings, [], scope)
+
+    def test_output_mention_in_comment_or_string_ok(self):
+        findings = self.repo.lint(
+            "src/core/recovery_manager.cc",
+            "// never std::cout from here; emit a span instead\n"
+            "const char* kHint = \"printf(...) is banned in src/core\";\n")
+        self.assertEqual(findings, [])
+
+    def test_direct_output_allow_pragma(self):
+        findings = self.repo.lint(
+            "src/rl/qlearning.cc",
+            "std::cerr << x;  // aer-lint: allow(no-direct-output)\n")
+        self.assertEqual(findings, [])
+
     # -- allow pragma & stripping -------------------------------------------
 
     def test_allow_pragma_suppresses(self):
