@@ -7,6 +7,17 @@
 // contract); the bench aborts if they ever diverge, and folds the serialized
 // policy and every per-type Q-table into the BENCH_training.json checksum so
 // run_all.py catches numeric drift across commits.
+//
+// This TU also carries the compiled-out profiler proof: it defines
+// AER_PROFILING_DISABLED before including profiler.h — the state every TU
+// has in a -DAER_PROFILING=OFF build — so AER_PROFILE_SCOPE must vanish
+// here (static_assert below) and record nothing at run time (checked in
+// Run()). The *library* keeps whatever instrumentation the build selected.
+#ifndef AER_PROFILING_DISABLED
+#define AER_PROFILING_DISABLED
+#endif
+#include "common/profiler.h"
+
 #include <chrono>
 #include <cstdio>
 #include <sstream>
@@ -16,6 +27,7 @@
 #include "common/check.h"
 #include "mining/error_type.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "rl/parallel_trainer.h"
 #include "rl/qlearning.h"
 #include "rl/telemetry.h"
@@ -23,6 +35,19 @@
 
 namespace aer::bench {
 namespace {
+
+static_assert(AER_PROFILING_IS_ON() == 0,
+              "this TU disables profiling; the macro must see that");
+
+// Compiles only if AER_PROFILE_SCOPE expands to nothing at all — any object
+// construction would be ill-formed in a constexpr function.
+constexpr int ProfilerCompiledOut() {
+  AER_PROFILE_SCOPE("bench_probe");
+  return 1;
+}
+static_assert(ProfilerCompiledOut() == 1,
+              "AER_PROFILE_SCOPE must compile out under "
+              "AER_PROFILING_DISABLED");
 
 double MsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
@@ -70,17 +95,51 @@ void Run() {
   const double serial_eps = episodes / (serial_ms / 1000.0);
   const double parallel_eps = episodes / (parallel_ms / 1000.0);
 
+  // Runtime half of the compiled-out profiler proof (the compile-time half
+  // is the static_assert above): a million disabled scopes leave the global
+  // registry's call count untouched, because the loop body is literally
+  // empty.
+  const std::int64_t profile_calls_before =
+      ProfileRegistry::Global().TotalCalls();
+  for (int i = 0; i < 1000000; ++i) {
+    AER_PROFILE_SCOPE("bench_disabled_probe");
+  }
+  AER_CHECK_EQ(ProfileRegistry::Global().TotalCalls(), profile_calls_before)
+      << "a compiled-out AER_PROFILE_SCOPE recorded profiler calls";
+
   // Telemetry arm: the serial trainer again, with per-episode telemetry
-  // collection on. Two gates: telemetry is observation-only (byte-identical
-  // policy) and near-free (< 5% wall overhead, with a small absolute slack
-  // so sub-second small-scale runs aren't failed by scheduler noise).
+  // collection on and the full observability stack attached — each type's
+  // shard is published into a live registry as it finishes, with a
+  // TimeSeriesRecorder advancing on cumulative episodes. Two gates:
+  // telemetry+recorder is observation-only (byte-identical policy) and
+  // near-free (< 5% wall overhead, with a small absolute slack so
+  // sub-second small-scale runs aren't failed by scheduler noise).
   TrainerConfig telemetry_config = config;
   telemetry_config.collect_telemetry = true;
   const QLearningTrainer telemetry_trainer(platform, dataset.clean,
                                            telemetry_config);
+  obs::MetricsRegistry registry;
+  obs::TimeSeriesRecorder recorder(
+      registry, {.window_width = episodes >= 8 ? episodes / 8 : 1});
+  QLearningTrainer::TrainingOutput telemetry;
+  std::int64_t telemetry_episodes = 0;
   const auto telemetry_start = std::chrono::steady_clock::now();
-  const QLearningTrainer::TrainingOutput telemetry =
-      telemetry_trainer.TrainAll();
+  for (std::size_t t = 0; t < types.num_types(); ++t) {
+    const ErrorTypeId type = static_cast<ErrorTypeId>(t);
+    TypeTrainingResult result = telemetry_trainer.TrainType(type);
+    if (!result.sequence.empty()) {
+      telemetry.policy.AddType(
+          {std::string(platform.symptoms().Name(
+               platform.types().symptom_of(type))),
+           result.sequence});
+    }
+    PublishTypeTelemetry(registry, result);
+    telemetry_episodes += result.episodes;
+    recorder.AdvanceTo(telemetry_episodes);
+    telemetry.per_type.push_back(std::move(result));
+  }
+  recorder.Finish(telemetry_episodes);
+  PublishTrainingSummary(registry, telemetry.per_type);
   const double telemetry_ms = MsSince(telemetry_start);
   std::ostringstream telemetry_bytes;
   telemetry.policy.Write(telemetry_bytes);
@@ -89,14 +148,21 @@ void Run() {
   AER_CHECK_LE(telemetry_ms, serial_ms * 1.05 + 250.0)
       << "telemetry overhead above 5%: " << telemetry_ms << " ms vs "
       << serial_ms << " ms baseline";
+  AER_CHECK_EQ(telemetry_episodes, episodes)
+      << "per-type training diverged from TrainAll's episode count";
+  AER_CHECK_GE(recorder.windows_closed(), 1)
+      << "the recorder closed no windows over a full training run";
   const double telemetry_eps = episodes / (telemetry_ms / 1000.0);
 
-  obs::MetricsRegistry registry;
-  PublishTrainingTelemetry(registry, telemetry.per_type);
   PublishTrainingThroughput(registry, telemetry_eps);
 
   BenchRecord& record = BenchRecord::Instance();
   record.RecordRegistrySnapshot(registry);
+  // The windowed deltas are deterministic too (docs/OBSERVABILITY.md), so
+  // folding the recorder's export catches drift in *when* counters moved,
+  // not just their totals.
+  record.FoldChecksum(recorder.ExportText());
+  record.SetIntMetric("ts_windows_closed", recorder.windows_closed());
   record.FoldChecksum(parallel_bytes.str());
   for (const QTable& table : tables) {
     std::ostringstream table_bytes;
@@ -128,6 +194,9 @@ void Run() {
               serial_eps > 0.0 ? parallel_eps / serial_eps : 0.0);
   std::printf("serialized policies: identical (%zu bytes)\n",
               parallel_bytes.str().size());
+  std::printf("time series: %lld windows closed, %lld dropped\n",
+              static_cast<long long>(recorder.windows_closed()),
+              static_cast<long long>(recorder.windows_dropped()));
 
   Footer();
 }

@@ -154,7 +154,10 @@ BENCHMARK(BM_LogSerializationRoundTrip);
 // event, never a registry lookup — these pin the cost of each.
 void BM_ObsCounterInc(benchmark::State& state) {
   obs::MetricsRegistry registry;
-  obs::Counter& counter = registry.GetCounter("aer_bench_counter");
+  // Throwaway probe name in a private registry, never exported — not a
+  // catalog entry.
+  obs::Counter& counter = registry.GetCounter(
+      "aer_bench_counter");  // aer-lint: allow(metric-catalog)
   for (auto _ : state) {
     counter.Inc();
   }
@@ -165,7 +168,8 @@ BENCHMARK(BM_ObsCounterInc);
 
 void BM_ObsHistogramObserve(benchmark::State& state) {
   obs::MetricsRegistry registry;
-  obs::Histogram& histogram = registry.GetHistogram("aer_bench_histogram");
+  obs::Histogram& histogram = registry.GetHistogram(
+      "aer_bench_histogram");  // aer-lint: allow(metric-catalog)
   std::uint64_t i = 0;
   for (auto _ : state) {
     histogram.Observe(static_cast<double>(i++ % 100000));
@@ -176,9 +180,10 @@ BENCHMARK(BM_ObsHistogramObserve);
 
 void BM_ObsRegistryLookup(benchmark::State& state) {
   obs::MetricsRegistry registry;
-  registry.GetCounter("aer_bench_counter");
+  registry.GetCounter("aer_bench_counter");  // aer-lint: allow(metric-catalog)
   for (auto _ : state) {
-    benchmark::DoNotOptimize(&registry.GetCounter("aer_bench_counter"));
+    benchmark::DoNotOptimize(&registry.GetCounter(
+        "aer_bench_counter"));  // aer-lint: allow(metric-catalog)
   }
   state.SetItemsProcessed(state.iterations());
 }

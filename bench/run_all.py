@@ -13,6 +13,7 @@ Typical usage (from the repo root, after a Release build into ./build):
   bench/run_all.py --smoke                         # quick pass, small scale
   bench/run_all.py --smoke --compare bench/baselines/smoke.json
   bench/run_all.py --smoke --update-baseline bench/baselines/smoke.json
+  bench/run_all.py --smoke --trend                 # append perf-trend rows
 
 Checksums are a pure function of (code, AER_SCALE, seeds) — independent of
 thread count and wall time — so comparing them across commits detects silent
@@ -138,6 +139,47 @@ def compare(records: dict, baseline_path: Path, threshold: float) -> list:
     return errors
 
 
+def git_commit() -> str:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True,
+            cwd=Path(__file__).resolve().parent)
+    except OSError:
+        return "unknown"
+    return proc.stdout.strip() if proc.returncode == 0 else "unknown"
+
+
+def append_trend(records: dict, trend_path: Path) -> None:
+    """Appends one JSONL row per bench: wall time and throughput over time.
+
+    Unlike the baseline (one pinned snapshot, overwritten on update), the
+    trend file only ever grows — each row is stamped with the commit and UTC
+    time, so plotting wall_ms / episodes_per_sec per bench across rows gives
+    the repo's perf trajectory. Wall times are machine-dependent; rows from
+    different machines are distinguishable only by their commit, so trends
+    are most meaningful from a stable runner (the bench-smoke CI leg).
+    """
+    stamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    commit = git_commit()
+    trend_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(trend_path, "a") as f:
+        for name, record in sorted(records.items()):
+            row = {
+                "utc": stamp,
+                "commit": commit,
+                "bench": name,
+                "scale": record["scale"],
+                "threads": record.get("threads"),
+                "wall_ms": record.get("wall_ms"),
+            }
+            for key, value in sorted(record.get("metrics", {}).items()):
+                if key.startswith(THROUGHPUT_PREFIX):
+                    row[key] = value
+            f.write(json.dumps(row) + "\n")
+    print(f"run_all: appended {len(records)} trend rows -> {trend_path}")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--build-dir", type=Path, default=Path("build"),
@@ -159,6 +201,11 @@ def main() -> int:
     parser.add_argument("--update-baseline", type=Path, default=None,
                         help="write the comparable subset of this run's "
                              "records to the given baseline file")
+    parser.add_argument("--trend", type=Path, nargs="?", default=None,
+                        const=Path("bench/baselines/trend.jsonl"),
+                        help="append per-bench wall_ms and episodes/sec "
+                             "rows to this JSONL file (default "
+                             "bench/baselines/trend.jsonl)")
     args = parser.parse_args()
 
     out_dir = args.out_dir.resolve()
@@ -205,6 +252,9 @@ def main() -> int:
     if failures:
         print(f"run_all: FAILED benches: {', '.join(failures)}")
         return 1
+
+    if args.trend:
+        append_trend(records, args.trend)
 
     if args.update_baseline:
         baseline = {"scale": scale, "benches": baseline_view(records)}

@@ -29,7 +29,9 @@
 #include "inject/harness.h"
 #include "log/log_report.h"
 #include "mining/symptom_clusters.h"
+#include "common/profiler.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/tracer.h"
 #include "rl/policy_diff.h"
 
@@ -94,7 +96,11 @@ int Usage() {
       "  aerctl diff      --old old.txt --new new.txt [--log recent.log]\n"
       "  aerctl metrics   [--incidents N] [--seed N] [--clean] [--json]\n"
       "  aerctl trace     [--incidents N] [--seed N] [--clean] "
-      "[--type SYMPTOM] [--top N] [--json]\n");
+      "[--type SYMPTOM] [--top N] [--json]\n"
+      "  aerctl timeseries [--incidents N] [--seed N] [--clean] "
+      "[--window SECONDS] [--capacity N] [--json]\n"
+      "  aerctl profile   [--incidents N] [--seed N] [--clean] [--wall] "
+      "[--json]\n");
   return 0;
 }
 
@@ -291,7 +297,8 @@ int Diff(const Flags& flags) {
 // registry snapshot and the trace dump are byte-identical across runs
 // (docs/OBSERVABILITY.md), which is what makes the output diffable.
 void RunObservedPipeline(const Flags& flags, obs::Tracer& tracer,
-                         obs::MetricsRegistry& metrics) {
+                         obs::MetricsRegistry& metrics,
+                         obs::TimeSeriesRecorder* recorder = nullptr) {
   const int count = static_cast<int>(flags.GetInt("incidents", 40));
   std::vector<HarnessIncident> incidents;
   const char* symptoms[] = {"Watchdog", "DiskError", "EventLog", "NicDown"};
@@ -326,7 +333,58 @@ void RunObservedPipeline(const Flags& flags, obs::Tracer& tracer,
 
   InjectionHarness harness(guard, manager_config, harness_config);
   harness.SetObservers(&tracer, &metrics);
+  harness.SetTimeSeries(recorder);
   harness.Run(incidents);
+}
+
+// Windowed metric deltas over the same observed pipeline: the sim-time axis
+// is sliced on --window (default one simulated hour), so the output shows
+// *when* the counters moved, not just their totals.
+int Timeseries(const Flags& flags) {
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  obs::TimeSeriesConfig config;
+  config.window_width = flags.GetInt("window", kHour);
+  config.capacity = static_cast<std::size_t>(flags.GetInt("capacity", 256));
+  obs::TimeSeriesRecorder recorder(metrics, config);
+  RunObservedPipeline(flags, tracer, metrics, &recorder);
+  if (flags.Has("json")) {
+    std::printf("%s\n", recorder.ExportJson().ToString().c_str());
+  } else {
+    std::printf("%s", recorder.ExportText().c_str());
+  }
+  return 0;
+}
+
+// Wall-clock scope profile of the observed pipeline. Without --wall only
+// paths and call counts are printed — a pure function of the control flow,
+// byte-stable across runs (the golden CLI tests pin it). --wall adds the
+// measured milliseconds, which are machine-dependent by nature.
+int Profile(const Flags& flags) {
+#if !AER_PROFILING_IS_ON()
+  (void)flags;
+  std::printf("profiling disabled (built with -DAER_PROFILING=OFF)\n");
+  return 0;
+#else
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  ProfileRegistry::Global().Reset();
+  RunObservedPipeline(flags, tracer, metrics);
+  const std::vector<ProfileEntry> entries =
+      ProfileRegistry::Global().Snapshot();
+  const ProfileRegistry::FormatOptions options{.include_wall =
+                                                   flags.Has("wall")};
+  if (flags.Has("json")) {
+    std::printf("%s\n",
+                ProfileRegistry::ProfileToJson(entries, options)
+                    .ToString()
+                    .c_str());
+  } else {
+    std::printf("%s", ProfileRegistry::FormatProfile(entries, options)
+                          .c_str());
+  }
+  return 0;
+#endif
 }
 
 int Metrics(const Flags& flags) {
@@ -418,6 +476,8 @@ int main(int argc, char** argv) {
   if (command == "diff") return Diff(flags);
   if (command == "metrics") return Metrics(flags);
   if (command == "trace") return Trace(flags);
+  if (command == "timeseries") return Timeseries(flags);
+  if (command == "profile") return Profile(flags);
   std::fprintf(stderr, "unknown command: %s\n\n", command.c_str());
   Usage();
   return 1;

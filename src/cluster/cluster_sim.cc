@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "common/check.h"
+#include "common/profiler.h"
 
 namespace aer {
 namespace {
@@ -63,6 +64,7 @@ ClusterSimulator::ClusterSimulator(ClusterSimConfig config,
 }
 
 SimulationResult ClusterSimulator::Run(RecoveryPolicy& policy) {
+  AER_PROFILE_SCOPE("sim_run");
   SimulationResult result;
   Rng rng(config_.seed);
 
@@ -202,6 +204,7 @@ SimulationResult ClusterSimulator::Run(RecoveryPolicy& policy) {
   };
 
   while (!queue.empty()) {
+    AER_PROFILE_SCOPE("sim_step");
     const Event e = queue.top();
     queue.pop();
 

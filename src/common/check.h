@@ -18,6 +18,7 @@
 #ifndef AER_COMMON_CHECK_H_
 #define AER_COMMON_CHECK_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +26,27 @@
 #include <sstream>
 #include <string>
 #include <utility>
+
+namespace aer {
+
+// Last-gasp hook: called with the fully formatted failure message after it
+// is printed to stderr and just before the failed AER_CHECK aborts. The
+// flight recorder (obs/flight_recorder.h) installs itself here to dump
+// recent spans and metrics next to the crash. The hook must be reentrancy-
+// safe (a CHECK failing inside the hook must not recurse) and must return;
+// the abort always happens. Pass nullptr to uninstall.
+using CheckFailureHook = void (*)(const char* message);
+
+inline std::atomic<CheckFailureHook>& CheckFailureHookSlot() {
+  static std::atomic<CheckFailureHook> slot{nullptr};
+  return slot;
+}
+
+inline void SetCheckFailureHook(CheckFailureHook hook) {
+  CheckFailureHookSlot().store(hook, std::memory_order_release);
+}
+
+}  // namespace aer
 
 namespace aer::internal {
 
@@ -90,6 +112,10 @@ class CheckFailureStream {
     const std::string message = stream_.str();
     std::fprintf(stderr, "%s\n", message.c_str());
     std::fflush(stderr);
+    if (CheckFailureHook hook =
+            CheckFailureHookSlot().load(std::memory_order_acquire)) {
+      hook(message.c_str());
+    }
     std::abort();
   }
 

@@ -1,0 +1,152 @@
+#include "common/profiler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace aer {
+
+ProfileRegistry& ProfileRegistry::Global() {
+  // Leaked so shards referenced from thread_locals of detached threads stay
+  // valid through process exit.
+  static ProfileRegistry* registry = new ProfileRegistry();
+  return *registry;
+}
+
+void ProfileRegistry::Shard::Enter(std::string_view name) {
+  const int parent = stack_.empty() ? -1 : stack_.back();
+  int index;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(std::make_pair(parent, std::string(name)));
+    if (it != index_.end()) {
+      index = it->second;
+    } else {
+      index = static_cast<int>(nodes_.size());
+      auto node = std::make_unique<Node>();
+      node->name = std::string(name);
+      node->parent = parent;
+      nodes_.push_back(std::move(node));
+      index_.emplace(std::make_pair(parent, std::string(name)), index);
+    }
+  }
+  stack_.push_back(index);
+}
+
+void ProfileRegistry::Shard::Exit(std::int64_t elapsed_ns) {
+  AER_DCHECK(!stack_.empty()) << "profile scope exit without matching enter";
+  Node& node = *nodes_[static_cast<std::size_t>(stack_.back())];
+  stack_.pop_back();
+  node.calls.fetch_add(1, std::memory_order_relaxed);
+  node.total_ns.fetch_add(elapsed_ns < 0 ? 0 : elapsed_ns,
+                          std::memory_order_relaxed);
+}
+
+ProfileRegistry::Shard& ProfileRegistry::LocalShard() {
+  // One shard per (thread, registry). The registry keeps a shared_ptr so
+  // snapshots taken after a worker thread exits still see its data.
+  thread_local std::map<const ProfileRegistry*, std::shared_ptr<Shard>>
+      shards;
+  std::shared_ptr<Shard>& slot = shards[this];
+  if (slot == nullptr) {
+    slot = std::make_shared<Shard>();
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(slot);
+  }
+  return *slot;
+}
+
+std::vector<ProfileEntry> ProfileRegistry::Snapshot() const {
+  std::vector<std::shared_ptr<Shard>> shards;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards = shards_;
+  }
+  std::map<std::string, ProfileEntry> merged;
+  for (const std::shared_ptr<Shard>& shard : shards) {
+    std::lock_guard<std::mutex> lock(shard->mu_);
+    // Parents are created before their children, so a single forward pass
+    // can resolve every node's path from its parent's.
+    std::vector<std::string> paths(shard->nodes_.size());
+    for (std::size_t i = 0; i < shard->nodes_.size(); ++i) {
+      const Shard::Node& node = *shard->nodes_[i];
+      paths[i] = node.parent < 0
+                     ? node.name
+                     : paths[static_cast<std::size_t>(node.parent)] + "/" +
+                           node.name;
+      const std::int64_t calls =
+          node.calls.load(std::memory_order_relaxed);
+      if (calls == 0) continue;
+      ProfileEntry& entry = merged[paths[i]];
+      entry.path = paths[i];
+      entry.calls += calls;
+      entry.total_ns += node.total_ns.load(std::memory_order_relaxed);
+    }
+  }
+  std::vector<ProfileEntry> out;
+  out.reserve(merged.size());
+  for (auto& [path, entry] : merged) out.push_back(std::move(entry));
+  return out;
+}
+
+void ProfileRegistry::Reset() {
+  std::vector<std::shared_ptr<Shard>> shards;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards = shards_;
+  }
+  for (const std::shared_ptr<Shard>& shard : shards) {
+    std::lock_guard<std::mutex> lock(shard->mu_);
+    for (const auto& node : shard->nodes_) {
+      node->calls.store(0, std::memory_order_relaxed);
+      node->total_ns.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::int64_t ProfileRegistry::TotalCalls() const {
+  std::int64_t total = 0;
+  for (const ProfileEntry& entry : Snapshot()) total += entry.calls;
+  return total;
+}
+
+std::string ProfileRegistry::FormatProfile(
+    const std::vector<ProfileEntry>& entries, const FormatOptions& options) {
+  std::string out;
+  for (const ProfileEntry& entry : entries) {
+    if (options.include_wall) {
+      const double total_ms = static_cast<double>(entry.total_ns) / 1e6;
+      const double avg_us =
+          entry.calls > 0
+              ? static_cast<double>(entry.total_ns) /
+                    (1e3 * static_cast<double>(entry.calls))
+              : 0.0;
+      out += StrFormat("profile %s calls=%lld total_ms=%.3f avg_us=%.3f\n",
+                       entry.path.c_str(),
+                       static_cast<long long>(entry.calls), total_ms, avg_us);
+    } else {
+      out += StrFormat("profile %s calls=%lld\n", entry.path.c_str(),
+                       static_cast<long long>(entry.calls));
+    }
+  }
+  return out;
+}
+
+JsonValue ProfileRegistry::ProfileToJson(
+    const std::vector<ProfileEntry>& entries, const FormatOptions& options) {
+  JsonValue root = JsonValue::Array();
+  for (const ProfileEntry& entry : entries) {
+    JsonValue value = JsonValue::Object();
+    value.Set("path", JsonValue::String(entry.path));
+    value.Set("calls", JsonValue::Int(entry.calls));
+    if (options.include_wall) {
+      value.Set("total_ns", JsonValue::Int(entry.total_ns));
+    }
+    root.Append(std::move(value));
+  }
+  return root;
+}
+
+}  // namespace aer

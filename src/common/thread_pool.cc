@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "common/profiler.h"
 #include "common/string_util.h"
 
 namespace aer {
@@ -113,6 +114,7 @@ void ThreadPool::WorkerLoop(std::size_t worker_index) {
   while (true) {
     Task task;
     if (TryAcquire(worker_index, task)) {
+      AER_PROFILE_SCOPE("pool_task");
       task();
       continue;
     }

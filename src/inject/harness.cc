@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "common/check.h"
+#include "common/profiler.h"
 #include "common/rng.h"
 
 namespace aer {
@@ -61,6 +62,10 @@ InjectionHarness::InjectionHarness(RecoveryPolicy& policy,
   }
 }
 
+void InjectionHarness::SetTimeSeries(obs::TimeSeriesRecorder* recorder) {
+  timeseries_ = recorder;
+}
+
 void InjectionHarness::SetObservers(obs::Tracer* tracer,
                                     obs::MetricsRegistry* metrics) {
   tracer_ = tracer;
@@ -82,6 +87,7 @@ void InjectionHarness::SetObservers(obs::Tracer* tracer,
 
 HarnessResult InjectionHarness::Run(
     const std::vector<HarnessIncident>& incidents) {
+  AER_PROFILE_SCOPE("harness_run");
   Rng rng(config_.seed);
   HarnessResult result;
   result.incidents = static_cast<std::int64_t>(incidents.size());
@@ -200,11 +206,13 @@ HarnessResult InjectionHarness::Run(
       // Budget blown: report a hang instead of hanging.
       result.all_completed = false;
       result.manager = manager_.stats();
+      if (timeseries_ != nullptr) timeseries_->Finish(result.end_time);
       return result;
     }
     const Event event = queue.top();
     queue.pop();
     result.end_time = event.time;
+    if (timeseries_ != nullptr) timeseries_->AdvanceTo(event.time);
 
     switch (event.kind) {
       case EventKind::kIncident: {
@@ -281,6 +289,7 @@ HarnessResult InjectionHarness::Run(
   }
   result.all_completed = !any_sick && manager_.open_process_count() == 0;
   result.manager = manager_.stats();
+  if (timeseries_ != nullptr) timeseries_->Finish(result.end_time);
   return result;
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/recovery_manager.h"
+#include "obs/timeseries.h"
 
 namespace aer {
 
@@ -100,6 +101,12 @@ class InjectionHarness {
   // recovery spans it perturbs. Injection counts mirror into aer_inject_*.
   void SetObservers(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
 
+  // Attaches a time-series recorder (may be null; must outlive the
+  // harness). Run() advances it to each event's sim time before processing
+  // the event and finishes it at the final event time, so window deltas
+  // line up with sim-time boundaries.
+  void SetTimeSeries(obs::TimeSeriesRecorder* recorder);
+
   // Runs all incidents to quiescence (or the event budget). Callable once.
   HarnessResult Run(const std::vector<HarnessIncident>& incidents);
 
@@ -123,6 +130,7 @@ class InjectionHarness {
   std::unordered_map<MachineId, MachineState> machines_;
 
   obs::Tracer* tracer_ = nullptr;
+  obs::TimeSeriesRecorder* timeseries_ = nullptr;
   // Cached metric handles (see RecoveryManager::SetObservers); all null
   // when no registry is attached.
   struct ObsMetrics {

@@ -1,0 +1,186 @@
+#include "obs/flight_recorder.h"
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/json_writer.h"
+#include "common/profiler.h"
+
+namespace aer::obs {
+namespace {
+
+constexpr int kFatalSignals[] = {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT};
+constexpr std::size_t kNumFatalSignals =
+    sizeof(kFatalSignals) / sizeof(kFatalSignals[0]);
+
+const char* SignalName(int signo) {
+  switch (signo) {
+    case SIGSEGV:
+      return "SIGSEGV";
+    case SIGBUS:
+      return "SIGBUS";
+    case SIGFPE:
+      return "SIGFPE";
+    case SIGILL:
+      return "SIGILL";
+    case SIGABRT:
+      return "SIGABRT";
+  }
+  return "unknown";
+}
+
+struct Installed {
+  FlightRecorderConfig config;
+  const Tracer* tracer = nullptr;
+  const MetricsRegistry* metrics = nullptr;
+  const TimeSeriesRecorder* timeseries = nullptr;
+  struct sigaction previous[kNumFatalSignals] = {};
+};
+
+// Guards installation state; never taken on the crash path (the handlers
+// read `g_installed` via the atomic pointer only).
+std::mutex& InstallMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::atomic<Installed*> g_installed{nullptr};
+
+// One crash dump per process: a fault inside the dump path (or a cascading
+// CHECK + abort) must not recurse.
+std::atomic<bool> g_dumped{false};
+
+bool WriteDump(const Installed& state, std::string_view reason,
+               std::string_view detail) {
+  JsonValue root = JsonValue::Object();
+  root.Set("reason", JsonValue::String(reason));
+  root.Set("detail", JsonValue::String(detail));
+
+  JsonValue spans_section = JsonValue::Object();
+  if (state.tracer != nullptr) {
+    std::vector<Span> spans = state.tracer->Snapshot();
+    if (spans.size() > state.config.max_spans) {
+      spans.erase(spans.begin(),
+                  spans.end() - static_cast<std::ptrdiff_t>(
+                                    state.config.max_spans));
+    }
+    spans_section.Set("dropped",
+                      JsonValue::Int(state.tracer->dropped_count()));
+    spans_section.Set(
+        "open", JsonValue::Int(
+                    static_cast<std::int64_t>(state.tracer->open_count())));
+    spans_section.Set("spans", Tracer::SpansToJson(spans));
+  }
+  root.Set("spans", std::move(spans_section));
+
+  if (state.metrics != nullptr) {
+    root.Set("metrics", state.metrics->ExportJson());
+  }
+
+  JsonValue ts_section = JsonValue::Object();
+  if (state.timeseries != nullptr) {
+    ts_section.Set("closed",
+                   JsonValue::Int(state.timeseries->windows_closed()));
+    ts_section.Set("dropped",
+                   JsonValue::Int(state.timeseries->windows_dropped()));
+    const std::vector<TimeSeriesWindow> windows = state.timeseries->Windows();
+    if (!windows.empty()) {
+      const TimeSeriesWindow& w = windows.back();
+      JsonValue window = JsonValue::Object();
+      window.Set("index", JsonValue::Int(w.index));
+      window.Set("start", JsonValue::Int(w.start));
+      window.Set("end", JsonValue::Int(w.end));
+      JsonValue counters = JsonValue::Object();
+      for (const auto& [name, delta] : w.counter_deltas) {
+        counters.Set(name, JsonValue::Int(delta));
+      }
+      window.Set("counters", std::move(counters));
+      ts_section.Set("last_window", std::move(window));
+    }
+  }
+  root.Set("timeseries", std::move(ts_section));
+
+  root.Set("profile",
+           ProfileRegistry::ProfileToJson(ProfileRegistry::Global().Snapshot(),
+                                          {.include_wall = true}));
+
+  const std::string out = root.ToString();
+  std::FILE* f = std::fopen(state.config.path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  return written == out.size();
+}
+
+// Best-effort crash dump; see the signal-safety caveat in the header.
+void CrashDump(std::string_view reason, std::string_view detail) {
+  if (g_dumped.exchange(true, std::memory_order_acq_rel)) return;
+  const Installed* state = g_installed.load(std::memory_order_acquire);
+  if (state == nullptr) return;
+  WriteDump(*state, reason, detail);
+}
+
+void CheckHook(const char* message) { CrashDump("check_failure", message); }
+
+void SignalHandler(int signo) {
+  CrashDump("signal", SignalName(signo));
+  // Re-deliver with default disposition so the exit status (and any core
+  // dump) look exactly as they would without the recorder.
+  std::signal(signo, SIG_DFL);
+  std::raise(signo);
+}
+
+}  // namespace
+
+void FlightRecorder::Install(FlightRecorderConfig config, const Tracer* tracer,
+                             const MetricsRegistry* metrics,
+                             const TimeSeriesRecorder* timeseries) {
+  std::lock_guard<std::mutex> lock(InstallMutex());
+  Installed* state = g_installed.load(std::memory_order_acquire);
+  const bool first = state == nullptr;
+  // Leaked deliberately: a crashing thread may still hold the pointer
+  // while another thread uninstalls, so the state block is never freed.
+  if (first) state = new Installed();
+  state->config = std::move(config);
+  state->tracer = tracer;
+  state->metrics = metrics;
+  state->timeseries = timeseries;
+  if (first) {
+    struct sigaction action = {};
+    action.sa_handler = &SignalHandler;
+    sigemptyset(&action.sa_mask);
+    for (std::size_t i = 0; i < kNumFatalSignals; ++i) {
+      sigaction(kFatalSignals[i], &action, &state->previous[i]);
+    }
+  }
+  g_installed.store(state, std::memory_order_release);
+  SetCheckFailureHook(&CheckHook);
+}
+
+void FlightRecorder::Uninstall() {
+  std::lock_guard<std::mutex> lock(InstallMutex());
+  Installed* state = g_installed.load(std::memory_order_acquire);
+  if (state == nullptr) return;
+  SetCheckFailureHook(nullptr);
+  for (std::size_t i = 0; i < kNumFatalSignals; ++i) {
+    sigaction(kFatalSignals[i], &state->previous[i], nullptr);
+  }
+  g_installed.store(nullptr, std::memory_order_release);
+}
+
+bool FlightRecorder::DumpNow(std::string_view detail) {
+  const Installed* state = g_installed.load(std::memory_order_acquire);
+  if (state == nullptr) return false;
+  return WriteDump(*state, "manual", detail);
+}
+
+bool FlightRecorder::installed() {
+  return g_installed.load(std::memory_order_acquire) != nullptr;
+}
+
+}  // namespace aer::obs

@@ -1,6 +1,5 @@
 #include "obs/metrics.h"
 
-#include <optional>
 #include <utility>
 
 #include "common/check.h"
@@ -91,64 +90,42 @@ StatMetric& MetricsRegistry::GetStat(std::string_view name) {
   return *entry.stat;
 }
 
-void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
-  AER_CHECK(this != &other) << "cannot merge a registry into itself";
-  // Snapshot the shard first so the two registry mutexes are never held
-  // together (no lock-order issues regardless of call direction).
-  struct Copied {
-    std::string name;
-    MetricKind kind;
-    bool volatile_metric;
-    std::int64_t counter_value = 0;
-    double gauge_value = 0.0;
-    std::optional<LogHistogram> histogram;
-    std::optional<RunningStat> stat;
-  };
-  std::vector<Copied> copies;
-  {
-    std::lock_guard<std::mutex> lock(other.mu_);
-    copies.reserve(other.entries_.size());
-    for (const auto& [name, entry] : other.entries_) {
-      Copied c;
-      c.name = name;
-      c.kind = entry->kind;
-      c.volatile_metric = entry->volatile_metric;
-      switch (entry->kind) {
-        case MetricKind::kCounter:
-          c.counter_value = entry->counter.value();
-          break;
-        case MetricKind::kGauge:
-          c.gauge_value = entry->gauge.value();
-          break;
-        case MetricKind::kHistogram:
-          c.histogram = entry->histogram->Snapshot();
-          break;
-        case MetricKind::kStat:
-          c.stat = entry->stat->Snapshot();
-          break;
-      }
-      copies.push_back(std::move(c));
-    }
-  }
-  for (const Copied& c : copies) {
-    switch (c.kind) {
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, entry] : entries_) {
+    switch (entry->kind) {
       case MetricKind::kCounter:
-        GetCounter(c.name).Inc(c.counter_value);
+        snapshot.counters.push_back({name, entry->counter.value()});
         break;
       case MetricKind::kGauge:
-        GetGauge(c.name, c.volatile_metric).Set(c.gauge_value);
+        snapshot.gauges.push_back(
+            {name, entry->gauge.value(), entry->volatile_metric});
         break;
-      case MetricKind::kHistogram: {
-        const LogHistogram& h = *c.histogram;
-        GetHistogram(c.name, h.base(), h.growth(), h.bucket_count() - 1)
-            .MergeFrom(h);
+      case MetricKind::kHistogram:
+        snapshot.histograms.push_back({name, entry->histogram->Snapshot()});
         break;
-      }
       case MetricKind::kStat:
-        GetStat(c.name).MergeFrom(*c.stat);
+        snapshot.stats.push_back({name, entry->stat->Snapshot()});
         break;
     }
   }
+  return snapshot;
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  AER_CHECK(this != &other) << "cannot merge a registry into itself";
+  const MetricsSnapshot snapshot = other.Snapshot();
+  for (const auto& c : snapshot.counters) GetCounter(c.name).Inc(c.value);
+  for (const auto& g : snapshot.gauges) {
+    GetGauge(g.name, g.volatile_metric).Set(g.value);
+  }
+  for (const auto& h : snapshot.histograms) {
+    GetHistogram(h.name, h.histogram.base(), h.histogram.growth(),
+                 h.histogram.bucket_count() - 1)
+        .MergeFrom(h.histogram);
+  }
+  for (const auto& s : snapshot.stats) GetStat(s.name).MergeFrom(s.stat);
 }
 
 std::string MetricsRegistry::ExportText(const ExportOptions& options) const {

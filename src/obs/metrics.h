@@ -106,6 +106,33 @@ class StatMetric {
 
 enum class MetricKind { kCounter, kGauge, kHistogram, kStat };
 
+// A point-in-time copy of every metric, each section sorted by name — the
+// substrate shared by MergeFrom, the TimeSeriesRecorder's windowed deltas,
+// and the flight recorder's crash dump.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::int64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0.0;
+    bool volatile_metric = false;
+  };
+  struct HistogramValue {
+    std::string name;
+    LogHistogram histogram;
+  };
+  struct StatValue {
+    std::string name;
+    RunningStat stat;
+  };
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+  std::vector<StatValue> stats;
+};
+
 // Valid metric names match [a-z][a-z0-9_]* — enforced with AER_CHECK so the
 // catalog in docs/OBSERVABILITY.md stays greppable and export-safe.
 bool IsValidMetricName(std::string_view name);
@@ -130,8 +157,15 @@ class MetricsRegistry {
                           double growth = 2.0, int bucket_count = 20);
   StatMetric& GetStat(std::string_view name);
 
+  // Copies every metric under the registry mutex (name-sorted; see
+  // MetricsSnapshot). The copy is consistent per metric, not across metrics
+  // — concurrent writers may land between sections, same as the exports.
+  MetricsSnapshot Snapshot() const;
+
   // Folds a worker shard into this registry: counters add, histograms and
   // stats merge, gauges take the shard's value. Creates missing metrics.
+  // Implemented as Snapshot() + apply, so the two registry mutexes are
+  // never held together.
   void MergeFrom(const MetricsRegistry& other);
 
   // Prometheus-style text exposition, sorted by metric name. Histograms emit

@@ -1,0 +1,186 @@
+#include "obs/timeseries.h"
+
+#include <map>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace aer::obs {
+namespace {
+
+// Sorted-by-name diff of two counter sections; emits nonzero deltas only.
+// Names only ever get added to a registry, so `prev` is a subset of `now`.
+std::vector<std::pair<std::string, std::int64_t>> DiffCounters(
+    const std::vector<MetricsSnapshot::CounterValue>& prev,
+    const std::vector<MetricsSnapshot::CounterValue>& now) {
+  std::vector<std::pair<std::string, std::int64_t>> deltas;
+  std::size_t p = 0;
+  for (const auto& c : now) {
+    while (p < prev.size() && prev[p].name < c.name) ++p;
+    const std::int64_t before =
+        (p < prev.size() && prev[p].name == c.name) ? prev[p].value : 0;
+    const std::int64_t delta = c.value - before;
+    if (delta != 0) deltas.emplace_back(c.name, delta);
+  }
+  return deltas;
+}
+
+}  // namespace
+
+TimeSeriesRecorder::TimeSeriesRecorder(MetricsRegistry& registry,
+                                       TimeSeriesConfig config)
+    : registry_(registry), config_(config) {
+  AER_CHECK_GT(config_.window_width, 0);
+  AER_CHECK_GT(config_.capacity, 0u);
+  // Register the meta counters up front so they appear (as zero) in the
+  // catalog even before the first eviction, then take the baseline.
+  registry_.GetCounter("aer_ts_windows_total");
+  registry_.GetCounter("aer_ts_windows_dropped_total");
+  last_ = registry_.Snapshot();
+}
+
+void TimeSeriesRecorder::AdvanceTo(std::int64_t position) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AER_CHECK_GE(position, position_) << "time-series position went backwards";
+  position_ = position;
+  const std::int64_t boundary =
+      (position / config_.window_width) * config_.window_width;
+  if (boundary > window_start_) CloseWindowLocked(boundary);
+}
+
+void TimeSeriesRecorder::Finish(std::int64_t position) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AER_CHECK_GE(position, position_) << "time-series position went backwards";
+  position_ = position;
+  if (position > window_start_) CloseWindowLocked(position);
+}
+
+void TimeSeriesRecorder::CloseWindowLocked(std::int64_t end) {
+  MetricsSnapshot now = registry_.Snapshot();
+
+  TimeSeriesWindow window;
+  window.index = next_index_++;
+  window.start = window_start_;
+  window.end = end;
+  window.counter_deltas = DiffCounters(last_.counters, now.counters);
+
+  for (const auto& g : now.gauges) {
+    if (g.volatile_metric && !config_.include_volatile) continue;
+    window.gauge_values.emplace_back(g.name, g.value);
+  }
+
+  // Histogram and stat observation counts, merged into one sorted list. A
+  // map keeps the merge simple; names are unique across kinds.
+  std::map<std::string, std::int64_t> before;
+  for (const auto& h : last_.histograms) {
+    before[h.name] = h.histogram.total_count();
+  }
+  for (const auto& s : last_.stats) before[s.name] = s.stat.count();
+  std::map<std::string, std::int64_t> counts;
+  for (const auto& h : now.histograms) {
+    counts[h.name] = h.histogram.total_count();
+  }
+  for (const auto& s : now.stats) counts[s.name] = s.stat.count();
+  for (const auto& [name, count] : counts) {
+    const auto it = before.find(name);
+    const std::int64_t delta = count - (it == before.end() ? 0 : it->second);
+    if (delta != 0) window.observation_deltas.emplace_back(name, delta);
+  }
+
+  ring_.push_back(std::move(window));
+  if (ring_.size() > config_.capacity) {
+    ring_.pop_front();
+    ++dropped_;
+    registry_.GetCounter("aer_ts_windows_dropped_total").Inc();
+  }
+  // Bumped after the snapshot, so the meta counters' own increments land in
+  // the next window's deltas (see header).
+  registry_.GetCounter("aer_ts_windows_total").Inc();
+
+  last_ = std::move(now);
+  window_start_ = end;
+}
+
+std::vector<TimeSeriesWindow> TimeSeriesRecorder::Windows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::int64_t TimeSeriesRecorder::windows_closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_index_;
+}
+
+std::int64_t TimeSeriesRecorder::windows_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::string TimeSeriesRecorder::ExportText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = StrFormat(
+      "# timeseries window_width=%lld capacity=%llu closed=%lld "
+      "dropped=%lld\n",
+      static_cast<long long>(config_.window_width),
+      static_cast<unsigned long long>(config_.capacity),
+      static_cast<long long>(next_index_), static_cast<long long>(dropped_));
+  for (const TimeSeriesWindow& w : ring_) {
+    const std::string labels = StrFormat(
+        "{window=\"%lld\",start=\"%lld\",end=\"%lld\"}",
+        static_cast<long long>(w.index), static_cast<long long>(w.start),
+        static_cast<long long>(w.end));
+    out += StrFormat("# window index=%lld start=%lld end=%lld\n",
+                     static_cast<long long>(w.index),
+                     static_cast<long long>(w.start),
+                     static_cast<long long>(w.end));
+    for (const auto& [name, delta] : w.counter_deltas) {
+      out += name + "_delta" + labels + " " +
+             StrFormat("%lld", static_cast<long long>(delta)) + "\n";
+    }
+    for (const auto& [name, value] : w.gauge_values) {
+      out += name + labels + " " + StrFormat("%.17g", value) + "\n";
+    }
+    for (const auto& [name, delta] : w.observation_deltas) {
+      out += name + "_observations" + labels + " " +
+             StrFormat("%lld", static_cast<long long>(delta)) + "\n";
+    }
+  }
+  return out;
+}
+
+JsonValue TimeSeriesRecorder::ExportJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonValue root = JsonValue::Object();
+  root.Set("window_width", JsonValue::Int(config_.window_width));
+  root.Set("capacity",
+           JsonValue::Int(static_cast<std::int64_t>(config_.capacity)));
+  root.Set("closed", JsonValue::Int(next_index_));
+  root.Set("dropped", JsonValue::Int(dropped_));
+  JsonValue windows = JsonValue::Array();
+  for (const TimeSeriesWindow& w : ring_) {
+    JsonValue window = JsonValue::Object();
+    window.Set("index", JsonValue::Int(w.index));
+    window.Set("start", JsonValue::Int(w.start));
+    window.Set("end", JsonValue::Int(w.end));
+    JsonValue counters = JsonValue::Object();
+    for (const auto& [name, delta] : w.counter_deltas) {
+      counters.Set(name, JsonValue::Int(delta));
+    }
+    window.Set("counters", std::move(counters));
+    JsonValue gauges = JsonValue::Object();
+    for (const auto& [name, value] : w.gauge_values) {
+      gauges.Set(name, JsonValue::Number(value));
+    }
+    window.Set("gauges", std::move(gauges));
+    JsonValue observations = JsonValue::Object();
+    for (const auto& [name, delta] : w.observation_deltas) {
+      observations.Set(name, JsonValue::Int(delta));
+    }
+    window.Set("observations", std::move(observations));
+    windows.Append(std::move(window));
+  }
+  root.Set("windows", std::move(windows));
+  return root;
+}
+
+}  // namespace aer::obs

@@ -1,6 +1,7 @@
 #include "obs/tracer.h"
 
 #include <algorithm>
+#include <set>
 #include <utility>
 
 #include "common/check.h"
@@ -90,6 +91,16 @@ std::vector<Span> Tracer::Snapshot() const {
   for (std::size_t i = 0; i < ring_.size(); ++i) {
     out.push_back(ring_[(ring_next_ + i) % ring_.size()]);
   }
+  // Flag parent links the eviction policy has severed: a parent id that is
+  // neither retained in the ring nor still open was dropped, and dumps must
+  // say so rather than print an id that no longer resolves.
+  std::set<SpanId> known;
+  for (const Span& span : out) known.insert(span.id);
+  for (const auto& [id, span] : open_) known.insert(id);
+  for (Span& span : out) {
+    span.parent_evicted =
+        span.parent != kNoSpan && known.find(span.parent) == known.end();
+  }
   return out;
 }
 
@@ -111,11 +122,15 @@ std::size_t Tracer::open_count() const {
 std::string Tracer::FormatSpans(const std::vector<Span>& spans) {
   std::string out;
   for (const Span& span : spans) {
+    const std::string parent =
+        span.parent_evicted
+            ? std::string("(evicted)")
+            : StrFormat("%lld", static_cast<long long>(span.parent));
     out += StrFormat(
-        "span id=%lld parent=%lld name=%s label=%s machine=%lld "
+        "span id=%lld parent=%s name=%s label=%s machine=%lld "
         "start=%lld end=%lld dur=%lld\n",
-        static_cast<long long>(span.id), static_cast<long long>(span.parent),
-        span.name.c_str(), span.label.empty() ? "-" : span.label.c_str(),
+        static_cast<long long>(span.id), parent.c_str(), span.name.c_str(),
+        span.label.empty() ? "-" : span.label.c_str(),
         static_cast<long long>(span.machine),
         static_cast<long long>(span.start), static_cast<long long>(span.end),
         static_cast<long long>(span.duration()));
@@ -133,7 +148,11 @@ JsonValue Tracer::SpansToJson(const std::vector<Span>& spans) {
   for (const Span& span : spans) {
     JsonValue value = JsonValue::Object();
     value.Set("id", JsonValue::Int(span.id));
-    value.Set("parent", JsonValue::Int(span.parent));
+    if (span.parent_evicted) {
+      value.Set("parent", JsonValue::String("(evicted)"));
+    } else {
+      value.Set("parent", JsonValue::Int(span.parent));
+    }
     value.Set("name", JsonValue::String(span.name));
     value.Set("label", JsonValue::String(span.label));
     value.Set("machine", JsonValue::Int(span.machine));

@@ -43,6 +43,11 @@ struct Span {
   std::int64_t machine = -1; // -1 = not machine-scoped
   SimTime start = 0;
   SimTime end = -1;          // -1 while open
+  // Set by Tracer::Snapshot() when `parent` names a span the ring has
+  // already evicted (it is neither completed-and-retained nor still open).
+  // The dumps render such links as the explicit "(evicted)" sentinel
+  // instead of a dangling id that could collide with a live span.
+  bool parent_evicted = false;
   std::vector<SpanEvent> events;
 
   SimTime duration() const { return end >= start ? end - start : 0; }

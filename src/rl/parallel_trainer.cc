@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/profiler.h"
 
 namespace aer {
 
@@ -16,6 +17,7 @@ ParallelTrainer::ParallelTrainer(const SelectionTreeTrainer& tree,
 
 QLearningTrainer::TrainingOutput ParallelTrainer::TrainAll(
     std::vector<QTable>* tables_out) const {
+  AER_PROFILE_SCOPE("train_all_parallel");
   const SimulationPlatform& platform = base_.platform();
   const std::size_t num_types = platform.types().num_types();
 

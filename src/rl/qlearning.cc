@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/profiler.h"
 
 namespace aer {
 
@@ -95,6 +96,7 @@ void QLearningTrainer::RunSweep(ErrorTypeId type,
                                 std::int64_t sweep, QTable& table, Rng& rng,
                                 QTable* table_b,
                                 TypeTelemetry* telemetry) const {
+  AER_PROFILE_SCOPE("train_sweep");
   // SelectProcess: uniform over the type's training processes.
   const RecoveryProcess& p = *processes[rng.NextBounded(processes.size())];
   ProcessReplay replay(p, type, platform_.estimator(),
@@ -250,6 +252,7 @@ void QLearningTrainer::RunSweep(ErrorTypeId type,
 
 TypeTrainingResult QLearningTrainer::TrainType(ErrorTypeId type,
                                                QTable* table_out) const {
+  AER_PROFILE_SCOPE("train_type");
   const auto processes = processes_of(type);
   TypeTrainingResult result;
   result.type = type;
@@ -312,6 +315,7 @@ TypeTrainingResult QLearningTrainer::TrainType(ErrorTypeId type,
 }
 
 QLearningTrainer::TrainingOutput QLearningTrainer::TrainAll() const {
+  AER_PROFILE_SCOPE("train_all");
   TrainingOutput output;
   for (std::size_t t = 0; t < by_type_.size(); ++t) {
     const ErrorTypeId type = static_cast<ErrorTypeId>(t);

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/check.h"
+#include "common/profiler.h"
 
 namespace aer {
 namespace {
@@ -66,6 +67,7 @@ SelectionTreeTrainer::SelectionTreeTrainer(const QLearningTrainer& base,
 
 TypeTrainingResult SelectionTreeTrainer::TrainType(ErrorTypeId type,
                                                    QTable* table_out) const {
+  AER_PROFILE_SCOPE("train_type");
   const auto processes = base_.processes_of(type);
   const TrainerConfig& tc = base_.config();
 
@@ -177,6 +179,7 @@ TypeTrainingResult SelectionTreeTrainer::TrainType(ErrorTypeId type,
 }
 
 QLearningTrainer::TrainingOutput SelectionTreeTrainer::TrainAll() const {
+  AER_PROFILE_SCOPE("train_all");
   QLearningTrainer::TrainingOutput output;
   const SimulationPlatform& platform = base_.platform();
   for (std::size_t t = 0; t < platform.types().num_types(); ++t) {

@@ -1,39 +1,67 @@
 #include "rl/telemetry.h"
 
 namespace aer {
+namespace {
+
+// The full frozen aer_training_* catalog (docs/OBSERVABILITY.md). Both
+// publication paths register everything up front, so the set of names never
+// depends on which types had data or whether publication was incremental.
+void RegisterTrainingMetrics(obs::MetricsRegistry& metrics) {
+  metrics.GetCounter("aer_training_episodes_total");
+  metrics.GetCounter("aer_training_q_updates_total");
+  metrics.GetGauge("aer_training_types");
+  metrics.GetGauge("aer_training_types_converged");
+  metrics.GetStat("aer_training_temperature");
+  metrics.GetStat("aer_training_max_q_delta");
+  metrics.GetStat("aer_training_visit_coverage");
+  metrics.GetStat("aer_training_sweeps");
+}
+
+}  // namespace
 
 void PublishTrainingTelemetry(
     obs::MetricsRegistry& metrics,
     const std::vector<TypeTrainingResult>& per_type) {
-  obs::Counter& episodes = metrics.GetCounter("aer_training_episodes_total");
-  obs::Counter& q_updates =
-      metrics.GetCounter("aer_training_q_updates_total");
-  obs::Gauge& types = metrics.GetGauge("aer_training_types");
-  obs::Gauge& converged = metrics.GetGauge("aer_training_types_converged");
-  obs::StatMetric& temperature =
-      metrics.GetStat("aer_training_temperature");
-  obs::StatMetric& max_q_delta =
-      metrics.GetStat("aer_training_max_q_delta");
-  obs::StatMetric& coverage = metrics.GetStat("aer_training_visit_coverage");
-  obs::StatMetric& sweeps = metrics.GetStat("aer_training_sweeps");
+  for (const TypeTrainingResult& result : per_type) {
+    PublishTypeTelemetry(metrics, result);
+  }
+  PublishTrainingSummary(metrics, per_type);
+}
 
+bool PublishTypeTelemetry(obs::MetricsRegistry& metrics,
+                          const TypeTrainingResult& result) {
+  RegisterTrainingMetrics(metrics);
+  if (result.training_processes == 0) return false;
+  metrics.GetCounter("aer_training_episodes_total").Inc(result.episodes);
+  metrics.GetCounter("aer_training_q_updates_total")
+      .Inc(result.telemetry.q_updates);
+  metrics.GetStat("aer_training_temperature")
+      .MergeFrom(result.telemetry.temperature);
+  metrics.GetStat("aer_training_max_q_delta")
+      .MergeFrom(result.telemetry.max_q_delta);
+  if (result.telemetry.explorable_state_actions > 0) {
+    metrics.GetStat("aer_training_visit_coverage")
+        .Observe(result.telemetry.visit_coverage);
+  }
+  metrics.GetStat("aer_training_sweeps")
+      .Observe(static_cast<double>(result.sweeps));
+  return true;
+}
+
+void PublishTrainingSummary(
+    obs::MetricsRegistry& metrics,
+    const std::vector<TypeTrainingResult>& per_type) {
+  RegisterTrainingMetrics(metrics);
   std::int64_t trained = 0;
   std::int64_t converged_count = 0;
   for (const TypeTrainingResult& result : per_type) {
     if (result.training_processes == 0) continue;
     ++trained;
     if (result.converged) ++converged_count;
-    episodes.Inc(result.episodes);
-    q_updates.Inc(result.telemetry.q_updates);
-    temperature.MergeFrom(result.telemetry.temperature);
-    max_q_delta.MergeFrom(result.telemetry.max_q_delta);
-    if (result.telemetry.explorable_state_actions > 0) {
-      coverage.Observe(result.telemetry.visit_coverage);
-    }
-    sweeps.Observe(static_cast<double>(result.sweeps));
   }
-  types.Set(static_cast<double>(trained));
-  converged.Set(static_cast<double>(converged_count));
+  metrics.GetGauge("aer_training_types").Set(static_cast<double>(trained));
+  metrics.GetGauge("aer_training_types_converged")
+      .Set(static_cast<double>(converged_count));
 }
 
 void PublishTrainingThroughput(obs::MetricsRegistry& metrics,

@@ -25,8 +25,27 @@ namespace aer {
 //   stats:    aer_training_temperature, aer_training_max_q_delta,
 //             aer_training_visit_coverage, aer_training_sweeps
 // Stats merge the per-type RunningStat shards in `per_type` order.
+// Equivalent to PublishTypeTelemetry over the vector followed by
+// PublishTrainingSummary — callers that want a TimeSeriesRecorder to see
+// the counters grow between types use those two pieces directly.
 void PublishTrainingTelemetry(obs::MetricsRegistry& metrics,
                               const std::vector<TypeTrainingResult>& per_type);
+
+// Folds one type's counters and stat shards (the registry ends up
+// byte-identical to a single full-vector PublishTrainingTelemetry call when
+// invoked in `per_type` order). Leaves the two summary gauges alone — they
+// summarize the whole vector, so incremental callers finish with
+// PublishTrainingSummary. Returns false (and publishes nothing) for types
+// with no training data; all metric names are still registered so the
+// catalog is stable either way.
+bool PublishTypeTelemetry(obs::MetricsRegistry& metrics,
+                          const TypeTrainingResult& result);
+
+// Sets the aer_training_types / aer_training_types_converged summary gauges
+// from the full per-type vector — the closing step of an incremental
+// PublishTypeTelemetry loop.
+void PublishTrainingSummary(obs::MetricsRegistry& metrics,
+                            const std::vector<TypeTrainingResult>& per_type);
 
 // Sets the volatile aer_training_episodes_per_sec gauge. Kept separate from
 // PublishTrainingTelemetry because callers that need byte-identical

@@ -39,7 +39,19 @@ CASES = [
      ["trace", "--incidents", "4", "--seed", "7", "--json"]),
     ("summarize.txt",
      ["summarize", "--log", "{trace}"]),
+    ("timeseries.txt",
+     ["timeseries", "--incidents", "24", "--seed", "7", "--window", "7200"]),
+    ("timeseries.json",
+     ["timeseries", "--incidents", "12", "--seed", "7", "--window", "7200",
+      "--capacity", "4", "--json"]),
+    # Counts-only (no --wall): a pure function of control flow, so it is as
+    # byte-stable as the metric snapshots. In -DAER_PROFILING=OFF builds the
+    # output is the "profiling disabled" notice and the case is skipped.
+    ("profile.txt",
+     ["profile", "--incidents", "24", "--seed", "7"]),
 ]
+
+PROFILING_OFF_NOTICE = b"profiling disabled"
 
 
 def run(binary: str, args: list[str]) -> bytes:
@@ -70,6 +82,10 @@ def main() -> int:
             if first != second:
                 failures.append(f"{golden_name}: two identical invocations "
                                 f"produced different bytes (nondeterminism)")
+                continue
+            if (golden_name.startswith("profile")
+                    and first.startswith(PROFILING_OFF_NOTICE)):
+                print(f"  skip {golden_name} (AER_PROFILING=OFF build)")
                 continue
             golden_path = golden_dir / golden_name
             if update:

@@ -1,0 +1,129 @@
+// Flight recorder: the manual dump surface, the AER_CHECK failure path and
+// the fatal-signal path. Crash paths run inside gtest death tests, so the
+// dump file is written by the dying child and inspected by the parent.
+// SIGABRT stands in for the fatal-signal family: unlike SIGSEGV it is not
+// intercepted by ASan, so the test behaves the same under every sanitizer
+// leg.
+#include "obs/flight_recorder.h"
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/profiler.h"
+
+namespace aer::obs {
+namespace {
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  // Every test uninstalls, so a prior test's sources (or the CI-wide
+  // recorder from test_main.cc) never leak into the next one.
+  void TearDown() override { FlightRecorder::Uninstall(); }
+};
+
+TEST_F(FlightRecorderTest, ManualDumpContainsAllSections) {
+  Tracer tracer;
+  MetricsRegistry metrics;
+  TimeSeriesRecorder timeseries(metrics, {.window_width = 100});
+
+  const SpanId parent = tracer.StartSpan("recovery", 10);
+  tracer.SetLabel(parent, "Watchdog");
+  tracer.EndSpan(parent, 50);
+  metrics.GetCounter("aer_test_total").Inc(5);
+  timeseries.AdvanceTo(100);
+  {
+    ProfileScope scope("flight_probe");
+  }
+
+  const std::string path =
+      ::testing::TempDir() + "/aer_flight_manual.json";
+  std::remove(path.c_str());
+  FlightRecorder::Install({.path = path}, &tracer, &metrics, &timeseries);
+  EXPECT_TRUE(FlightRecorder::installed());
+  ASSERT_TRUE(FlightRecorder::DumpNow("unit test"));
+
+  const std::string dump = ReadFileOrEmpty(path);
+  std::remove(path.c_str());
+  EXPECT_NE(dump.find("\"manual\""), std::string::npos);
+  EXPECT_NE(dump.find("unit test"), std::string::npos);
+  EXPECT_NE(dump.find("\"recovery\""), std::string::npos);   // span
+  EXPECT_NE(dump.find("aer_test_total"), std::string::npos);  // metrics
+  EXPECT_NE(dump.find("last_window"), std::string::npos);     // timeseries
+  EXPECT_NE(dump.find("flight_probe"), std::string::npos);    // profile
+}
+
+TEST_F(FlightRecorderTest, MaxSpansKeepsOnlyTheMostRecent) {
+  Tracer tracer;
+  for (int i = 0; i < 10; ++i) {
+    tracer.Instant("span_" + std::to_string(i), i);
+  }
+  const std::string path =
+      ::testing::TempDir() + "/aer_flight_maxspans.json";
+  std::remove(path.c_str());
+  FlightRecorder::Install({.path = path, .max_spans = 3}, &tracer, nullptr,
+                          nullptr);
+  ASSERT_TRUE(FlightRecorder::DumpNow("trim"));
+  const std::string dump = ReadFileOrEmpty(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(dump.find("span_6"), std::string::npos);
+  EXPECT_NE(dump.find("span_7"), std::string::npos);
+  EXPECT_NE(dump.find("span_9"), std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, DumpNowWithoutInstallFails) {
+  FlightRecorder::Uninstall();
+  EXPECT_FALSE(FlightRecorder::installed());
+  EXPECT_FALSE(FlightRecorder::DumpNow("nothing installed"));
+}
+
+TEST_F(FlightRecorderTest, CheckFailureWritesDump) {
+  const std::string path =
+      ::testing::TempDir() + "/aer_flight_check.json";
+  std::remove(path.c_str());
+  EXPECT_DEATH(
+      {
+        MetricsRegistry metrics;
+        metrics.GetCounter("aer_test_total").Inc(9);
+        FlightRecorder::Install({.path = path}, nullptr, &metrics, nullptr);
+        AER_CHECK(false) << "flight recorder check probe";
+      },
+      "flight recorder check probe");
+  const std::string dump = ReadFileOrEmpty(path);
+  std::remove(path.c_str());
+  EXPECT_NE(dump.find("check_failure"), std::string::npos);
+  EXPECT_NE(dump.find("flight recorder check probe"), std::string::npos);
+  EXPECT_NE(dump.find("aer_test_total"), std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, FatalSignalWritesDumpAndRedelivers) {
+  const std::string path =
+      ::testing::TempDir() + "/aer_flight_signal.json";
+  std::remove(path.c_str());
+  EXPECT_DEATH(
+      {
+        FlightRecorder::Install({.path = path}, nullptr, nullptr, nullptr);
+        std::raise(SIGABRT);
+      },
+      "");
+  const std::string dump = ReadFileOrEmpty(path);
+  std::remove(path.c_str());
+  EXPECT_NE(dump.find("\"signal\""), std::string::npos);
+  EXPECT_NE(dump.find("SIGABRT"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aer::obs

@@ -18,6 +18,7 @@
 #include "inject/harness.h"
 #include "mining/error_type.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "rl/telemetry.h"
 #include "sim/platform.h"
 
@@ -146,6 +147,16 @@ TEST(MetricNamesTest, TrainingTelemetryRegistersFrozenSet) {
       "aer_training_types",
       "aer_training_types_converged",
       "aer_training_visit_coverage",
+  };
+  EXPECT_EQ(Sorted(registry.Names()), expected);
+}
+
+TEST(MetricNamesTest, TimeSeriesRecorderRegistersFrozenSet) {
+  obs::MetricsRegistry registry;
+  obs::TimeSeriesRecorder recorder(registry, {.window_width = 100});
+  const std::vector<std::string> expected = {
+      "aer_ts_windows_dropped_total",
+      "aer_ts_windows_total",
   };
   EXPECT_EQ(Sorted(registry.Names()), expected);
 }

@@ -3,6 +3,7 @@
 // metric snapshots and trace dumps, run after run. Also pins the span
 // structure RecoveryManager emits: one "recovery" span per process labeled
 // with the initiating symptom, child "action:<name>" spans per attempt.
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -14,7 +15,12 @@
 #include "core/guarded_policy.h"
 #include "core/recovery_manager.h"
 #include "inject/harness.h"
+#include "cluster/trace.h"
+#include "common/profiler.h"
+#include "core/policy_generator.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/tracer.h"
 
 namespace aer {
@@ -144,6 +150,49 @@ TEST(ObsDeterminismTest, ClusterSimMetricsDeterministic) {
     EXPECT_GT(metrics.GetCounter("aer_sim_processes_total").value(), 0);
   }
   EXPECT_EQ(texts[0], texts[1]);
+}
+
+// The second half of the contract: observability must be *passive*. A
+// policy trained with the flight recorder installed, a time-series recorder
+// closing windows, and the wall-clock profiler recording is byte-identical
+// to one trained with none of them.
+TEST(ObsDeterminismTest, PolicyBytesUnaffectedByObservability) {
+  TraceConfig trace_config = TraceConfigForScale("small");
+  trace_config.sim.num_machines = 150;
+  trace_config.sim.duration = 45 * kDay;
+  const TraceDataset dataset = GenerateTrace(trace_config);
+  PolicyGeneratorConfig config;
+  config.trainer.max_sweeps = 15000;
+  config.trainer.min_sweeps = 2500;
+  const auto serialize = [](const TrainedPolicy& policy) {
+    std::ostringstream os;
+    policy.Write(os);
+    return os.str();
+  };
+
+  const std::string plain =
+      serialize(PolicyGenerator(config).Generate(dataset.result.log));
+
+  obs::MetricsRegistry registry;
+  obs::TimeSeriesRecorder recorder(registry, {.window_width = 1});
+  obs::Tracer tracer;
+  const std::string dump_path =
+      ::testing::TempDir() + "/aer_obs_determinism_flight.json";
+  obs::FlightRecorder::Install({.path = dump_path}, &tracer, &registry,
+                               &recorder);
+  ProfileRegistry::Global().Reset();
+  std::string observed;
+  {
+    AER_PROFILE_SCOPE("determinism_probe");
+    observed =
+        serialize(PolicyGenerator(config).Generate(dataset.result.log));
+    registry.GetCounter("aer_test_total").Inc();
+    recorder.AdvanceTo(1);
+  }
+  obs::FlightRecorder::Uninstall();
+
+  EXPECT_EQ(plain, observed);
+  EXPECT_EQ(recorder.windows_closed(), 1);
 }
 
 }  // namespace

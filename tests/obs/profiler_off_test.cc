@@ -1,0 +1,51 @@
+// Proof that the compiled-out profiler really is zero-cost: this TU defines
+// AER_PROFILING_DISABLED before including profiler.h — the same state every
+// TU has in a -DAER_PROFILING=OFF build — and shows the macro vanishes.
+#define AER_PROFILING_DISABLED
+#include "common/profiler.h"
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+namespace aer {
+namespace {
+
+static_assert(AER_PROFILING_IS_ON() == 0,
+              "AER_PROFILING_DISABLED must turn the per-TU switch off");
+
+// The macro must expand to *nothing*, not to a disabled object: inside a
+// constexpr function any ProfileScope construction would be ill-formed, so
+// this compiles only when the expansion is empty.
+constexpr int ExpandsToNothing() {
+  AER_PROFILE_SCOPE("compiled_out");
+  return 1;
+}
+static_assert(ExpandsToNothing() == 1,
+              "AER_PROFILE_SCOPE must compile out under "
+              "AER_PROFILING_DISABLED");
+
+TEST(ProfilerOffTest, DisabledScopesRecordNothing) {
+  ProfileRegistry::Global().Reset();
+  const std::int64_t before = ProfileRegistry::Global().TotalCalls();
+  for (int i = 0; i < 1000; ++i) {
+    AER_PROFILE_SCOPE("off_path");
+  }
+  EXPECT_EQ(ProfileRegistry::Global().TotalCalls(), before);
+}
+
+TEST(ProfilerOffTest, RegistryApiStaysUsableWhenDisabled) {
+  // Explicit ProfileScope objects (not the macro) still work, so tools that
+  // format profiles keep functioning in OFF builds — they just see only
+  // what was recorded explicitly.
+  ProfileRegistry::Global().Reset();
+  {
+    ProfileScope scope("explicit");
+  }
+  const auto entries = ProfileRegistry::Global().Snapshot();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].path, "explicit");
+}
+
+}  // namespace
+}  // namespace aer

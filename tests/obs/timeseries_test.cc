@@ -1,0 +1,183 @@
+// TimeSeriesRecorder: cadence semantics, windowed deltas, the bounded ring
+// with its meta counters, and deterministic exports.
+#include "obs/timeseries.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace aer::obs {
+namespace {
+
+TEST(TimeSeriesTest, WindowsCloseOnCadence) {
+  MetricsRegistry registry;
+  TimeSeriesRecorder recorder(registry, {.window_width = 100});
+
+  registry.GetCounter("aer_test_total").Inc(3);
+  recorder.AdvanceTo(50);
+  EXPECT_TRUE(recorder.Windows().empty());  // still inside [0, 100)
+
+  recorder.AdvanceTo(100);
+  std::vector<TimeSeriesWindow> windows = recorder.Windows();
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].index, 0);
+  EXPECT_EQ(windows[0].start, 0);
+  EXPECT_EQ(windows[0].end, 100);
+  ASSERT_EQ(windows[0].counter_deltas.size(), 1u);
+  EXPECT_EQ(windows[0].counter_deltas[0].first, "aer_test_total");
+  EXPECT_EQ(windows[0].counter_deltas[0].second, 3);
+}
+
+TEST(TimeSeriesTest, BaselineExcludesPreexistingCounts) {
+  MetricsRegistry registry;
+  registry.GetCounter("aer_test_total").Inc(7);
+  TimeSeriesRecorder recorder(registry, {.window_width = 10});
+  recorder.AdvanceTo(10);
+  const std::vector<TimeSeriesWindow> windows = recorder.Windows();
+  ASSERT_EQ(windows.size(), 1u);
+  // Nothing changed after construction, so the window is all-quiet.
+  EXPECT_TRUE(windows[0].counter_deltas.empty());
+}
+
+TEST(TimeSeriesTest, LateWindowSpansMultipleWidths) {
+  MetricsRegistry registry;
+  TimeSeriesRecorder recorder(registry, {.window_width = 100});
+  registry.GetCounter("aer_test_total").Inc();
+  // A position jump of several widths closes one late window, not filler.
+  recorder.AdvanceTo(570);
+  const std::vector<TimeSeriesWindow> windows = recorder.Windows();
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].start, 0);
+  EXPECT_EQ(windows[0].end, 500);  // floor(570 / 100) * 100
+}
+
+TEST(TimeSeriesTest, FinishClosesPartialWindow) {
+  MetricsRegistry registry;
+  TimeSeriesRecorder recorder(registry, {.window_width = 100});
+  registry.GetCounter("aer_test_total").Inc();
+  recorder.AdvanceTo(100);
+  registry.GetCounter("aer_test_total").Inc(4);
+  recorder.Finish(130);
+  const std::vector<TimeSeriesWindow> windows = recorder.Windows();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[1].start, 100);
+  EXPECT_EQ(windows[1].end, 130);
+  // Besides aer_test_total the partial window also carries the previous
+  // close's aer_ts_windows_total bump (meta counters land one window late).
+  bool found = false;
+  for (const auto& [name, delta] : windows[1].counter_deltas) {
+    if (name == "aer_test_total") {
+      found = true;
+      EXPECT_EQ(delta, 4);
+    }
+  }
+  EXPECT_TRUE(found);
+  // An empty partial at an exact boundary is a no-op.
+  TimeSeriesRecorder aligned(registry, {.window_width = 100});
+  aligned.AdvanceTo(100);
+  aligned.Finish(100);
+  EXPECT_EQ(aligned.windows_closed(), 1);
+}
+
+TEST(TimeSeriesTest, GaugeValuesAndVolatileExclusion) {
+  MetricsRegistry registry;
+  registry.GetGauge("aer_test_level").Set(1.5);
+  registry.GetGauge("aer_test_rate", /*volatile_metric=*/true).Set(99.0);
+  TimeSeriesRecorder recorder(registry, {.window_width = 10});
+  registry.GetGauge("aer_test_level").Set(2.5);
+  recorder.AdvanceTo(10);
+  const std::vector<TimeSeriesWindow> windows = recorder.Windows();
+  ASSERT_EQ(windows.size(), 1u);
+  ASSERT_EQ(windows[0].gauge_values.size(), 1u);  // volatile one excluded
+  EXPECT_EQ(windows[0].gauge_values[0].first, "aer_test_level");
+  EXPECT_DOUBLE_EQ(windows[0].gauge_values[0].second, 2.5);
+
+  TimeSeriesRecorder with_volatile(
+      registry, {.window_width = 10, .include_volatile = true});
+  with_volatile.AdvanceTo(10);
+  EXPECT_EQ(with_volatile.Windows()[0].gauge_values.size(), 2u);
+}
+
+TEST(TimeSeriesTest, ObservationDeltasMergeHistogramsAndStats) {
+  MetricsRegistry registry;
+  registry.GetHistogram("aer_test_seconds").Observe(10.0);
+  registry.GetStat("aer_test_cost").Observe(1.0);
+  TimeSeriesRecorder recorder(registry, {.window_width = 10});
+  registry.GetHistogram("aer_test_seconds").Observe(20.0);
+  registry.GetHistogram("aer_test_seconds").Observe(30.0);
+  registry.GetStat("aer_test_cost").Observe(2.0);
+  recorder.AdvanceTo(10);
+  const std::vector<TimeSeriesWindow> windows = recorder.Windows();
+  ASSERT_EQ(windows.size(), 1u);
+  ASSERT_EQ(windows[0].observation_deltas.size(), 2u);  // sorted by name
+  EXPECT_EQ(windows[0].observation_deltas[0].first, "aer_test_cost");
+  EXPECT_EQ(windows[0].observation_deltas[0].second, 1);
+  EXPECT_EQ(windows[0].observation_deltas[1].first, "aer_test_seconds");
+  EXPECT_EQ(windows[0].observation_deltas[1].second, 2);
+}
+
+TEST(TimeSeriesTest, RingEvictsOldestAndCountsMeta) {
+  MetricsRegistry registry;
+  TimeSeriesRecorder recorder(registry, {.window_width = 10, .capacity = 2});
+  for (int i = 1; i <= 4; ++i) {
+    registry.GetCounter("aer_test_total").Inc();
+    recorder.AdvanceTo(10 * i);
+  }
+  const std::vector<TimeSeriesWindow> windows = recorder.Windows();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].index, 2);  // oldest retained
+  EXPECT_EQ(windows[1].index, 3);
+  EXPECT_EQ(recorder.windows_closed(), 4);
+  EXPECT_EQ(recorder.windows_dropped(), 2);
+  EXPECT_EQ(registry.GetCounter("aer_ts_windows_total").value(), 4);
+  EXPECT_EQ(registry.GetCounter("aer_ts_windows_dropped_total").value(), 2);
+  // The meta counters are bumped after the closing snapshot, so their own
+  // increments surface in the *next* window's deltas.
+  bool meta_delta_seen = false;
+  for (const auto& [name, delta] : windows[1].counter_deltas) {
+    if (name == "aer_ts_windows_total") {
+      meta_delta_seen = true;
+      EXPECT_EQ(delta, 1);
+    }
+  }
+  EXPECT_TRUE(meta_delta_seen);
+}
+
+TEST(TimeSeriesTest, PositionMustBeMonotonic) {
+  MetricsRegistry registry;
+  TimeSeriesRecorder recorder(registry, {.window_width = 10});
+  recorder.AdvanceTo(25);
+  EXPECT_DEATH(recorder.AdvanceTo(24), "position went backwards");
+}
+
+// Two identical runs export byte-identical text and JSON — the determinism
+// contract extended to the time-series layer.
+TEST(TimeSeriesTest, ExportsAreDeterministic) {
+  auto run = []() {
+    MetricsRegistry registry;
+    TimeSeriesRecorder recorder(registry,
+                                {.window_width = 100, .capacity = 3});
+    for (int i = 1; i <= 5; ++i) {
+      registry.GetCounter("aer_test_total").Inc(i);
+      registry.GetGauge("aer_test_level").Set(0.5 * i);
+      registry.GetStat("aer_test_cost").Observe(1.0 * i);
+      recorder.AdvanceTo(100 * i);
+    }
+    recorder.Finish(530);
+    return std::make_pair(recorder.ExportText(),
+                          recorder.ExportJson().ToString());
+  };
+  const auto [text_a, json_a] = run();
+  const auto [text_b, json_b] = run();
+  EXPECT_EQ(text_a, text_b);
+  EXPECT_EQ(json_a, json_b);
+  EXPECT_NE(text_a.find("# timeseries window_width=100"), std::string::npos);
+  EXPECT_NE(
+      text_a.find("aer_test_total_delta{window=\"4\",start=\"400\",end"
+                  "=\"500\"} 5"),
+      std::string::npos);
+}
+
+}  // namespace
+}  // namespace aer::obs

@@ -165,5 +165,54 @@ TEST(TracerTest, TopSlowestSortsAndFilters) {
   EXPECT_EQ(all[0].id, c);  // the action span is the slowest overall
 }
 
+// Regression for the eviction leak: once the ring overwrites a parent, its
+// surviving children used to dump a dangling parent id that could collide
+// with a newer span. Snapshot now flags them and the dumps print the
+// explicit "(evicted)" sentinel.
+TEST(TracerTest, EvictedParentRendersSentinel) {
+  Tracer tracer(/*capacity=*/3);
+  const SpanId parent = tracer.StartSpan("recovery", 0);
+  tracer.EndSpan(parent, 10);
+  std::vector<SpanId> children;
+  for (int i = 0; i < 4; ++i) {
+    const SpanId child =
+        tracer.StartSpan("action:REBOOT", 10 + i, parent);
+    tracer.EndSpan(child, 20 + i);
+    children.push_back(child);
+  }
+  // Four children through a 3-slot ring evicted the parent and the first
+  // child; the three survivors all reference the evicted parent.
+  EXPECT_EQ(tracer.dropped_count(), 2);
+  const std::vector<Span> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  for (const Span& span : spans) {
+    EXPECT_EQ(span.parent, parent);
+    EXPECT_TRUE(span.parent_evicted) << "span " << span.id;
+  }
+
+  const std::string text = Tracer::FormatSpans(spans);
+  EXPECT_NE(text.find("parent=(evicted)"), std::string::npos);
+  EXPECT_EQ(text.find("parent=1"), std::string::npos);
+  const std::string json = Tracer::SpansToJson(spans).ToString();
+  EXPECT_NE(json.find("\"(evicted)\""), std::string::npos);
+}
+
+// A parent that is merely still open (or retained) must NOT be flagged.
+TEST(TracerTest, LiveParentsAreNotFlaggedAsEvicted) {
+  Tracer tracer(/*capacity=*/8);
+  const SpanId open_parent = tracer.StartSpan("recovery", 0);
+  const SpanId child = tracer.StartSpan("action:REBOOT", 1, open_parent);
+  tracer.EndSpan(child, 5);
+  {
+    const std::vector<Span> spans = tracer.Snapshot();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_FALSE(spans[0].parent_evicted);
+  }
+  tracer.EndSpan(open_parent, 9);
+  for (const Span& span : tracer.Snapshot()) {
+    EXPECT_FALSE(span.parent_evicted) << "span " << span.id;
+  }
+}
+
 }  // namespace
 }  // namespace aer::obs

@@ -174,6 +174,29 @@ TEST(TrainingTelemetryTest, TreeTrainerTelemetryDeterministicAcrossThreads) {
   }
 }
 
+// bench_training publishes type by type (so a TimeSeriesRecorder window can
+// sit between types); the registry must come out byte-identical to the
+// one-shot full-vector call.
+TEST(TrainingTelemetryTest, IncrementalPublicationMatchesOneShot) {
+  const Fixture fx;
+  const QLearningTrainer trainer(fx.platform, fx.processes,
+                                 ConfigWithSeed(7, true));
+  const auto output = trainer.TrainAll();
+  ASSERT_FALSE(output.per_type.empty());
+
+  obs::MetricsRegistry one_shot;
+  PublishTrainingTelemetry(one_shot, output.per_type);
+  obs::MetricsRegistry incremental;
+  for (const TypeTrainingResult& result : output.per_type) {
+    PublishTypeTelemetry(incremental, result);
+  }
+  PublishTrainingSummary(incremental, output.per_type);
+
+  obs::MetricsRegistry::ExportOptions options;
+  options.include_volatile = false;
+  EXPECT_EQ(incremental.ExportText(options), one_shot.ExportText(options));
+}
+
 TEST(TrainingTelemetryTest, ThroughputGaugeIsVolatile) {
   obs::MetricsRegistry registry;
   PublishTrainingThroughput(registry, 1234.5);

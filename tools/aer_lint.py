@@ -35,6 +35,15 @@ trips them):
                     (docs/OBSERVABILITY.md). Stray prints corrupt the CLI's
                     machine-readable output and bypass the observability
                     contract.
+  metric-catalog    Every aer_* metric registered in src/ or bench/ code
+                    (GetCounter("aer_...") / GetGauge / GetHistogram /
+                    GetStat) must appear in the frozen catalog in
+                    docs/OBSERVABILITY.md. Metric names are API
+                    (baselines and dashboards key on them); registering an
+                    undocumented one silently grows the catalog. This rule
+                    matches the raw source (names live inside string
+                    literals); tests are exempt — their throwaway
+                    aer_test_* names are not catalog entries.
 
 Suppress a finding on one line with:  // aer-lint: allow(<rule>)
 
@@ -100,6 +109,14 @@ DIRECT_OUTPUT_SCOPES = ("src/core/", "src/rl/", "src/sim/")
 DIRECT_OUTPUT = re.compile(
     r"\bstd\s*::\s*(?:cout|cerr|clog)\b"
     r"|\b(?:printf|fprintf|puts|fputs|putchar)\s*\(")
+
+# Metric registrations that must appear in the frozen catalog. Matched on
+# the *raw* source (the names live inside string literals, which the
+# stripper blanks); \s* spans the line break of a wrapped call.
+METRIC_CATALOG_SCOPES = ("src/", "bench/")
+METRIC_REGISTRATION = re.compile(
+    r'\bGet(?:Counter|Gauge|Histogram|Stat)\s*\(\s*"(aer_[a-z0-9_]*)"')
+METRIC_CATALOG_DOC = "docs/OBSERVABILITY.md"
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -192,6 +209,21 @@ class Linter:
     def __init__(self, root: Path):
         self.root = root
         self.findings: list[str] = []
+        self._catalog: set[str] | None | bool = False  # False = not loaded
+
+    def catalog_names(self) -> set[str] | None:
+        """The aer_* names documented in docs/OBSERVABILITY.md, or None if
+        the catalog document does not exist (scratch roots in the self
+        tests) — in which case the metric-catalog rule is skipped."""
+        if self._catalog is False:
+            doc = self.root / METRIC_CATALOG_DOC
+            if doc.is_file():
+                self._catalog = set(
+                    re.findall(r"aer_[a-z0-9_]*",
+                               doc.read_text(encoding="utf-8")))
+            else:
+                self._catalog = None
+        return self._catalog
 
     def report(self, path: Path, lineno: int, rule: str, message: str,
                allows: dict[int, set[str]]) -> None:
@@ -240,6 +272,31 @@ class Linter:
 
         if path.suffix in (".h", ".hpp") and rel.startswith(GUARD_SCOPES):
             self.lint_include_guard(path, rel, lines, allows)
+
+        if rel.startswith(METRIC_CATALOG_SCOPES):
+            self.lint_metric_catalog(path, text, allows)
+
+    def lint_metric_catalog(self, path: Path, text: str,
+                            allows: dict[int, set[str]]) -> None:
+        catalog = self.catalog_names()
+        if catalog is None:
+            return
+        for m in METRIC_REGISTRATION.finditer(text):
+            name = m.group(1)
+            if name in catalog:
+                continue
+            lineno = text.count("\n", 0, m.start()) + 1
+            # A wrapped call spans lines; honor a pragma on the name's line
+            # (where it reads naturally) as well as the call's first line.
+            name_lineno = text.count("\n", 0, m.start(1)) + 1
+            if "metric-catalog" in allows.get(name_lineno, set()):
+                continue
+            self.report(
+                path, lineno, "metric-catalog",
+                f"metric '{name}' is registered here but missing from the "
+                f"frozen catalog in {METRIC_CATALOG_DOC}; document it (and "
+                f"update tests/obs/metric_names_test.cc) in the same change",
+                allows)
 
     def lint_unchecked_io(self, path: Path, lineno: int, line: str,
                           lines: list[str],

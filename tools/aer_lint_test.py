@@ -221,6 +221,80 @@ class AerLintTest(unittest.TestCase):
             "std::cerr << x;  // aer-lint: allow(no-direct-output)\n")
         self.assertEqual(findings, [])
 
+    # -- metric-catalog -----------------------------------------------------
+
+    CATALOG = ("# Observability\n\n"
+               "- `aer_recovery_processes_total` — counter\n"
+               "- `aer_training_types` — gauge\n")
+
+    def write_catalog(self):
+        doc = self.repo.root / "docs/OBSERVABILITY.md"
+        doc.parent.mkdir(parents=True, exist_ok=True)
+        doc.write_text(self.CATALOG, encoding="utf-8")
+
+    def test_undocumented_metric_flagged(self):
+        self.write_catalog()
+        findings = self.repo.lint(
+            "src/core/recovery_manager.cc",
+            'metrics.GetCounter("aer_recovery_new_thing_total").Inc();\n')
+        self.assert_rule(findings, "metric-catalog")
+        self.assertIn("aer_recovery_new_thing_total", findings[0])
+
+    def test_documented_metric_ok(self):
+        self.write_catalog()
+        findings = self.repo.lint(
+            "src/core/recovery_manager.cc",
+            'metrics.GetCounter("aer_recovery_processes_total").Inc();\n'
+            'metrics.GetGauge("aer_training_types").Set(1.0);\n')
+        self.assertEqual(findings, [])
+
+    def test_wrapped_registration_call_matched(self):
+        # A call wrapped across the line break still registers the name.
+        self.write_catalog()
+        findings = self.repo.lint(
+            "src/rl/telemetry.cc",
+            "metrics.GetCounter(\n"
+            '    "aer_training_undocumented_total");\n')
+        self.assert_rule(findings, "metric-catalog")
+        self.assertIn(":1:", findings[0])
+
+    def test_tests_and_non_aer_names_exempt(self):
+        self.write_catalog()
+        self.assertEqual(
+            self.repo.lint("tests/obs/metrics_test.cc",
+                           'registry.GetCounter("aer_test_total").Inc();\n'),
+            [])
+        self.assertEqual(
+            self.repo.lint("src/obs/metrics.cc",
+                           'registry.GetCounter(name);\n'),
+            [])
+
+    def test_metric_catalog_allow_pragma(self):
+        self.write_catalog()
+        findings = self.repo.lint(
+            "src/core/recovery_manager.cc",
+            'metrics.GetCounter("aer_tmp_total");'
+            '  // aer-lint: allow(metric-catalog)\n')
+        self.assertEqual(findings, [])
+
+    def test_metric_catalog_pragma_on_wrapped_name_line(self):
+        # For a call wrapped across lines the pragma may sit on the name's
+        # line, where it reads naturally.
+        self.write_catalog()
+        findings = self.repo.lint(
+            "bench/micro_benchmarks.cc",
+            "registry.GetCounter(\n"
+            '    "aer_bench_probe");  // aer-lint: allow(metric-catalog)\n')
+        self.assertEqual(findings, [])
+
+    def test_missing_catalog_doc_skips_rule(self):
+        # Scratch roots (like this test's) have no docs/OBSERVABILITY.md;
+        # the rule must not fire on them.
+        findings = self.repo.lint(
+            "src/core/recovery_manager.cc",
+            'metrics.GetCounter("aer_recovery_whatever_total");\n')
+        self.assertEqual(findings, [])
+
     # -- allow pragma & stripping -------------------------------------------
 
     def test_allow_pragma_suppresses(self):
