@@ -4,16 +4,38 @@
 #   -DAER_SANITIZE=thread
 #   -DAER_LINT=ON        runs clang-tidy over every TU via CMAKE_CXX_CLANG_TIDY
 #   -DAER_WERROR=ON      promotes warnings to errors (CI sets this)
+#   -DAER_THREAD_SAFETY=ON   Clang only: -Werror=thread-safety proves the
+#                            lock annotations (docs/STATIC_ANALYSIS.md)
 #
 # See docs/DEVELOPING.md for the full local workflow.
 
 option(AER_WERROR "Treat compiler warnings as errors" OFF)
 option(AER_LINT "Run clang-tidy on every translation unit" OFF)
+option(AER_THREAD_SAFETY
+       "Enforce Clang thread-safety analysis as errors (requires Clang)" OFF)
 set(AER_SANITIZE "" CACHE STRING
     "Semicolon- or comma-separated sanitizers: address, undefined, thread, leak")
 
 if(AER_WERROR)
   add_compile_options(-Werror)
+endif()
+
+# ---------------------------------------------------------------------------
+# Clang thread-safety analysis
+# ---------------------------------------------------------------------------
+# The AER_* capability annotations (src/common/thread_annotations.h) expand
+# to Clang attributes; this turns the analysis into a hard build gate. GCC
+# neither implements the analysis nor accepts the flag, so demanding it
+# there is a configuration error, not a silent no-op.
+if(AER_THREAD_SAFETY)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    message(FATAL_ERROR
+            "AER_THREAD_SAFETY=ON requires Clang (-Wthread-safety); "
+            "current compiler is ${CMAKE_CXX_COMPILER_ID}. "
+            "Configure with CXX=clang++ or drop the option.")
+  endif()
+  add_compile_options(-Werror=thread-safety -Werror=thread-safety-beta)
+  message(STATUS "aer: thread-safety analysis enforced")
 endif()
 
 # ---------------------------------------------------------------------------

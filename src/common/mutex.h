@@ -1,0 +1,92 @@
+// Capability-annotated locking primitives: the lock types annotated code
+// must use (see common/thread_annotations.h and docs/STATIC_ANALYSIS.md).
+//
+// libstdc++'s std::mutex / std::lock_guard carry no thread-safety
+// attributes, so Clang's analysis cannot see acquisitions made through
+// them; a field marked AER_GUARDED_BY(std::mutex) would flag every access,
+// locked or not. These thin wrappers add the attributes and nothing else:
+//
+//   aer::Mutex      — std::mutex with AER_CAPABILITY; Lock/Unlock/TryLock.
+//   aer::MutexLock  — std::lock_guard with AER_SCOPED_CAPABILITY.
+//   aer::CondVar    — std::condition_variable whose Wait() keeps the
+//                     capability held from the analysis's point of view
+//                     (it releases and reacquires internally, like any
+//                     condition wait).
+//
+// The aer_lint mutex-annotation rule forbids raw std::mutex members in src/
+// headers, so every mutex-protected component funnels through this header
+// and stays statically checkable. Runtime behavior is byte-identical to the
+// std types; TSan sees straight through the wrappers.
+#ifndef AER_COMMON_MUTEX_H_
+#define AER_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace aer {
+
+class CondVar;
+
+// Plain exclusive mutex, annotated as a capability. Same cost and
+// semantics as the std::mutex it wraps.
+class AER_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() AER_ACQUIRE() { mu_.lock(); }
+  void Unlock() AER_RELEASE() { mu_.unlock(); }
+  bool TryLock() AER_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII lock with the scoped-capability attribute, so the analysis knows the
+// mutex is held for exactly this scope (the std::lock_guard idiom).
+class AER_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) AER_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() AER_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable for aer::Mutex. Wait() is annotated AER_REQUIRES(mu):
+// the capability is held on entry and on return; the internal release
+// during the block is invisible to the analysis, exactly as with
+// std::condition_variable::wait. Callers therefore re-test their predicate
+// in a while loop in the annotated function body — never in a lambda, which
+// the analysis would treat as an unlocked context.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) AER_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the wait, then release the
+    // unique_lock without unlocking so ownership stays with the caller.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace aer
+
+#endif  // AER_COMMON_MUTEX_H_

@@ -16,32 +16,35 @@ ProfileRegistry& ProfileRegistry::Global() {
 }
 
 void ProfileRegistry::Shard::Enter(std::string_view name) {
-  const int parent = stack_.empty() ? -1 : stack_.back();
-  int index;
+  const Node* parent = stack_.empty() ? nullptr : stack_.back();
+  Node* node;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = index_.find(std::make_pair(parent, std::string(name)));
     if (it != index_.end()) {
-      index = it->second;
+      node = it->second;
     } else {
-      index = static_cast<int>(nodes_.size());
-      auto node = std::make_unique<Node>();
-      node->name = std::string(name);
-      node->parent = parent;
-      nodes_.push_back(std::move(node));
-      index_.emplace(std::make_pair(parent, std::string(name)), index);
+      auto created = std::make_unique<Node>();
+      created->name = std::string(name);
+      created->parent = parent;
+      node = created.get();
+      nodes_.push_back(std::move(created));
+      index_.emplace(std::make_pair(parent, std::string(name)), node);
     }
   }
-  stack_.push_back(index);
+  stack_.push_back(node);
 }
 
 void ProfileRegistry::Shard::Exit(std::int64_t elapsed_ns) {
   AER_DCHECK(!stack_.empty()) << "profile scope exit without matching enter";
-  Node& node = *nodes_[static_cast<std::size_t>(stack_.back())];
+  // The stack holds stable Node pointers, so the hot exit path never touches
+  // the guarded node storage: pop (owner-thread-only) plus two relaxed
+  // atomic adds.
+  Node* node = stack_.back();
   stack_.pop_back();
-  node.calls.fetch_add(1, std::memory_order_relaxed);
-  node.total_ns.fetch_add(elapsed_ns < 0 ? 0 : elapsed_ns,
-                          std::memory_order_relaxed);
+  node->calls.fetch_add(1, std::memory_order_relaxed);
+  node->total_ns.fetch_add(elapsed_ns < 0 ? 0 : elapsed_ns,
+                           std::memory_order_relaxed);
 }
 
 ProfileRegistry::Shard& ProfileRegistry::LocalShard() {
@@ -52,7 +55,7 @@ ProfileRegistry::Shard& ProfileRegistry::LocalShard() {
   std::shared_ptr<Shard>& slot = shards[this];
   if (slot == nullptr) {
     slot = std::make_shared<Shard>();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shards_.push_back(slot);
   }
   return *slot;
@@ -61,26 +64,26 @@ ProfileRegistry::Shard& ProfileRegistry::LocalShard() {
 std::vector<ProfileEntry> ProfileRegistry::Snapshot() const {
   std::vector<std::shared_ptr<Shard>> shards;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shards = shards_;
   }
   std::map<std::string, ProfileEntry> merged;
   for (const std::shared_ptr<Shard>& shard : shards) {
-    std::lock_guard<std::mutex> lock(shard->mu_);
+    MutexLock lock(shard->mu_);
     // Parents are created before their children, so a single forward pass
     // can resolve every node's path from its parent's.
-    std::vector<std::string> paths(shard->nodes_.size());
-    for (std::size_t i = 0; i < shard->nodes_.size(); ++i) {
-      const Shard::Node& node = *shard->nodes_[i];
-      paths[i] = node.parent < 0
-                     ? node.name
-                     : paths[static_cast<std::size_t>(node.parent)] + "/" +
-                           node.name;
+    std::map<const Shard::Node*, std::string> paths;
+    for (const auto& owned : shard->nodes_) {
+      const Shard::Node& node = *owned;
+      const std::string path = node.parent == nullptr
+                                   ? node.name
+                                   : paths[node.parent] + "/" + node.name;
+      paths[&node] = path;
       const std::int64_t calls =
           node.calls.load(std::memory_order_relaxed);
       if (calls == 0) continue;
-      ProfileEntry& entry = merged[paths[i]];
-      entry.path = paths[i];
+      ProfileEntry& entry = merged[path];
+      entry.path = path;
       entry.calls += calls;
       entry.total_ns += node.total_ns.load(std::memory_order_relaxed);
     }
@@ -94,11 +97,11 @@ std::vector<ProfileEntry> ProfileRegistry::Snapshot() const {
 void ProfileRegistry::Reset() {
   std::vector<std::shared_ptr<Shard>> shards;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shards = shards_;
   }
   for (const std::shared_ptr<Shard>& shard : shards) {
-    std::lock_guard<std::mutex> lock(shard->mu_);
+    MutexLock lock(shard->mu_);
     for (const auto& node : shard->nodes_) {
       node->calls.store(0, std::memory_order_relaxed);
       node->total_ns.store(0, std::memory_order_relaxed);

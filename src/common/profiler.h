@@ -40,12 +40,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/json_writer.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace aer {
 
@@ -100,6 +101,8 @@ class ProfileRegistry {
     // stack is owner-thread-only.
     void Enter(std::string_view name);
     // Pops the current node, adding `elapsed_ns` and one call to it.
+    // Lock-free: the popped Node* is stable (unique_ptr-owned, never freed
+    // before process exit) and its counters are atomics.
     void Exit(std::int64_t elapsed_ns);
 
    private:
@@ -107,15 +110,21 @@ class ProfileRegistry {
 
     struct Node {
       std::string name;
-      int parent = -1;  // index into nodes_, -1 for roots
+      const Node* parent = nullptr;  // nullptr for roots
       std::atomic<std::int64_t> calls{0};
       std::atomic<std::int64_t> total_ns{0};
     };
 
-    mutable std::mutex mu_;  // guards nodes_/index_ structure
-    std::vector<std::unique_ptr<Node>> nodes_;
-    std::map<std::pair<int, std::string>, int, std::less<>> index_;
-    std::vector<int> stack_;  // owner-thread-only
+    mutable Mutex mu_;
+    // Creation-ordered node storage (parents precede children) plus the
+    // (parent, name) -> node lookup used by Enter. Only the structure is
+    // guarded; the atomic counters inside each node are written lock-free.
+    std::vector<std::unique_ptr<Node>> nodes_ AER_GUARDED_BY(mu_);
+    std::map<std::pair<const Node*, std::string>, Node*, std::less<>> index_
+        AER_GUARDED_BY(mu_);
+    // Active-scope stack. Owner-thread-only by construction (LocalShard
+    // hands each thread its own shard), so deliberately unguarded.
+    std::vector<Node*> stack_;
   };
 
   // The calling thread's shard of this registry (created and registered on
@@ -123,8 +132,8 @@ class ProfileRegistry {
   Shard& LocalShard();
 
  private:
-  mutable std::mutex mu_;  // guards shards_
-  std::vector<std::shared_ptr<Shard>> shards_;
+  mutable Mutex mu_;
+  std::vector<std::shared_ptr<Shard>> shards_ AER_GUARDED_BY(mu_);
 };
 
 // RAII timer used by AER_PROFILE_SCOPE; usable directly when the macro's

@@ -1,0 +1,83 @@
+// Clang thread-safety capability annotations, wrapped as AER_* macros.
+//
+// These attach the repo's locking contracts to the type system: a field
+// names the mutex that guards it (AER_GUARDED_BY), a private *Locked()
+// helper states the lock it expects (AER_REQUIRES), and a Clang build with
+// -Werror=thread-safety,thread-safety-beta turns any unlocked access into a
+// compile error. GCC (and any compiler without the attributes) sees empty
+// macros, so annotations are free everywhere and enforced where Clang runs
+// — the dedicated clang-thread-safety CI leg and the negative-compile
+// fixtures under tests/negative_compile/ (docs/STATIC_ANALYSIS.md).
+//
+// The annotations only bind to capability-annotated lock types; libstdc++'s
+// std::mutex is not one, so annotated code locks through aer::Mutex /
+// aer::MutexLock / aer::CondVar in common/mutex.h instead (the aer_lint
+// mutex-annotation rule enforces this in src/ headers).
+#ifndef AER_COMMON_THREAD_ANNOTATIONS_H_
+#define AER_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define AER_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define AER_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+// On a class: instances are capabilities (lockable). The string names the
+// capability kind in diagnostics ("mutex").
+#define AER_CAPABILITY(x) AER_THREAD_ANNOTATION_(capability(x))
+
+// On an RAII class whose constructor acquires and destructor releases.
+#define AER_SCOPED_CAPABILITY AER_THREAD_ANNOTATION_(scoped_lockable)
+
+// On a data member: reads and writes require holding `x`.
+#define AER_GUARDED_BY(x) AER_THREAD_ANNOTATION_(guarded_by(x))
+
+// On a pointer member: the pointed-to data (not the pointer) is guarded.
+#define AER_PT_GUARDED_BY(x) AER_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// On a function: the caller must hold the listed capabilities (exclusively /
+// shared). This is how *Locked() helpers declare their contract.
+#define AER_REQUIRES(...) \
+  AER_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define AER_REQUIRES_SHARED(...) \
+  AER_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+// On a function: it acquires / releases the listed capabilities.
+#define AER_ACQUIRE(...) \
+  AER_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define AER_ACQUIRE_SHARED(...) \
+  AER_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define AER_RELEASE(...) \
+  AER_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define AER_RELEASE_SHARED(...) \
+  AER_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+// On a function returning bool: acquires when the result equals the first
+// argument.
+#define AER_TRY_ACQUIRE(...) \
+  AER_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+// On a function: the caller must NOT hold the listed capabilities (catches
+// self-deadlock on reentry).
+#define AER_EXCLUDES(...) AER_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// On a function: asserts at runtime that the capability is held, informing
+// the analysis (for call sites the analysis cannot see through).
+#define AER_ASSERT_CAPABILITY(x) \
+  AER_THREAD_ANNOTATION_(assert_capability(x))
+
+// On a function returning a reference to a capability.
+#define AER_RETURN_CAPABILITY(x) AER_THREAD_ANNOTATION_(lock_returned(x))
+
+// Lock-ordering declarations (checked under -Wthread-safety-beta).
+#define AER_ACQUIRED_BEFORE(...) \
+  AER_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define AER_ACQUIRED_AFTER(...) \
+  AER_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+// Escape hatch: disables the analysis for one function. Every use must
+// carry a comment explaining why the contract holds anyway.
+#define AER_NO_THREAD_SAFETY_ANALYSIS \
+  AER_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // AER_COMMON_THREAD_ANNOTATIONS_H_

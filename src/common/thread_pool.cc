@@ -42,11 +42,15 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    MutexLock lock(wake_mu_);
     shutdown_ = true;
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
+  // The joins order every worker's writes before this read, but the lock
+  // discipline is "pending_ is read under wake_mu_" with no exceptions —
+  // exceptions are exactly what the static analysis exists to rule out.
+  MutexLock lock(wake_mu_);
   AER_CHECK_EQ(pending_, 0u) << "worker exited with tasks still queued";
 }
 
@@ -60,7 +64,7 @@ void ThreadPool::Enqueue(Task task) {
   } else {
     std::size_t best_size = static_cast<std::size_t>(-1);
     for (std::size_t i = 0; i < deques_.size(); ++i) {
-      std::lock_guard<std::mutex> lock(deques_[i]->mu);
+      MutexLock lock(deques_[i]->mu);
       const std::size_t size = deques_[i]->tasks.size();
       if (size < best_size) {
         best_size = size;
@@ -69,25 +73,30 @@ void ThreadPool::Enqueue(Task task) {
       }
     }
   }
+  // Account the task BEFORE publishing it: a worker spinning between tasks
+  // reaches TryAcquire without ever checking pending_, so push-then-count
+  // would let it pop (and decrement) before the increment lands, wrapping
+  // pending_ below zero. Counting first only risks a brief benign spin in a
+  // woken worker that beats the push.
   {
-    std::lock_guard<std::mutex> lock(deques_[target]->mu);
-    deques_[target]->tasks.push_back(std::move(task));
-  }
-  {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    MutexLock lock(wake_mu_);
     ++pending_;
   }
-  wake_cv_.notify_one();
+  {
+    MutexLock lock(deques_[target]->mu);
+    deques_[target]->tasks.push_back(std::move(task));
+  }
+  wake_cv_.NotifyOne();
 }
 
 bool ThreadPool::TryAcquire(std::size_t own, Task& out) {
   const std::size_t n = deques_.size();
   {
-    std::lock_guard<std::mutex> lock(deques_[own]->mu);
+    MutexLock lock(deques_[own]->mu);
     if (!deques_[own]->tasks.empty()) {
       out = std::move(deques_[own]->tasks.back());
       deques_[own]->tasks.pop_back();
-      std::lock_guard<std::mutex> wake(wake_mu_);
+      MutexLock wake(wake_mu_);
       AER_DCHECK_GT(pending_, 0u);
       --pending_;
       return true;
@@ -95,11 +104,11 @@ bool ThreadPool::TryAcquire(std::size_t own, Task& out) {
   }
   for (std::size_t step = 1; step < n; ++step) {
     const std::size_t victim = (own + step) % n;
-    std::lock_guard<std::mutex> lock(deques_[victim]->mu);
+    MutexLock lock(deques_[victim]->mu);
     if (!deques_[victim]->tasks.empty()) {
       out = std::move(deques_[victim]->tasks.front());
       deques_[victim]->tasks.pop_front();
-      std::lock_guard<std::mutex> wake(wake_mu_);
+      MutexLock wake(wake_mu_);
       AER_DCHECK_GT(pending_, 0u);
       --pending_;
       return true;
@@ -118,8 +127,10 @@ void ThreadPool::WorkerLoop(std::size_t worker_index) {
       task();
       continue;
     }
-    std::unique_lock<std::mutex> lock(wake_mu_);
-    wake_cv_.wait(lock, [this]() { return pending_ > 0 || shutdown_; });
+    // The predicate re-test lives in the function body, not a wait lambda,
+    // so the analysis sees every read of pending_/shutdown_ under the lock.
+    MutexLock lock(wake_mu_);
+    while (pending_ == 0 && !shutdown_) wake_cv_.Wait(wake_mu_);
     if (pending_ == 0 && shutdown_) return;
   }
 }
@@ -127,7 +138,7 @@ void ThreadPool::WorkerLoop(std::size_t worker_index) {
 std::size_t ThreadPool::QueuedTasks() const {
   std::size_t total = 0;
   for (const auto& deque : deques_) {
-    std::lock_guard<std::mutex> lock(deque->mu);
+    MutexLock lock(deque->mu);
     total += deque->tasks.size();
   }
   return total;
@@ -141,13 +152,16 @@ void ThreadPool::ParallelFor(std::size_t n,
   // that only get scheduled after the caller has already returned (because
   // every index was long finished) still touch live state.
   struct Control {
+    // Written before the helpers are enqueued and cleared only after the
+    // completion barrier below, so no lock is needed (late helpers bail on
+    // the exhausted counter before dereferencing).
     const std::function<void(std::size_t)>* fn = nullptr;
     std::size_t n = 0;
     std::atomic<std::size_t> next{0};
-    std::mutex mu;
-    std::condition_variable done_cv;
-    std::size_t completed = 0;
-    std::exception_ptr first_error;
+    Mutex mu;
+    CondVar done_cv;
+    std::size_t completed AER_GUARDED_BY(mu) = 0;
+    std::exception_ptr first_error AER_GUARDED_BY(mu);
   };
   auto control = std::make_shared<Control>();
   control->fn = &fn;
@@ -163,9 +177,9 @@ void ThreadPool::ParallelFor(std::size_t n,
       } catch (...) {
         error = std::current_exception();
       }
-      std::lock_guard<std::mutex> lock(c->mu);
+      MutexLock lock(c->mu);
       if (error && !c->first_error) c->first_error = error;
-      if (++c->completed == c->n) c->done_cv.notify_all();
+      if (++c->completed == c->n) c->done_cv.NotifyAll();
     }
   };
 
@@ -178,14 +192,17 @@ void ThreadPool::ParallelFor(std::size_t n,
   }
   run_indices(control);
 
-  std::unique_lock<std::mutex> lock(control->mu);
-  control->done_cv.wait(lock,
-                        [&]() { return control->completed == control->n; });
-  // The caller's `fn` reference outlives every *executing* index here:
-  // completed == n means no helper will touch fn again (late helpers bail
-  // on the exhausted counter before dereferencing it).
-  control->fn = nullptr;
-  if (control->first_error) std::rethrow_exception(control->first_error);
+  std::exception_ptr first_error;
+  {
+    MutexLock lock(control->mu);
+    while (control->completed != control->n) control->done_cv.Wait(control->mu);
+    // The caller's `fn` reference outlives every *executing* index here:
+    // completed == n means no helper will touch fn again (late helpers bail
+    // on the exhausted counter before dereferencing it).
+    control->fn = nullptr;
+    first_error = control->first_error;
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace aer

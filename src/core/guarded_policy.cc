@@ -14,11 +14,13 @@ GuardedPolicy::GuardedPolicy(RecoveryPolicy& primary,
   AER_CHECK_GT(config_.regression_ratio, 1.0);
   AER_CHECK_GE(config_.baseline_mean_downtime, 0.0);
   AER_CHECK_GE(config_.probation, 1);
+  MutexLock lock(mu_);
   baseline_mean_ = config_.baseline_mean_downtime;
 }
 
 void GuardedPolicy::SetObservers(obs::Tracer* tracer,
                                  obs::MetricsRegistry* metrics) {
+  MutexLock lock(mu_);
   tracer_ = tracer;
   if (metrics == nullptr) {
     obs_ = ObsMetrics{};
@@ -37,7 +39,7 @@ void GuardedPolicy::SetObservers(obs::Tracer* tracer,
   obs_.breaker_open->Set(fallback_remaining_ > 0 ? 1.0 : 0.0);
 }
 
-bool GuardedPolicy::ProcessUsesFallback(const RecoveryContext& context) {
+bool GuardedPolicy::ProcessUsesFallbackLocked(const RecoveryContext& context) {
   const auto it = open_process_fallback_.find(context.machine);
   if (it != open_process_fallback_.end()) return it->second;
   // First decision of this process: bind it to the current breaker state
@@ -48,31 +50,42 @@ bool GuardedPolicy::ProcessUsesFallback(const RecoveryContext& context) {
 }
 
 RepairAction GuardedPolicy::ChooseAction(const RecoveryContext& context) {
-  if (ProcessUsesFallback(context)) {
-    ++stats_.fallback_decisions;
-    if (obs_.fallback_decisions) obs_.fallback_decisions->Inc();
-    return fallback_.ChooseAction(context);
+  bool use_fallback;
+  {
+    MutexLock lock(mu_);
+    use_fallback = ProcessUsesFallbackLocked(context);
+    if (use_fallback) {
+      ++stats_.fallback_decisions;
+      if (obs_.fallback_decisions) obs_.fallback_decisions->Inc();
+    }
   }
+  if (use_fallback) return fallback_.ChooseAction(context);
 
   // Decision-fault containment: a throwing or corrupted primary downgrades
-  // this decision to the fallback instead of taking the pipeline down.
+  // this decision to the fallback instead of taking the pipeline down. The
+  // delegate runs outside the guard mutex (it may be arbitrarily slow);
+  // only the accounting afterwards relocks.
   bool faulted = false;
   RepairAction action = RepairAction::kRma;
   try {
     action = primary_.ChooseAction(context);
   } catch (...) {
-    ++stats_.faults_absorbed;
-    if (obs_.faults_absorbed) obs_.faults_absorbed->Inc();
-    if (tracer_) {
-      tracer_->Instant("guard:fault_absorbed", context.now,
-                       context.initial_symptom_name, obs::kNoSpan,
-                       context.machine);
-    }
     faulted = true;
   }
-  if (!faulted) {
-    const int index = static_cast<int>(action);
-    if (index < 0 || index >= kNumActions) {
+  const bool invalid =
+      !faulted && (static_cast<int>(action) < 0 ||
+                   static_cast<int>(action) >= kNumActions);
+  {
+    MutexLock lock(mu_);
+    if (faulted) {
+      ++stats_.faults_absorbed;
+      if (obs_.faults_absorbed) obs_.faults_absorbed->Inc();
+      if (tracer_) {
+        tracer_->Instant("guard:fault_absorbed", context.now,
+                         context.initial_symptom_name, obs::kNoSpan,
+                         context.machine);
+      }
+    } else if (invalid) {
       ++stats_.invalid_actions;
       if (obs_.invalid_actions) obs_.invalid_actions->Inc();
       if (tracer_) {
@@ -80,20 +93,21 @@ RepairAction GuardedPolicy::ChooseAction(const RecoveryContext& context) {
                          context.initial_symptom_name, obs::kNoSpan,
                          context.machine);
       }
-      faulted = true;
+    }
+    if (faulted || invalid) {
+      ++stats_.fallback_decisions;
+      if (obs_.fallback_decisions) obs_.fallback_decisions->Inc();
+    } else {
+      ++stats_.primary_decisions;
+      if (obs_.primary_decisions) obs_.primary_decisions->Inc();
     }
   }
-  if (faulted) {
-    ++stats_.fallback_decisions;
-    if (obs_.fallback_decisions) obs_.fallback_decisions->Inc();
-    return fallback_.ChooseAction(context);
-  }
-  ++stats_.primary_decisions;
-  if (obs_.primary_decisions) obs_.primary_decisions->Inc();
+  if (faulted || invalid) return fallback_.ChooseAction(context);
   return action;
 }
 
-void GuardedPolicy::RecordPrimaryCompletion(double downtime, SimTime now) {
+void GuardedPolicy::RecordPrimaryCompletionLocked(double downtime,
+                                                 SimTime now) {
   window_.push_back(downtime);
   if (static_cast<int>(window_.size()) > config_.window) window_.pop_front();
   if (static_cast<int>(window_.size()) < config_.window) return;
@@ -120,13 +134,20 @@ void GuardedPolicy::RecordPrimaryCompletion(double downtime, SimTime now) {
 void GuardedPolicy::OnActionOutcome(const RecoveryContext& context,
                                     RepairAction action, SimTime cost,
                                     bool cured) {
-  const auto it = open_process_fallback_.find(context.machine);
-  // Outcomes for processes we never decided (e.g. the manager timed out an
-  // action of a process opened before this policy was installed) still
-  // belong to whoever would decide now.
-  const bool fallback_driven =
-      it != open_process_fallback_.end() ? it->second
-                                         : fallback_remaining_ > 0;
+  bool fallback_driven;
+  {
+    MutexLock lock(mu_);
+    const auto it = open_process_fallback_.find(context.machine);
+    // Outcomes for processes we never decided (e.g. the manager timed out
+    // an action of a process opened before this policy was installed)
+    // still belong to whoever would decide now.
+    fallback_driven = it != open_process_fallback_.end()
+                          ? it->second
+                          : fallback_remaining_ > 0;
+  }
+  // Delegate outside the lock; calls about one machine's process are
+  // ordered by the caller (see header), so the attribution read above
+  // stays valid across this call.
   if (fallback_driven) {
     fallback_.OnActionOutcome(context, action, cost, cured);
   } else {
@@ -134,8 +155,9 @@ void GuardedPolicy::OnActionOutcome(const RecoveryContext& context,
   }
 
   if (!cured) return;
+  MutexLock lock(mu_);
   ++stats_.processes_observed;
-  if (it != open_process_fallback_.end()) open_process_fallback_.erase(it);
+  open_process_fallback_.erase(context.machine);
   if (fallback_driven) {
     if (fallback_remaining_ > 0 && --fallback_remaining_ == 0) {
       // Half-open: probation served; the primary gets a fresh window.
@@ -145,7 +167,7 @@ void GuardedPolicy::OnActionOutcome(const RecoveryContext& context,
     }
     return;
   }
-  RecordPrimaryCompletion(
+  RecordPrimaryCompletionLocked(
       static_cast<double>(context.now - context.process_start), context.now);
 }
 

@@ -24,6 +24,14 @@
 // Decisions are attributed per process: a process started under the
 // primary stays with the primary even if the breaker trips mid-process, so
 // outcome feedback and window accounting never mix the two policies.
+//
+// Thread safety: the breaker state is guarded by an internal mutex, so
+// concurrent ChooseAction/OnActionOutcome calls (e.g. one guard shared by
+// parallel harness shards) keep the counters and window consistent. The
+// lock is never held across a delegate policy call; the delegates
+// themselves must be thread-safe (or externally serialized) for concurrent
+// use. Calls about a single machine's process must still be ordered by the
+// caller, as the manager's event loop naturally does.
 #ifndef AER_CORE_GUARDED_POLICY_H_
 #define AER_CORE_GUARDED_POLICY_H_
 
@@ -32,6 +40,8 @@
 #include <unordered_map>
 
 #include "cluster/policy.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 
@@ -71,7 +81,10 @@ class GuardedPolicy final : public RecoveryPolicy {
   std::string_view name() const override { return "guarded"; }
 
   // True while the circuit breaker routes new processes to the fallback.
-  bool using_fallback() const { return fallback_remaining_ > 0; }
+  bool using_fallback() const {
+    MutexLock lock(mu_);
+    return fallback_remaining_ > 0;
+  }
 
   struct Stats {
     std::int64_t primary_decisions = 0;
@@ -81,30 +94,50 @@ class GuardedPolicy final : public RecoveryPolicy {
     std::int64_t breaker_trips = 0;
     std::int64_t processes_observed = 0;
   };
-  const Stats& stats() const { return stats_; }
-  double baseline_mean_downtime() const { return baseline_mean_; }
+  // Consistent copy of the counters (by value: the guard may keep mutating
+  // while the caller inspects its snapshot).
+  Stats stats() const {
+    MutexLock lock(mu_);
+    return stats_;
+  }
+  double baseline_mean_downtime() const {
+    MutexLock lock(mu_);
+    return baseline_mean_;
+  }
 
  private:
   // True if this machine's open process is routed to the fallback.
-  bool ProcessUsesFallback(const RecoveryContext& context);
+  bool ProcessUsesFallbackLocked(const RecoveryContext& context)
+      AER_REQUIRES(mu_);
 
-  void RecordPrimaryCompletion(double downtime, SimTime now);
+  void RecordPrimaryCompletionLocked(double downtime, SimTime now)
+      AER_REQUIRES(mu_);
 
   RecoveryPolicy& primary_;
   RecoveryPolicy& fallback_;
   GuardedPolicyConfig config_;
 
+  // Guards the breaker state below. Never held across a delegate call
+  // (primary_/fallback_ may be arbitrarily slow or reentrant); the sinks
+  // behind tracer_/obs_ take only their own locks, so the one-way
+  // guard -> sink ordering cannot deadlock.
+  mutable Mutex mu_;
+
   // Per-machine attribution for the machines with open processes; erased on
   // process completion, so it cannot grow past the number of concurrently
   // sick machines.
-  std::unordered_map<MachineId, bool> open_process_fallback_;
+  std::unordered_map<MachineId, bool> open_process_fallback_
+      AER_GUARDED_BY(mu_);
 
-  std::deque<double> window_;   // recent primary-driven process downtimes
-  double baseline_mean_ = 0.0;  // 0 until learned/configured
-  int fallback_remaining_ = 0;  // >0: breaker open, counts down probation
-  Stats stats_;
+  // Recent primary-driven process downtimes.
+  std::deque<double> window_ AER_GUARDED_BY(mu_);
+  // 0 until learned/configured.
+  double baseline_mean_ AER_GUARDED_BY(mu_) = 0.0;
+  // >0: breaker open, counts down probation.
+  int fallback_remaining_ AER_GUARDED_BY(mu_) = 0;
+  Stats stats_ AER_GUARDED_BY(mu_);
 
-  obs::Tracer* tracer_ = nullptr;
+  obs::Tracer* tracer_ AER_GUARDED_BY(mu_) = nullptr;
   // Cached metric handles (see RecoveryManager::SetObservers); all null
   // when no registry is attached.
   struct ObsMetrics {
@@ -115,7 +148,7 @@ class GuardedPolicy final : public RecoveryPolicy {
     obs::Counter* breaker_trips = nullptr;
     obs::Gauge* breaker_open = nullptr;
   };
-  ObsMetrics obs_;
+  ObsMetrics obs_ AER_GUARDED_BY(mu_);
 };
 
 }  // namespace aer

@@ -17,7 +17,7 @@
 #ifndef AER_CORE_POLICY_GENERATOR_H_
 #define AER_CORE_POLICY_GENERATOR_H_
 
-#include "eval/experiment.h"
+#include "log/recovery_process.h"
 #include "mining/error_type.h"
 #include "rl/selection_tree.h"
 

@@ -3,12 +3,12 @@
 #include <atomic>
 #include <csignal>
 #include <cstdio>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
 #include "common/json_writer.h"
+#include "common/mutex.h"
 #include "common/profiler.h"
 
 namespace aer::obs {
@@ -40,16 +40,25 @@ struct Installed {
   const MetricsRegistry* metrics = nullptr;
   const TimeSeriesRecorder* timeseries = nullptr;
   struct sigaction previous[kNumFatalSignals] = {};
+  // Intrusive retire chain (see g_retired below).
+  Installed* retired_next = nullptr;
 };
 
 // Guards installation state; never taken on the crash path (the handlers
 // read `g_installed` via the atomic pointer only).
-std::mutex& InstallMutex() {
-  static std::mutex mu;
+Mutex& InstallMutex() {
+  static Mutex mu;
   return mu;
 }
 
 std::atomic<Installed*> g_installed{nullptr};
+
+// State blocks are never freed: a crashing thread may have loaded the
+// pointer just before another thread uninstalled. Uninstall chains the
+// block here instead of dropping the last reference, so the deliberate
+// retention stays *reachable* — LeakSanitizer would otherwise report each
+// uninstalled block as lost. Guarded by InstallMutex().
+Installed* g_retired = nullptr;
 
 // One crash dump per process: a fault inside the dump path (or a cascading
 // CHECK + abort) must not recurse.
@@ -140,11 +149,12 @@ void SignalHandler(int signo) {
 void FlightRecorder::Install(FlightRecorderConfig config, const Tracer* tracer,
                              const MetricsRegistry* metrics,
                              const TimeSeriesRecorder* timeseries) {
-  std::lock_guard<std::mutex> lock(InstallMutex());
+  MutexLock lock(InstallMutex());
   Installed* state = g_installed.load(std::memory_order_acquire);
   const bool first = state == nullptr;
-  // Leaked deliberately: a crashing thread may still hold the pointer
-  // while another thread uninstalls, so the state block is never freed.
+  // Never freed: a crashing thread may still hold the pointer while
+  // another thread uninstalls. Uninstall retires the block to g_retired
+  // (kept reachable) rather than deleting it.
   if (first) state = new Installed();
   state->config = std::move(config);
   state->tracer = tracer;
@@ -163,13 +173,15 @@ void FlightRecorder::Install(FlightRecorderConfig config, const Tracer* tracer,
 }
 
 void FlightRecorder::Uninstall() {
-  std::lock_guard<std::mutex> lock(InstallMutex());
+  MutexLock lock(InstallMutex());
   Installed* state = g_installed.load(std::memory_order_acquire);
   if (state == nullptr) return;
   SetCheckFailureHook(nullptr);
   for (std::size_t i = 0; i < kNumFatalSignals; ++i) {
     sigaction(kFatalSignals[i], &state->previous[i], nullptr);
   }
+  state->retired_next = g_retired;
+  g_retired = state;
   g_installed.store(nullptr, std::memory_order_release);
 }
 

@@ -55,12 +55,12 @@ MetricsRegistry::Entry& MetricsRegistry::GetOrCreate(std::string_view name,
 }
 
 Counter& MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return GetOrCreate(name, MetricKind::kCounter).counter;
 }
 
 Gauge& MetricsRegistry::GetGauge(std::string_view name, bool volatile_metric) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Entry& entry = GetOrCreate(name, MetricKind::kGauge);
   entry.volatile_metric = entry.volatile_metric || volatile_metric;
   return entry.gauge;
@@ -68,7 +68,7 @@ Gauge& MetricsRegistry::GetGauge(std::string_view name, bool volatile_metric) {
 
 Histogram& MetricsRegistry::GetHistogram(std::string_view name, double base,
                                          double growth, int bucket_count) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Entry& entry = GetOrCreate(name, MetricKind::kHistogram);
   if (entry.histogram == nullptr) {
     entry.histogram = std::make_unique<Histogram>(base, growth, bucket_count);
@@ -84,14 +84,14 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name, double base,
 }
 
 StatMetric& MetricsRegistry::GetStat(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Entry& entry = GetOrCreate(name, MetricKind::kStat);
   if (entry.stat == nullptr) entry.stat = std::make_unique<StatMetric>();
   return *entry.stat;
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MetricsSnapshot snapshot;
   for (const auto& [name, entry] : entries_) {
     switch (entry->kind) {
@@ -129,7 +129,7 @@ void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
 }
 
 std::string MetricsRegistry::ExportText(const ExportOptions& options) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   for (const auto& [name, entry] : entries_) {
     if (entry->volatile_metric && !options.include_volatile) continue;
@@ -183,7 +183,7 @@ std::string MetricsRegistry::ExportText(const ExportOptions& options) const {
 }
 
 JsonValue MetricsRegistry::ExportJson(const ExportOptions& options) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   JsonValue root = JsonValue::Object();
   for (const auto& [name, entry] : entries_) {
     if (entry->volatile_metric && !options.include_volatile) continue;
@@ -238,7 +238,7 @@ JsonValue MetricsRegistry::ExportJson(const ExportOptions& options) const {
 
 std::vector<std::pair<std::string, std::int64_t>>
 MetricsRegistry::CounterValues() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::pair<std::string, std::int64_t>> values;
   for (const auto& [name, entry] : entries_) {
     if (entry->kind != MetricKind::kCounter) continue;
@@ -248,7 +248,7 @@ MetricsRegistry::CounterValues() const {
 }
 
 std::vector<std::string> MetricsRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) names.push_back(name);
@@ -256,7 +256,7 @@ std::vector<std::string> MetricsRegistry::Names() const {
 }
 
 std::size_t MetricsRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 

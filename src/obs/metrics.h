@@ -21,14 +21,15 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "common/json_writer.h"
+#include "common/mutex.h"
 #include "common/stats.h"
+#include "common/thread_annotations.h"
 
 namespace aer::obs {
 
@@ -62,46 +63,46 @@ class Histogram {
       : histogram_(base, growth, bucket_count) {}
 
   void Observe(double x) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     histogram_.Add(x);
   }
 
   LogHistogram Snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return histogram_;
   }
 
   void MergeFrom(const LogHistogram& other) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     histogram_.Merge(other);
   }
 
  private:
-  mutable std::mutex mu_;
-  LogHistogram histogram_;
+  mutable Mutex mu_;
+  LogHistogram histogram_ AER_GUARDED_BY(mu_);
 };
 
 // Mutex-guarded RunningStat (count/sum/mean/min/max/stddev).
 class StatMetric {
  public:
   void Observe(double x) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stat_.Add(x);
   }
 
   RunningStat Snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return stat_;
   }
 
   void MergeFrom(const RunningStat& other) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stat_.Merge(other);
   }
 
  private:
-  mutable std::mutex mu_;
-  RunningStat stat_;
+  mutable Mutex mu_;
+  RunningStat stat_ AER_GUARDED_BY(mu_);
 };
 
 enum class MetricKind { kCounter, kGauge, kHistogram, kStat };
@@ -197,10 +198,13 @@ class MetricsRegistry {
     std::unique_ptr<StatMetric> stat;      // kStat
   };
 
-  Entry& GetOrCreate(std::string_view name, MetricKind kind);
+  // Find-or-create on the entry map; every caller already holds mu_.
+  Entry& GetOrCreate(std::string_view name, MetricKind kind)
+      AER_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Entry>, std::less<>> entries_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Entry>, std::less<>> entries_
+      AER_GUARDED_BY(mu_);
 };
 
 }  // namespace aer::obs

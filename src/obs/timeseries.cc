@@ -36,11 +36,15 @@ TimeSeriesRecorder::TimeSeriesRecorder(MetricsRegistry& registry,
   // catalog even before the first eviction, then take the baseline.
   registry_.GetCounter("aer_ts_windows_total");
   registry_.GetCounter("aer_ts_windows_dropped_total");
+  // Constructors are analyzed like any function; the baseline write to the
+  // guarded `last_` takes the lock even though no other thread can see the
+  // recorder yet.
+  MutexLock lock(mu_);
   last_ = registry_.Snapshot();
 }
 
 void TimeSeriesRecorder::AdvanceTo(std::int64_t position) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   AER_CHECK_GE(position, position_) << "time-series position went backwards";
   position_ = position;
   const std::int64_t boundary =
@@ -49,7 +53,7 @@ void TimeSeriesRecorder::AdvanceTo(std::int64_t position) {
 }
 
 void TimeSeriesRecorder::Finish(std::int64_t position) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   AER_CHECK_GE(position, position_) << "time-series position went backwards";
   position_ = position;
   if (position > window_start_) CloseWindowLocked(position);
@@ -102,22 +106,22 @@ void TimeSeriesRecorder::CloseWindowLocked(std::int64_t end) {
 }
 
 std::vector<TimeSeriesWindow> TimeSeriesRecorder::Windows() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return {ring_.begin(), ring_.end()};
 }
 
 std::int64_t TimeSeriesRecorder::windows_closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return next_index_;
 }
 
 std::int64_t TimeSeriesRecorder::windows_dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dropped_;
 }
 
 std::string TimeSeriesRecorder::ExportText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out = StrFormat(
       "# timeseries window_width=%lld capacity=%llu closed=%lld "
       "dropped=%lld\n",
@@ -149,7 +153,7 @@ std::string TimeSeriesRecorder::ExportText() const {
 }
 
 JsonValue TimeSeriesRecorder::ExportJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   JsonValue root = JsonValue::Object();
   root.Set("window_width", JsonValue::Int(config_.window_width));
   root.Set("capacity",

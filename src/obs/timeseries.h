@@ -30,12 +30,13 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/json_writer.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace aer::obs {
@@ -103,18 +104,22 @@ class TimeSeriesRecorder {
   JsonValue ExportJson() const;
 
  private:
-  void CloseWindowLocked(std::int64_t end);
+  void CloseWindowLocked(std::int64_t end) AER_REQUIRES(mu_);
 
   MetricsRegistry& registry_;
   const TimeSeriesConfig config_;
 
-  mutable std::mutex mu_;
-  std::int64_t position_ = 0;      // highest position seen
-  std::int64_t window_start_ = 0;  // open window's start
-  std::int64_t next_index_ = 0;    // == windows closed so far
-  std::int64_t dropped_ = 0;
-  MetricsSnapshot last_;  // registry snapshot at the last close
-  std::deque<TimeSeriesWindow> ring_;
+  mutable Mutex mu_;
+  // Highest position seen.
+  std::int64_t position_ AER_GUARDED_BY(mu_) = 0;
+  // Open window's start.
+  std::int64_t window_start_ AER_GUARDED_BY(mu_) = 0;
+  // == windows closed so far.
+  std::int64_t next_index_ AER_GUARDED_BY(mu_) = 0;
+  std::int64_t dropped_ AER_GUARDED_BY(mu_) = 0;
+  // Registry snapshot at the last close.
+  MetricsSnapshot last_ AER_GUARDED_BY(mu_);
+  std::deque<TimeSeriesWindow> ring_ AER_GUARDED_BY(mu_);
 };
 
 }  // namespace aer::obs

@@ -14,7 +14,7 @@ Tracer::Tracer(std::size_t capacity) : capacity_(capacity) {
 }
 
 SpanId Tracer::StartSpan(std::string_view name, SimTime start, SpanId parent) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const SpanId id = next_id_++;
   Span& span = open_[id];
   span.id = id;
@@ -25,19 +25,19 @@ SpanId Tracer::StartSpan(std::string_view name, SimTime start, SpanId parent) {
 }
 
 void Tracer::SetLabel(SpanId id, std::string_view label) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = open_.find(id);
   if (it != open_.end()) it->second.label = std::string(label);
 }
 
 void Tracer::SetMachine(SpanId id, std::int64_t machine) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = open_.find(id);
   if (it != open_.end()) it->second.machine = machine;
 }
 
 void Tracer::AddEvent(SpanId id, SimTime time, std::string_view label) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = open_.find(id);
   if (it == open_.end()) return;
   Span& span = it->second;
@@ -59,7 +59,7 @@ void Tracer::FinishLocked(Span span, SimTime end) {
 }
 
 void Tracer::EndSpan(SpanId id, SimTime end) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = open_.find(id);
   if (it == open_.end()) return;
   Span span = std::move(it->second);
@@ -70,7 +70,7 @@ void Tracer::EndSpan(SpanId id, SimTime end) {
 SpanId Tracer::Instant(std::string_view name, SimTime time,
                        std::string_view label, SpanId parent,
                        std::int64_t machine) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const SpanId id = next_id_++;
   Span span;
   span.id = id;
@@ -84,7 +84,7 @@ SpanId Tracer::Instant(std::string_view name, SimTime time,
 }
 
 std::vector<Span> Tracer::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<Span> out;
   out.reserve(ring_.size());
   // ring_next_ is the oldest slot once the ring has wrapped.
@@ -105,17 +105,17 @@ std::vector<Span> Tracer::Snapshot() const {
 }
 
 std::int64_t Tracer::completed_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return completed_;
 }
 
 std::int64_t Tracer::dropped_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dropped_;
 }
 
 std::size_t Tracer::open_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return open_.size();
 }
 

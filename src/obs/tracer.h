@@ -17,13 +17,14 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/json_writer.h"
+#include "common/mutex.h"
 #include "common/sim_time.h"
+#include "common/thread_annotations.h"
 
 namespace aer::obs {
 
@@ -100,16 +101,17 @@ class Tracer {
                                       std::string_view name_filter = {});
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   const std::size_t capacity_;
-  SpanId next_id_ = 1;
-  std::map<SpanId, Span> open_;
-  std::vector<Span> ring_;      // completed spans, ring_next_ = oldest slot
-  std::size_t ring_next_ = 0;
-  std::int64_t completed_ = 0;
-  std::int64_t dropped_ = 0;
+  SpanId next_id_ AER_GUARDED_BY(mu_) = 1;
+  std::map<SpanId, Span> open_ AER_GUARDED_BY(mu_);
+  // Completed spans, ring_next_ = oldest slot once the ring has wrapped.
+  std::vector<Span> ring_ AER_GUARDED_BY(mu_);
+  std::size_t ring_next_ AER_GUARDED_BY(mu_) = 0;
+  std::int64_t completed_ AER_GUARDED_BY(mu_) = 0;
+  std::int64_t dropped_ AER_GUARDED_BY(mu_) = 0;
 
-  void FinishLocked(Span span, SimTime end);
+  void FinishLocked(Span span, SimTime end) AER_REQUIRES(mu_);
 };
 
 }  // namespace aer::obs

@@ -1,0 +1,30 @@
+// Negative-compile case: acquiring a mutex already held by the same scope
+// (self-deadlock with std::mutex) must be rejected.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Gadget {
+ public:
+  void Poke() {
+    aer::MutexLock lock(mu_);
+#ifdef AER_NEGATIVE
+    aer::MutexLock again(mu_);  // double acquire: deadlocks at runtime
+#endif
+    ++pokes_;
+  }
+
+ private:
+  aer::Mutex mu_;
+  int pokes_ AER_GUARDED_BY(mu_) = 0;
+};
+
+void Use() {
+  Gadget gadget;
+  gadget.Poke();
+}
+
+}  // namespace
+
+void NegativeCompileProbe() { Use(); }

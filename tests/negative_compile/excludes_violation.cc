@@ -1,0 +1,39 @@
+// Negative-compile case: calling an AER_EXCLUDES(mu) function while holding
+// mu (the reentry pattern that self-deadlocks) must be rejected.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Widget {
+ public:
+  void Refresh() AER_EXCLUDES(mu_) {
+    aer::MutexLock lock(mu_);
+    ++refreshes_;
+  }
+
+  void Tick() {
+#ifndef AER_NEGATIVE
+    Refresh();  // legal: lock not yet held
+#endif
+    aer::MutexLock lock(mu_);
+#ifdef AER_NEGATIVE
+    Refresh();  // reentry while holding mu_: deadlocks at runtime
+#endif
+    ++ticks_;
+  }
+
+ private:
+  aer::Mutex mu_;
+  int refreshes_ AER_GUARDED_BY(mu_) = 0;
+  int ticks_ AER_GUARDED_BY(mu_) = 0;
+};
+
+void Use() {
+  Widget widget;
+  widget.Tick();
+}
+
+}  // namespace
+
+void NegativeCompileProbe() { Use(); }

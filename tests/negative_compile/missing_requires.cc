@@ -1,0 +1,41 @@
+// Negative-compile case: a *Locked() helper that touches guarded state
+// without declaring AER_REQUIRES is analyzed as an unlocked context, so the
+// field access inside it must be rejected. The control variant declares the
+// contract and the (lock-holding) caller satisfies it.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Queue {
+ public:
+  void Push(int value) {
+    aer::MutexLock lock(mu_);
+    PushLocked(value);
+  }
+
+  int size() const {
+    aer::MutexLock lock(mu_);
+    return size_;
+  }
+
+ private:
+#ifdef AER_NEGATIVE
+  void PushLocked(int value) { size_ += value; }  // missing AER_REQUIRES
+#else
+  void PushLocked(int value) AER_REQUIRES(mu_) { size_ += value; }
+#endif
+
+  mutable aer::Mutex mu_;
+  int size_ AER_GUARDED_BY(mu_) = 0;
+};
+
+int Use() {
+  Queue queue;
+  queue.Push(3);
+  return queue.size();
+}
+
+}  // namespace
+
+int NegativeCompileProbe() { return Use(); }

@@ -1,0 +1,36 @@
+// Negative-compile case: reading an AER_GUARDED_BY field without holding
+// its mutex must be rejected by -Werror=thread-safety. The control variant
+// (no AER_NEGATIVE) takes the lock and must compile on every compiler.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    aer::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  int balance() const {
+#ifndef AER_NEGATIVE
+    aer::MutexLock lock(mu_);
+#endif
+    return balance_;  // unguarded read when AER_NEGATIVE is defined
+  }
+
+ private:
+  mutable aer::Mutex mu_;
+  int balance_ AER_GUARDED_BY(mu_) = 0;
+};
+
+int Use() {
+  Account account;
+  account.Deposit(1);
+  return account.balance();
+}
+
+}  // namespace
+
+int NegativeCompileProbe() { return Use(); }

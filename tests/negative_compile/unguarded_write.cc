@@ -1,0 +1,35 @@
+// Negative-compile case: writing an AER_GUARDED_BY field without holding
+// its mutex must be rejected by -Werror=thread-safety.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() {
+#ifndef AER_NEGATIVE
+    aer::MutexLock lock(mu_);
+#endif
+    ++count_;  // unguarded write when AER_NEGATIVE is defined
+  }
+
+  int count() const {
+    aer::MutexLock lock(mu_);
+    return count_;
+  }
+
+ private:
+  mutable aer::Mutex mu_;
+  int count_ AER_GUARDED_BY(mu_) = 0;
+};
+
+int Use() {
+  Counter counter;
+  counter.Bump();
+  return counter.count();
+}
+
+}  // namespace
+
+int NegativeCompileProbe() { return Use(); }

@@ -35,6 +35,15 @@ trips them):
                     (docs/OBSERVABILITY.md). Stray prints corrupt the CLI's
                     machine-readable output and bypass the observability
                     contract.
+  mutex-annotation  In src/, no raw std::mutex / std::lock_guard /
+                    std::unique_lock / std::scoped_lock /
+                    std::condition_variable outside common/mutex.h: lock
+                    through aer::Mutex / aer::MutexLock / aer::CondVar so
+                    Clang's thread-safety analysis sees every acquisition
+                    (docs/STATIC_ANALYSIS.md). Additionally, a src/ header
+                    that declares an aer::Mutex member must guard at least
+                    one field with AER_GUARDED_BY — an unannotated mutex
+                    protects nothing the analysis can check.
   metric-catalog    Every aer_* metric registered in src/ or bench/ code
                     (GetCounter("aer_...") / GetGauge / GetHistogram /
                     GetStat) must appear in the frozen catalog in
@@ -109,6 +118,20 @@ DIRECT_OUTPUT_SCOPES = ("src/core/", "src/rl/", "src/sim/")
 DIRECT_OUTPUT = re.compile(
     r"\bstd\s*::\s*(?:cout|cerr|clog)\b"
     r"|\b(?:printf|fprintf|puts|fputs|putchar)\s*\(")
+
+# Locking in src/ funnels through the capability-annotated wrappers in
+# common/mutex.h; raw std primitives there are invisible to Clang's
+# thread-safety analysis. tests/bench may use std::thread freely but lock
+# library state only through the library's own API, so they are out of scope.
+MUTEX_SCOPES = ("src/",)
+MUTEX_ALLOWED = {"src/common/mutex.h", "src/common/thread_annotations.h"}
+RAW_MUTEX = re.compile(
+    r"\bstd\s*::\s*(?:mutex|timed_mutex|recursive_mutex|"
+    r"recursive_timed_mutex|shared_mutex|shared_timed_mutex|lock_guard|"
+    r"unique_lock|scoped_lock|condition_variable(?:_any)?)\b")
+MUTEX_MEMBER = re.compile(
+    r"^\s*(?:mutable\s+)?(?:aer\s*::\s*)?Mutex\s+\w+\s*;")
+GUARDED_FIELD = re.compile(r"\bAER_(?:GUARDED_BY|PT_GUARDED_BY)\s*\(")
 
 # Metric registrations that must appear in the frozen catalog. Matched on
 # the *raw* source (the names live inside string literals, which the
@@ -267,8 +290,19 @@ class Linter:
                     "direct stream/printf output in a library layer; report "
                     "through return values, AER_CHECK messages, or obs/ "
                     "metrics and spans", allows)
+            if rel.startswith(MUTEX_SCOPES) and rel not in MUTEX_ALLOWED \
+                    and RAW_MUTEX.search(line):
+                self.report(
+                    path, lineno, "mutex-annotation",
+                    "raw std locking primitive in src/; use aer::Mutex / "
+                    "aer::MutexLock / aer::CondVar from common/mutex.h so "
+                    "the thread-safety analysis sees the acquisition", allows)
             if rel.startswith(UNCHECKED_IO_SCOPES):
                 self.lint_unchecked_io(path, lineno, line, lines, allows)
+
+        if path.suffix in (".h", ".hpp") and rel.startswith(MUTEX_SCOPES) \
+                and rel not in MUTEX_ALLOWED:
+            self.lint_mutex_members(path, lines, allows)
 
         if path.suffix in (".h", ".hpp") and rel.startswith(GUARD_SCOPES):
             self.lint_include_guard(path, rel, lines, allows)
@@ -297,6 +331,20 @@ class Linter:
                 f"frozen catalog in {METRIC_CATALOG_DOC}; document it (and "
                 f"update tests/obs/metric_names_test.cc) in the same change",
                 allows)
+
+    def lint_mutex_members(self, path: Path, lines: list[str],
+                           allows: dict[int, set[str]]) -> None:
+        """A header declaring an aer::Mutex member must guard something with
+        it; otherwise the annotations prove nothing about the data."""
+        if any(GUARDED_FIELD.search(line) for line in lines):
+            return
+        for lineno, line in enumerate(lines, 1):
+            if MUTEX_MEMBER.match(line):
+                self.report(
+                    path, lineno, "mutex-annotation",
+                    "aer::Mutex member in a header with no AER_GUARDED_BY "
+                    "field; name the data this lock protects "
+                    "(docs/STATIC_ANALYSIS.md)", allows)
 
     def lint_unchecked_io(self, path: Path, lineno: int, line: str,
                           lines: list[str],

@@ -221,6 +221,62 @@ class AerLintTest(unittest.TestCase):
             "std::cerr << x;  // aer-lint: allow(no-direct-output)\n")
         self.assertEqual(findings, [])
 
+    # -- mutex-annotation ---------------------------------------------------
+
+    def test_raw_std_mutex_in_src_flagged(self):
+        for snippet in ("std::mutex mu_;",
+                        "std::lock_guard<std::mutex> lock(mu_);",
+                        "std::unique_lock<std::mutex> lock(mu_);",
+                        "std::scoped_lock lock(a_, b_);",
+                        "std::condition_variable cv_;"):
+            findings = self.repo.lint("src/obs/tracer.cc", snippet + "\n")
+            self.assert_rule(findings, "mutex-annotation")
+
+    def test_aer_mutex_with_guarded_field_ok(self):
+        findings = self.repo.lint(
+            "src/obs/widget.h",
+            "#ifndef AER_OBS_WIDGET_H_\n"
+            "#define AER_OBS_WIDGET_H_\n"
+            "class Widget {\n"
+            "  mutable aer::Mutex mu_;\n"
+            "  int value_ AER_GUARDED_BY(mu_) = 0;\n"
+            "};\n"
+            "#endif  // AER_OBS_WIDGET_H_\n")
+        self.assertEqual(findings, [])
+
+    def test_unannotated_aer_mutex_member_flagged(self):
+        findings = self.repo.lint(
+            "src/obs/widget.h",
+            "#ifndef AER_OBS_WIDGET_H_\n"
+            "#define AER_OBS_WIDGET_H_\n"
+            "class Widget {\n"
+            "  mutable Mutex mu_;\n"
+            "  int value_ = 0;\n"
+            "};\n"
+            "#endif  // AER_OBS_WIDGET_H_\n")
+        self.assert_rule(findings, "mutex-annotation")
+
+    def test_mutex_wrapper_header_is_exempt(self):
+        findings = self.repo.lint(
+            "src/common/mutex.h",
+            "#ifndef AER_COMMON_MUTEX_H_\n"
+            "#define AER_COMMON_MUTEX_H_\n"
+            "class Mutex { std::mutex mu_; };\n"
+            "#endif  // AER_COMMON_MUTEX_H_\n")
+        self.assertEqual(findings, [])
+
+    def test_raw_mutex_outside_src_not_flagged(self):
+        findings = self.repo.lint(
+            "tests/common/pool_test.cc",
+            "std::mutex mu;\nstd::lock_guard<std::mutex> lock(mu);\n")
+        self.assertEqual(findings, [])
+
+    def test_mutex_annotation_allow_pragma(self):
+        findings = self.repo.lint(
+            "src/obs/special.cc",
+            "std::mutex raw;  // aer-lint: allow(mutex-annotation)\n")
+        self.assertEqual(findings, [])
+
     # -- metric-catalog -----------------------------------------------------
 
     CATALOG = ("# Observability\n\n"

@@ -1,0 +1,516 @@
+// arch_check — compiled architecture analyzer for the aer tree.
+//
+// Reads the checked-in layering manifest (layering.manifest), scans every
+// C++ file under <root>/src, and enforces two rule families:
+//
+//   layering  The include graph must respect the manifest's layer order:
+//             a module may include its own layer only through an explicit
+//             `allow` edge, lower layers freely, and higher layers never.
+//             A back-edge (core including eval, say) is how "temporarily
+//             convenient" dependencies calcify; this check fails the build
+//             the day they appear. Cycles among allowed edges are rejected
+//             separately (rule `cycle`).
+//
+//   taint     Library code must be deterministic: wall clocks
+//             (system_clock / steady_clock / high_resolution_clock),
+//             std::random_device, rand()/srand()/time(), and raw mt19937
+//             construction are forbidden outside the whitelisted files
+//             (`taint-allow` lines — the profiler, the RNG facility
+//             itself, and the crash recorder). Everything else derives
+//             randomness from common/rng.h streams and time from SimTime.
+//
+// Escape hatch, mirroring aer_lint's pragma:
+//     do_something();  // arch-check: allow(taint)
+// suppresses findings of that rule on that line; use sparingly and justify
+// in an adjacent comment.
+//
+// The tool is deliberately dependency-free (single translation unit, no
+// repo headers) so CI can build it with a bare `g++ -std=c++20` before the
+// main build exists. Exit status: 0 clean, 1 violations, 2 usage/IO error.
+//
+// Usage:
+//   arch_check --root <repo_root> [--manifest <file>] [--json <out>]
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Violation {
+  std::string file;  // root-relative, forward slashes
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Manifest {
+  // module -> layer index (0 = lowest).
+  std::map<std::string, int> layer_of;
+  // Explicit same-layer edges "a -> b".
+  std::set<std::pair<std::string, std::string>> allowed;
+  // Root-relative path prefixes exempt from the taint rule.
+  std::vector<std::string> taint_allow;
+};
+
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "arch_check: %s\n", message.c_str());
+  std::exit(2);
+}
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) Die("cannot read " + path.string());
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::vector<std::string> SplitWords(std::string_view line) {
+  std::vector<std::string> words;
+  std::string current;
+  for (char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!current.empty()) words.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) words.push_back(std::move(current));
+  return words;
+}
+
+Manifest ParseManifest(const fs::path& path) {
+  Manifest manifest;
+  std::istringstream in(ReadFile(path));
+  std::string line;
+  int layer = 0;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::vector<std::string> words = SplitWords(line);
+    if (words.empty()) continue;
+    const std::string where =
+        path.filename().string() + ":" + std::to_string(lineno);
+    if (words[0] == "layer") {
+      if (words.size() < 2) Die(where + ": `layer` needs module names");
+      for (std::size_t i = 1; i < words.size(); ++i) {
+        if (!manifest.layer_of.emplace(words[i], layer).second) {
+          Die(where + ": module '" + words[i] + "' listed twice");
+        }
+      }
+      ++layer;
+    } else if (words[0] == "allow") {
+      // allow <from> -> <to...>
+      if (words.size() < 4 || words[2] != "->") {
+        Die(where + ": expected `allow <from> -> <to...>`");
+      }
+      for (std::size_t i = 3; i < words.size(); ++i) {
+        manifest.allowed.emplace(words[1], words[i]);
+      }
+    } else if (words[0] == "taint-allow") {
+      if (words.size() != 2) Die(where + ": `taint-allow` needs one prefix");
+      manifest.taint_allow.push_back(words[1]);
+    } else {
+      Die(where + ": unknown directive '" + words[0] + "'");
+    }
+  }
+  if (manifest.layer_of.empty()) Die(path.string() + ": no layers defined");
+  return manifest;
+}
+
+// Replaces // and /* */ comment bodies with spaces (newlines preserved so
+// line numbers survive). String and char literals pass through untouched —
+// the include extractor needs them; the taint scanner blanks them per line.
+std::string StripComments(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out += "  ";
+          ++i;
+        } else {
+          if (c == '"') state = State::kString;
+          if (c == '\'') state = State::kChar;
+          out += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar:
+        out += c;
+        if (c == '\\' && next != '\0') {
+          out += next;
+          ++i;
+        } else if ((state == State::kString && c == '"') ||
+                   (state == State::kChar && c == '\'')) {
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+// Blanks the contents of string/char literals in one (comment-free) line so
+// token scans cannot match inside them.
+std::string BlankLiterals(std::string_view line) {
+  std::string out;
+  out.reserve(line.size());
+  char open = '\0';
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (open != '\0') {
+      if (c == '\\') {
+        out += "  ";
+        ++i;
+      } else if (c == open) {
+        out += c;
+        open = '\0';
+      } else {
+        out += ' ';
+      }
+    } else {
+      if (c == '"' || c == '\'') open = c;
+      out += c;
+    }
+  }
+  return out;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// `#include "path"` -> path; nullopt otherwise (angle includes are system
+// headers, never module edges).
+std::optional<std::string> ExtractInclude(std::string_view line) {
+  std::size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  };
+  skip_ws();
+  if (i >= line.size() || line[i] != '#') return std::nullopt;
+  ++i;
+  skip_ws();
+  if (line.substr(i, 7) != "include") return std::nullopt;
+  i += 7;
+  skip_ws();
+  if (i >= line.size() || line[i] != '"') return std::nullopt;
+  const std::size_t start = ++i;
+  const std::size_t end = line.find('"', start);
+  if (end == std::string::npos) return std::nullopt;
+  return std::string(line.substr(start, end - start));
+}
+
+// Rules suppressed by `arch-check: allow(rule[, rule...])` on this line.
+std::set<std::string> PragmaRules(std::string_view line) {
+  std::set<std::string> rules;
+  const std::string_view tag = "arch-check: allow(";
+  const auto at = line.find(tag);
+  if (at == std::string_view::npos) return rules;
+  const std::size_t start = at + tag.size();
+  const auto close = line.find(')', start);
+  if (close == std::string_view::npos) return rules;
+  for (std::string& rule :
+       SplitWords(std::string(line.substr(start, close - start)))) {
+    while (!rule.empty() && rule.back() == ',') rule.pop_back();
+    if (!rule.empty()) rules.insert(std::move(rule));
+  }
+  return rules;
+}
+
+// Identifier tokens that mark nondeterminism in library code. `call_only`
+// tokens taint only when invoked (an identifier like `timeout` or a member
+// named `time_` must not match).
+struct TaintPattern {
+  std::string_view token;
+  bool call_only;
+  std::string_view why;
+};
+constexpr TaintPattern kTaintPatterns[] = {
+    {"random_device", false, "nondeterministic seed source"},
+    {"system_clock", false, "wall-clock time"},
+    {"steady_clock", false, "wall-clock time"},
+    {"high_resolution_clock", false, "wall-clock time"},
+    {"mt19937", false, "raw engine; derive streams via common/rng.h"},
+    {"mt19937_64", false, "raw engine; derive streams via common/rng.h"},
+    {"rand", true, "C PRNG"},
+    {"srand", true, "C PRNG seeding"},
+    {"time", true, "wall-clock time"},
+};
+
+void ScanTaint(const std::string& rel_path,
+               const std::vector<std::string>& lines,
+               const std::vector<std::string>& raw_lines,
+               std::vector<Violation>& violations) {
+  for (std::size_t n = 0; n < lines.size(); ++n) {
+    const std::string scan = BlankLiterals(lines[n]);
+    for (const TaintPattern& pattern : kTaintPatterns) {
+      std::size_t from = 0;
+      bool hit = false;
+      while (!hit) {
+        const auto at = scan.find(pattern.token, from);
+        if (at == std::string::npos) break;
+        from = at + 1;
+        if (at > 0 && IsIdentChar(scan[at - 1])) continue;
+        const std::size_t after = at + pattern.token.size();
+        if (after < scan.size() && IsIdentChar(scan[after])) continue;
+        if (pattern.call_only) {
+          std::size_t i = after;
+          while (i < scan.size() && (scan[i] == ' ' || scan[i] == '\t')) ++i;
+          if (i >= scan.size() || scan[i] != '(') continue;
+        }
+        hit = true;
+      }
+      if (!hit) continue;
+      if (PragmaRules(raw_lines[n]).count("taint") != 0) continue;
+      violations.push_back(
+          {rel_path, static_cast<int>(n + 1), "taint",
+           std::string(pattern.token) + ": " + std::string(pattern.why) +
+               " is forbidden in src/ outside the manifest's taint-allow "
+               "list"});
+    }
+  }
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) lines.push_back(std::move(current));
+  return lines;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root;
+  fs::path manifest_path;
+  fs::path json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) Die("missing value for " + std::string(arg));
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      root = value();
+    } else if (arg == "--manifest") {
+      manifest_path = value();
+    } else if (arg == "--json") {
+      json_path = value();
+    } else {
+      Die("unknown argument " + std::string(arg) +
+          " (usage: arch_check --root DIR [--manifest FILE] [--json FILE])");
+    }
+  }
+  if (root.empty()) Die("--root is required");
+  if (manifest_path.empty()) {
+    manifest_path = root / "tools" / "arch_check" / "layering.manifest";
+  }
+  const Manifest manifest = ParseManifest(manifest_path);
+
+  const fs::path src = root / "src";
+  if (!fs::is_directory(src)) Die("no src/ directory under " + root.string());
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".h" || ext == ".cc") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Violation> violations;
+  // module -> (dep module -> first (file, line) that created the edge).
+  std::map<std::string, std::map<std::string, std::pair<std::string, int>>>
+      edges;
+
+  for (const fs::path& path : files) {
+    const std::string rel =
+        fs::relative(path, root).generic_string();  // "src/<module>/..."
+    const std::string module = fs::relative(path, src).begin()->string();
+    const auto my_layer = manifest.layer_of.find(module);
+    if (my_layer == manifest.layer_of.end()) {
+      violations.push_back(
+          {rel, 1, "layering",
+           "module '" + module + "' is not in the layering manifest"});
+      continue;
+    }
+
+    const std::string text = ReadFile(path);
+    const std::vector<std::string> raw_lines = SplitLines(text);
+    const std::vector<std::string> lines = SplitLines(StripComments(text));
+
+    bool taint_exempt = false;
+    for (const std::string& prefix : manifest.taint_allow) {
+      if (rel.rfind(prefix, 0) == 0) {
+        taint_exempt = true;
+        break;
+      }
+    }
+    if (!taint_exempt) ScanTaint(rel, lines, raw_lines, violations);
+
+    for (std::size_t n = 0; n < lines.size(); ++n) {
+      const auto include = ExtractInclude(lines[n]);
+      if (!include) continue;
+      const auto slash = include->find('/');
+      if (slash == std::string::npos) continue;  // same-dir or foreign
+      const std::string dep = include->substr(0, slash);
+      const auto dep_layer = manifest.layer_of.find(dep);
+      if (dep_layer == manifest.layer_of.end()) continue;  // not a module
+      if (dep == module) continue;
+      edges[module].try_emplace(dep, rel, static_cast<int>(n + 1));
+
+      const bool ok =
+          dep_layer->second < my_layer->second ||
+          (dep_layer->second == my_layer->second &&
+           manifest.allowed.count({module, dep}) != 0);
+      if (ok) continue;
+      if (PragmaRules(raw_lines[n]).count("layering") != 0) continue;
+      const char* kind = dep_layer->second > my_layer->second
+                             ? "back-edge"
+                             : "unsanctioned same-layer edge";
+      violations.push_back(
+          {rel, static_cast<int>(n + 1), "layering",
+           std::string(kind) + ": " + module + " -> " + dep +
+               " (include of \"" + *include + "\") violates the manifest"});
+    }
+  }
+
+  // Cycle detection over the observed module graph (the layer rule makes
+  // cycles impossible unless `allow` edges form one within a layer).
+  {
+    std::map<std::string, int> state;  // 0 unvisited, 1 on stack, 2 done
+    std::vector<std::string> stack;
+    std::function<void(const std::string&)> visit =
+        [&](const std::string& module) {
+          state[module] = 1;
+          stack.push_back(module);
+          const auto it = edges.find(module);
+          if (it != edges.end()) {
+            for (const auto& [dep, site] : it->second) {
+              if (state[dep] == 1) {
+                std::string path_text = dep;
+                for (auto at = stack.rbegin(); at != stack.rend(); ++at) {
+                  path_text = *at + " -> " + path_text;
+                  if (*at == dep) break;
+                }
+                violations.push_back({site.first, site.second, "cycle",
+                                      "module cycle: " + path_text});
+              } else if (state[dep] == 0) {
+                visit(dep);
+              }
+            }
+          }
+          stack.pop_back();
+          state[module] = 2;
+        };
+    for (const auto& [module, deps] : edges) {
+      (void)deps;
+      if (state[module] == 0) visit(module);
+    }
+  }
+
+  std::sort(violations.begin(), violations.end(),
+            [](const Violation& a, const Violation& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+
+  for (const Violation& v : violations) {
+    std::fprintf(stderr, "%s:%d: error: [%s] %s\n", v.file.c_str(), v.line,
+                 v.rule.c_str(), v.message.c_str());
+  }
+  std::fprintf(stderr,
+               "arch_check: %zu file(s) scanned, %zu violation(s)\n",
+               files.size(), violations.size());
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) Die("cannot write " + json_path.string());
+    out << "{\n  \"files_scanned\": " << files.size()
+        << ",\n  \"violations\": [";
+    for (std::size_t i = 0; i < violations.size(); ++i) {
+      const Violation& v = violations[i];
+      out << (i == 0 ? "" : ",") << "\n    {\"file\": \"" << JsonEscape(v.file)
+          << "\", \"line\": " << v.line << ", \"rule\": \"" << v.rule
+          << "\", \"message\": \"" << JsonEscape(v.message) << "\"}";
+    }
+    out << (violations.empty() ? "" : "\n  ") << "]\n}\n";
+  }
+
+  return violations.empty() ? 0 : 1;
+}

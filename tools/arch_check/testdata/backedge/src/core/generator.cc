@@ -1,0 +1,2 @@
+#include "eval/experiment.h"
+int Generate() { return RunExperiment(); }

@@ -1,0 +1,4 @@
+#ifndef EVAL_EXPERIMENT_H_
+#define EVAL_EXPERIMENT_H_
+int RunExperiment();
+#endif

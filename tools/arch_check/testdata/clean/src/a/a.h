@@ -1,0 +1,4 @@
+#ifndef A_A_H_
+#define A_A_H_
+int LowLayer();
+#endif

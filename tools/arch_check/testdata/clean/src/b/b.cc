@@ -1,0 +1,2 @@
+#include "a/a.h"
+int HighLayer() { return LowLayer(); }

@@ -1,0 +1,5 @@
+#include <random>
+unsigned Seed() {
+  std::random_device device;
+  return device();
+}
