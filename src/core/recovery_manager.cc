@@ -44,6 +44,7 @@ void RecoveryManager::SetObservers(obs::Tracer* tracer,
       &metrics->GetCounter("aer_recovery_flap_quarantines_total");
   obs_.history_evictions =
       &metrics->GetCounter("aer_recovery_history_evictions_total");
+  obs_.adopted = &metrics->GetCounter("aer_recovery_processes_adopted_total");
   obs_.downtime = &metrics->GetHistogram("aer_recovery_downtime_seconds");
   obs_.actions_per_process = &metrics->GetHistogram(
       "aer_recovery_actions_per_process", /*base=*/1.0, /*growth=*/2.0,
@@ -319,6 +320,67 @@ void RecoveryManager::MaybeEvictHistory(SimTime now) {
 
 bool RecoveryManager::HasOpenProcess(MachineId machine) const {
   return open_.contains(machine);
+}
+
+int RecoveryManager::ActionsTried(MachineId machine) const {
+  const auto it = open_.find(machine);
+  return it == open_.end() ? 0 : static_cast<int>(it->second.tried.size());
+}
+
+std::vector<OpenProcessSnapshot> RecoveryManager::ExportOpenProcesses()
+    const {
+  std::vector<OpenProcessSnapshot> snapshots;
+  snapshots.reserve(open_.size());
+  for (const auto& [machine, process] : open_) {
+    OpenProcessSnapshot snapshot;
+    snapshot.machine = machine;
+    snapshot.start = process.start;
+    snapshot.symptom = std::string(log_.symptoms().Name(process.initial_symptom));
+    snapshot.tried = process.tried;
+    snapshot.timeouts = process.timeouts;
+    snapshot.quarantined = process.quarantined;
+    snapshot.last_event_time = process.last_event_time;
+    snapshots.push_back(std::move(snapshot));
+  }
+  // open_ iteration order is unspecified; sort for deterministic replication.
+  std::sort(snapshots.begin(), snapshots.end(),
+            [](const OpenProcessSnapshot& a, const OpenProcessSnapshot& b) {
+              return a.machine < b.machine;
+            });
+  return snapshots;
+}
+
+bool RecoveryManager::AdoptProcess(SimTime now,
+                                   const OpenProcessSnapshot& snapshot) {
+  if (open_.contains(snapshot.machine)) return false;
+  const SymptomId id = log_.symptoms().Intern(snapshot.symptom);
+  OpenProcess process;
+  process.start = snapshot.start;
+  process.initial_symptom = id;
+  process.last_symptom = id;
+  process.last_symptom_time = snapshot.last_event_time;
+  process.tried = snapshot.tried;
+  process.timeouts = snapshot.timeouts;
+  process.quarantined = snapshot.quarantined;
+  // The adopting coordinator's clock is `now`; the snapshot's watermark may
+  // be ahead of it if replication raced an event — keep the max so the
+  // monotonic clamp never regresses.
+  process.last_event_time = std::max(now, snapshot.last_event_time);
+  // The snapshotted in-flight action (if any) is the previous leader's; its
+  // result will never reach this manager, so treat it as settled and let the
+  // next OnRecoveryNeeded issue the next action of the ladder.
+  process.action_in_flight = false;
+  process.last_recovery_end = history_[snapshot.machine].last_recovery_end;
+  ++stats_.processes_adopted;
+  if (obs_.adopted) obs_.adopted->Inc();
+  if (tracer_) {
+    process.span = tracer_->StartSpan("recovery", snapshot.start);
+    tracer_->SetLabel(process.span, snapshot.symptom);
+    tracer_->SetMachine(process.span, snapshot.machine);
+    tracer_->AddEvent(process.span, now, "adopted");
+  }
+  open_.emplace(snapshot.machine, std::move(process));
+  return true;
 }
 
 bool RecoveryManager::IsQuarantined(MachineId machine) const {

@@ -62,6 +62,24 @@ struct RecoveryManagerConfig {
   SimTime history_retention = 30 * kDay;
 };
 
+// Portable image of one open recovery process — what a coordinated control
+// plane (src/ctrl/) replicates to follower coordinators so a leader takeover
+// *resumes* in-flight recoveries instead of restarting them: the tried
+// actions keep counting toward the N-cap and the policy keeps seeing the
+// full attempt history.
+struct OpenProcessSnapshot {
+  MachineId machine = 0;
+  SimTime start = 0;
+  std::string symptom;  // initiating symptom, by stable name
+  std::vector<RepairAction> tried;
+  int timeouts = 0;
+  bool quarantined = false;
+  SimTime last_event_time = 0;
+
+  friend bool operator==(const OpenProcessSnapshot&,
+                         const OpenProcessSnapshot&) = default;
+};
+
 class RecoveryManager {
  public:
   // `policy` must outlive the manager.
@@ -104,6 +122,24 @@ class RecoveryManager {
   bool HasOpenProcess(MachineId machine) const;
   std::size_t open_process_count() const { return open_.size(); }
 
+  // Actions recorded so far in the machine's open process (0 if none).
+  // Control-plane callers use this as the attempt index when correlating
+  // dispatched actions with their results across leader changes.
+  int ActionsTried(MachineId machine) const;
+
+  // Snapshots every open process in ascending machine-id order — the
+  // replication payload a leader coordinator streams to its followers.
+  std::vector<OpenProcessSnapshot> ExportOpenProcesses() const;
+
+  // Takeover resume: re-creates an open process from a replicated snapshot.
+  // Returns false (and changes nothing) if the machine already has an open
+  // process. The adopted attempt history counts toward the N-cap but is not
+  // re-logged or re-reported to the policy — the previous leader already did
+  // both; in-flight state resets so the next OnRecoveryNeeded issues the
+  // *next* action. Adoption bypasses flap tracking: the reopen was a
+  // coordinator handover, not machine behavior.
+  bool AdoptProcess(SimTime now, const OpenProcessSnapshot& snapshot);
+
   // True while the machine's currently open process was opened under flap
   // quarantine (its reopen rate exceeded the threshold inside the window).
   bool IsQuarantined(MachineId machine) const;
@@ -129,6 +165,7 @@ class RecoveryManager {
     std::int64_t duplicate_recovery_requests = 0;
     std::int64_t flap_quarantines = 0;  // processes opened under quarantine
     std::int64_t history_evictions = 0;
+    std::int64_t processes_adopted = 0;  // takeover resumes (AdoptProcess)
   };
   const Stats& stats() const { return stats_; }
 
@@ -195,6 +232,7 @@ class RecoveryManager {
     obs::Counter* duplicate_requests = nullptr;
     obs::Counter* flap_quarantines = nullptr;
     obs::Counter* history_evictions = nullptr;
+    obs::Counter* adopted = nullptr;
     obs::Histogram* downtime = nullptr;
     obs::Histogram* actions_per_process = nullptr;
   };

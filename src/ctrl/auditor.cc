@@ -1,0 +1,84 @@
+#include "ctrl/auditor.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace aer::ctrl {
+
+InvariantAuditor::InvariantAuditor(int cluster_size)
+    : majority_(cluster_size / 2 + 1) {
+  AER_CHECK_GT(cluster_size, 0);
+}
+
+bool InvariantAuditor::HasQuorumLocked(SimTime now, NodeId candidate,
+                                       Epoch epoch) const {
+  const auto epoch_it = grants_.find(epoch);
+  if (epoch_it == grants_.end()) return false;
+  const auto cand_it = epoch_it->second.find(candidate);
+  if (cand_it == epoch_it->second.end()) return false;
+  int live = 0;
+  for (const auto& [voter, expiry] : cand_it->second) {
+    if (expiry > now) ++live;
+  }
+  return live >= majority_;
+}
+
+void InvariantAuditor::OnVoteGrant(SimTime now, NodeId voter,
+                                   NodeId candidate, Epoch epoch,
+                                   SimTime expiry) {
+  MutexLock lock(mu_);
+  ++report_.grants_observed;
+  SimTime& slot = grants_[epoch][candidate][voter];
+  slot = std::max(slot, expiry);
+  if (HasQuorumLocked(now, candidate, epoch)) {
+    std::set<NodeId>& holders = holders_[epoch];
+    const bool inserted = holders.insert(candidate).second;
+    if (inserted) {
+      if (holders.size() == 1) {
+        ++report_.epochs_with_holder;
+      } else {
+        ++report_.duplicate_leaseholders;  // invariant 1 broken
+      }
+    }
+  }
+}
+
+void InvariantAuditor::OnActionIssued(SimTime now, NodeId issuer,
+                                      Epoch epoch, MachineId machine) {
+  (void)machine;
+  MutexLock lock(mu_);
+  ++report_.actions_issued;
+  if (!HasQuorumLocked(now, issuer, epoch)) {
+    ++report_.issued_without_lease;  // invariant 2 broken
+  }
+}
+
+void InvariantAuditor::OnActionExecuted(SimTime now, MachineId machine,
+                                        Epoch epoch) {
+  (void)now;
+  MutexLock lock(mu_);
+  ++report_.actions_executed;
+  Epoch& floor = executed_floor_[machine];
+  if (epoch < floor) {
+    ++report_.stale_executed;  // invariant 3 broken
+  } else {
+    floor = epoch;
+  }
+}
+
+void InvariantAuditor::OnStaleRejected(SimTime now, MachineId machine,
+                                       Epoch epoch) {
+  (void)now;
+  (void)machine;
+  (void)epoch;
+  MutexLock lock(mu_);
+  ++report_.stale_rejected;
+}
+
+InvariantAuditor::Report InvariantAuditor::report() const {
+  MutexLock lock(mu_);
+  return report_;
+}
+
+}  // namespace aer::ctrl

@@ -1,0 +1,94 @@
+// InvariantAuditor — an observer with no stake in the implementation. The
+// simulation feeds it the globally ordered event stream (vote grants as
+// they reach their candidate, every action issue, every machine-side
+// admit/reject) and it recomputes the control plane's safety claims from
+// scratch:
+//
+//   1. ≤ 1 leaseholder per epoch — a candidate "holds" an epoch once a
+//      majority of distinct voters' unexpired promises for it have reached
+//      it; no epoch may ever have two such candidates.
+//   2. no action issued without a valid lease — at issue time the issuer
+//      must hold a majority of unexpired promises for the action's epoch.
+//   3. no stale action executed — a machine must never execute an action
+//      whose epoch is below the highest it has already executed under.
+//
+// The auditor deliberately shares no state with Coordinator or LeaseTable;
+// it re-derives lease windows from the observed grant traffic, so a bug in
+// the lease bookkeeping cannot hide itself (docs/CONTROL_PLANE.md).
+#ifndef AER_CTRL_AUDITOR_H_
+#define AER_CTRL_AUDITOR_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "common/mutex.h"
+#include "common/sim_time.h"
+#include "common/thread_annotations.h"
+#include "core/recovery_manager.h"
+#include "ctrl/message.h"
+
+namespace aer::ctrl {
+
+class InvariantAuditor {
+ public:
+  explicit InvariantAuditor(int cluster_size);
+
+  // A VoteGrant from `voter` reached `candidate` (this is when it starts
+  // counting toward the candidate's lease).
+  void OnVoteGrant(SimTime now, NodeId voter, NodeId candidate, Epoch epoch,
+                   SimTime expiry);
+
+  // `issuer` dispatched an action for `machine` fenced with `epoch`.
+  void OnActionIssued(SimTime now, NodeId issuer, Epoch epoch,
+                      MachineId machine);
+
+  // A machine admitted (began executing) an action fenced with `epoch`.
+  void OnActionExecuted(SimTime now, MachineId machine, Epoch epoch);
+
+  // A machine refused an action as stale (the good outcome; counted so
+  // tests can assert fencing actually fired rather than never triggering).
+  void OnStaleRejected(SimTime now, MachineId machine, Epoch epoch);
+
+  struct Report {
+    // Violations — all must be zero for a run to pass.
+    std::int64_t duplicate_leaseholders = 0;  // epochs with a 2nd holder
+    std::int64_t issued_without_lease = 0;
+    std::int64_t stale_executed = 0;
+    // Evidence of exercise (not violations).
+    std::int64_t grants_observed = 0;
+    std::int64_t actions_issued = 0;
+    std::int64_t actions_executed = 0;
+    std::int64_t stale_rejected = 0;
+    std::int64_t epochs_with_holder = 0;
+
+    bool Clean() const {
+      return duplicate_leaseholders == 0 && issued_without_lease == 0 &&
+             stale_executed == 0;
+    }
+  };
+  Report report() const;
+
+ private:
+  // True iff `candidate` holds >= majority unexpired promises for `epoch`
+  // at time `now`, per the grants observed so far.
+  bool HasQuorumLocked(SimTime now, NodeId candidate, Epoch epoch) const
+      AER_REQUIRES(mu_);
+
+  const int majority_;
+
+  mutable Mutex mu_;
+  // epoch -> candidate -> voter -> latest promise expiry observed.
+  std::map<Epoch, std::map<NodeId, std::map<NodeId, SimTime>>> grants_
+      AER_GUARDED_BY(mu_);
+  // epoch -> candidates that ever reached quorum.
+  std::map<Epoch, std::set<NodeId>> holders_ AER_GUARDED_BY(mu_);
+  // machine -> highest epoch it has executed under.
+  std::unordered_map<MachineId, Epoch> executed_floor_ AER_GUARDED_BY(mu_);
+  Report report_ AER_GUARDED_BY(mu_);
+};
+
+}  // namespace aer::ctrl
+
+#endif  // AER_CTRL_AUDITOR_H_

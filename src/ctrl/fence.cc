@@ -1,0 +1,27 @@
+#include "ctrl/fence.h"
+
+namespace aer::ctrl {
+
+bool FenceRegistry::Admit(MachineId machine, Epoch epoch) {
+  MutexLock lock(mu_);
+  Epoch& floor = floor_[machine];
+  if (epoch < floor) {
+    ++rejections_;
+    return false;
+  }
+  floor = epoch;
+  return true;
+}
+
+Epoch FenceRegistry::FloorOf(MachineId machine) const {
+  MutexLock lock(mu_);
+  const auto it = floor_.find(machine);
+  return it == floor_.end() ? 0 : it->second;
+}
+
+std::int64_t FenceRegistry::rejections() const {
+  MutexLock lock(mu_);
+  return rejections_;
+}
+
+}  // namespace aer::ctrl

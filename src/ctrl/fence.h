@@ -1,0 +1,39 @@
+// FenceRegistry — the machine-side half of the fencing-token contract.
+// Every repair action a coordinator dispatches carries its lease epoch;
+// each machine remembers the highest epoch it has ever executed under and
+// refuses anything older. A deposed leader whose delayed actions surface
+// after a takeover is therefore harmless: the machine already moved to the
+// new leader's epoch and rejects the stragglers (docs/CONTROL_PLANE.md).
+#ifndef AER_CTRL_FENCE_H_
+#define AER_CTRL_FENCE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "core/recovery_manager.h"
+#include "ctrl/message.h"
+
+namespace aer::ctrl {
+
+class FenceRegistry {
+ public:
+  // True iff `epoch` is >= the highest epoch `machine` has admitted;
+  // admission raises the machine's floor to `epoch`. Rejections count.
+  bool Admit(MachineId machine, Epoch epoch);
+
+  // Highest epoch the machine has admitted (0 = never fenced).
+  Epoch FloorOf(MachineId machine) const;
+
+  std::int64_t rejections() const;
+
+ private:
+  mutable Mutex mu_;
+  std::unordered_map<MachineId, Epoch> floor_ AER_GUARDED_BY(mu_);
+  std::int64_t rejections_ AER_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace aer::ctrl
+
+#endif  // AER_CTRL_FENCE_H_

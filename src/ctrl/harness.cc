@@ -1,0 +1,445 @@
+#include "ctrl/harness.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+#include "common/profiler.h"
+
+namespace aer::ctrl {
+namespace {
+
+void AddStats(Coordinator::Stats& into, const Coordinator::Stats& from) {
+  into.heartbeats_sent += from.heartbeats_sent;
+  into.elections_started += from.elections_started;
+  into.votes_granted += from.votes_granted;
+  into.leases_acquired += from.leases_acquired;
+  into.lease_renewals += from.lease_renewals;
+  into.stepdowns += from.stepdowns;
+  into.takeovers += from.takeovers;
+  into.processes_adopted += from.processes_adopted;
+  into.stale_results_dropped += from.stale_results_dropped;
+}
+
+}  // namespace
+
+struct ControlPlaneHarness::Event {
+  enum class Kind : int {
+    kIncident = 0,        // a machine falls sick
+    kReemit = 1,          // sick machine re-reports (ends when cured)
+    kSymptomDeliver = 2,  // one symptom report reaches one coordinator
+    kCoordTick = 3,       // periodic maintenance for one node
+    kMsgDeliver = 4,      // coordinator-to-coordinator message arrives
+    kDispatchDeliver = 5,  // a fenced action reaches its machine
+    kActionDone = 6,       // the machine finished executing
+    kResultDeliver = 7,    // the result reaches the issuing coordinator
+  };
+
+  SimTime time = 0;
+  std::uint64_t seq = 0;  // FIFO tie-break at equal times (determinism)
+  Kind kind = Kind::kIncident;
+  MachineId machine = 0;
+  NodeId node = kNoNode;
+  std::string symptom;
+  int cure_strength = 0;
+  Message msg;
+  ActionDispatch dispatch;
+  bool healthy = false;
+};
+
+ControlPlaneHarness::ControlPlaneHarness(RecoveryPolicy& policy,
+                                         RecoveryManagerConfig manager_config,
+                                         ControlHarnessConfig config,
+                                         NetFaultScript script)
+    : manager_config_(manager_config),
+      config_(config),
+      policy_(policy),
+      net_(config.net, script),
+      auditor_(config.cluster_size) {
+  AER_CHECK_GT(config_.cluster_size, 0);
+  AER_CHECK_GT(config_.tick_interval, 0);
+  AER_CHECK_GT(config_.net_latency, 0);
+  AER_CHECK_GT(config_.reemit_interval, 0);
+  if (!script.crashes.empty()) {
+    // A crashed issuer never hears its in-flight results; without timeouts
+    // those processes would be stuck forever.
+    AER_CHECK_GT(manager_config_.action_timeout, 0);
+  }
+  coordinators_.resize(static_cast<std::size_t>(config_.cluster_size));
+  durable_.resize(static_cast<std::size_t>(config_.cluster_size));
+  for (NodeId node = 0; node < config_.cluster_size; ++node) {
+    coordinators_[static_cast<std::size_t>(node)] =
+        std::make_unique<Coordinator>(node, config_.cluster_size,
+                                      config_.coordinator, policy_,
+                                      manager_config_, VoterRecord{});
+  }
+}
+
+void ControlPlaneHarness::SetObservers(obs::Tracer* tracer,
+                                       obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  metrics_ = metrics;
+  net_.SetObservers(tracer, metrics);
+  for (auto& coordinator : coordinators_) {
+    if (coordinator) coordinator->SetObservers(tracer, metrics);
+  }
+  stale_rejected_metric_ =
+      metrics == nullptr
+          ? nullptr
+          : &metrics->GetCounter("aer_ctrl_stale_actions_rejected_total");
+}
+
+void ControlPlaneHarness::ApplyTransitions(SimTime now) {
+  for (const NetTransition& transition : net_.AdvanceTo(now)) {
+    if (transition.kind == NetTransition::Kind::kCrash) {
+      auto& coordinator =
+          coordinators_[static_cast<std::size_t>(transition.node)];
+      if (coordinator) {
+        // The voter record is the node's durable storage: it survives.
+        durable_[static_cast<std::size_t>(transition.node)] =
+            coordinator->durable();
+        AddStats(retired_stats_, coordinator->stats());
+        retired_gated_ += coordinator->service().actions_gated();
+        coordinator.reset();
+      }
+    } else if (transition.kind == NetTransition::Kind::kRestart) {
+      auto& coordinator =
+          coordinators_[static_cast<std::size_t>(transition.node)];
+      coordinator = std::make_unique<Coordinator>(
+          transition.node, config_.cluster_size, config_.coordinator,
+          policy_, manager_config_,
+          durable_[static_cast<std::size_t>(transition.node)]);
+      coordinator->SetObservers(tracer_, metrics_);
+    }
+    // Partition start/heal is routing state the perturber already applied.
+  }
+}
+
+bool ControlPlaneHarness::Quiescent(SimTime now) const {
+  for (const auto& [machine, state] : machines_) {
+    if (state.sick || state.executing) return false;
+  }
+  if (work_pending_ > 0) return false;
+  bool any_lease = false;
+  for (const auto& coordinator : coordinators_) {
+    if (!coordinator) continue;
+    if (coordinator->lease().HoldsLease(now)) {
+      any_lease = true;
+      if (coordinator->service().manager().open_process_count() > 0) {
+        return false;
+      }
+    }
+  }
+  if (!any_lease) {
+    // No one may issue right now, but unowned work remains on live nodes:
+    // keep ticking so an election can claim and finish it.
+    for (const auto& coordinator : coordinators_) {
+      if (!coordinator) continue;
+      if (coordinator->service().manager().open_process_count() > 0 ||
+          coordinator->service().replica_entries() > 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+ControlHarnessResult ControlPlaneHarness::Run(
+    const std::vector<ControlIncident>& incidents) {
+  AER_PROFILE_SCOPE("ctrl_harness_run");
+  ControlHarnessResult result;
+  result.incidents = static_cast<std::int64_t>(incidents.size());
+
+  const auto later = [](const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  };
+  std::priority_queue<Event, std::vector<Event>, decltype(later)> queue(
+      later);
+  std::uint64_t seq = 0;
+
+  const auto counts_as_work = [](Event::Kind kind) {
+    return kind != Event::Kind::kCoordTick &&
+           kind != Event::Kind::kMsgDeliver;
+  };
+  // Scheduled tick events per node: chains die at quiescence, and a later
+  // incident must revive them or nobody would ever be elected to cure it.
+  std::vector<std::int64_t> ticks_pending(
+      static_cast<std::size_t>(config_.cluster_size), 0);
+  const auto push = [this, &queue, &seq, &counts_as_work,
+                     &ticks_pending](Event e) {
+    e.seq = seq++;
+    if (counts_as_work(e.kind)) ++work_pending_;
+    if (e.kind == Event::Kind::kCoordTick) {
+      ++ticks_pending[static_cast<std::size_t>(e.node)];
+    }
+    queue.push(std::move(e));
+  };
+
+  // Everything a coordinator produced goes back through the network (the
+  // perturber decides each message's fate) or out to the fleet.
+  const auto process_output = [this, &push, &result](SimTime now,
+                                                     CoordinatorOutput out) {
+    for (Message& message : out.messages) {
+      const NetPerturber::Routing routing =
+          net_.Route(now, message.from, message.to, config_.net_latency);
+      if (routing.deliver) {
+        Event e;
+        e.kind = Event::Kind::kMsgDeliver;
+        e.time = routing.at;
+        e.msg = message;
+        push(std::move(e));
+      }
+      if (routing.duplicated) {
+        Event e;
+        e.kind = Event::Kind::kMsgDeliver;
+        e.time = routing.duplicate_at;
+        e.msg = std::move(message);
+        push(std::move(e));
+      }
+    }
+    for (const ActionDispatch& dispatch : out.dispatches) {
+      auditor_.OnActionIssued(now, dispatch.issuer, dispatch.epoch,
+                              dispatch.machine);
+      const std::int64_t index = result.actions_dispatched++;
+      SimTime extra_delay = 0;
+      for (const ControlHarnessConfig::DispatchDelay& scripted :
+           config_.dispatch_delays) {
+        if (scripted.dispatch_index == index) extra_delay = scripted.delay;
+      }
+      DispatchRecord record;
+      record.time = now;
+      record.issuer = dispatch.issuer;
+      record.epoch = dispatch.epoch;
+      record.machine = dispatch.machine;
+      record.action = ActionIndex(dispatch.action);
+      result.dispatch_log.push_back(record);
+      Event e;
+      e.kind = Event::Kind::kDispatchDeliver;
+      e.time = now + config_.net_latency + extra_delay;
+      e.dispatch = dispatch;
+      push(std::move(e));
+    }
+  };
+
+  for (NodeId node = 0; node < config_.cluster_size; ++node) {
+    Event e;
+    e.kind = Event::Kind::kCoordTick;
+    e.time = 0;
+    e.node = node;
+    push(std::move(e));
+  }
+  for (const ControlIncident& incident : incidents) {
+    AER_CHECK_GE(incident.time, 0);
+    AER_CHECK_GE(incident.cure_strength, 0);
+    AER_CHECK_LT(incident.cure_strength, kNumActions);
+    Event e;
+    e.kind = Event::Kind::kIncident;
+    e.time = incident.time;
+    e.machine = incident.machine;
+    e.symptom = incident.symptom;
+    e.cure_strength = incident.cure_strength;
+    push(std::move(e));
+  }
+
+  const auto finalize = [this, &result] {
+    result.coordinators = retired_stats_;
+    result.actions_gated = retired_gated_;
+    for (const auto& coordinator : coordinators_) {
+      if (!coordinator) continue;
+      AddStats(result.coordinators, coordinator->stats());
+      result.actions_gated += coordinator->service().actions_gated();
+    }
+    result.audit = auditor_.report();
+    result.net = net_.stats();
+  };
+
+  while (!queue.empty()) {
+    if (++result.events_processed > config_.max_events) {
+      result.all_completed = false;  // budget blown: report, don't hang
+      finalize();
+      return result;
+    }
+    const Event event = queue.top();
+    queue.pop();
+    if (counts_as_work(event.kind)) --work_pending_;
+    if (event.kind == Event::Kind::kCoordTick) {
+      --ticks_pending[static_cast<std::size_t>(event.node)];
+    }
+    result.end_time = event.time;
+    ApplyTransitions(event.time);
+
+    switch (event.kind) {
+      case Event::Kind::kIncident: {
+        MachineState& machine = machines_[event.machine];
+        machine.sick = true;
+        machine.symptom = event.symptom;
+        // Overlapping incidents: the harder fault wins.
+        machine.cure_strength =
+            std::max(machine.cure_strength, event.cure_strength);
+        if (tracer_) {
+          tracer_->Instant("inject:incident", event.time, event.symptom,
+                           obs::kNoSpan, event.machine);
+        }
+        Event reemit;
+        reemit.kind = Event::Kind::kReemit;
+        reemit.time = event.time;
+        reemit.machine = event.machine;
+        push(std::move(reemit));
+        // Revive any tick chain that shut down at an earlier quiescence:
+        // without ticks there are no elections, and without elections a
+        // late incident would never find a leaseholder to cure it.
+        for (NodeId node = 0; node < config_.cluster_size; ++node) {
+          if (ticks_pending[static_cast<std::size_t>(node)] > 0) continue;
+          Event tick;
+          tick.kind = Event::Kind::kCoordTick;
+          tick.time = event.time;
+          tick.node = node;
+          push(std::move(tick));
+        }
+        break;
+      }
+      case Event::Kind::kReemit: {
+        const MachineState& machine = machines_[event.machine];
+        if (!machine.sick) break;  // cured: the chain ends
+        // Monitoring broadcasts the symptom to every coordinator; a down
+        // node simply misses this round.
+        for (NodeId node = 0; node < config_.cluster_size; ++node) {
+          Event deliver;
+          deliver.kind = Event::Kind::kSymptomDeliver;
+          deliver.time = event.time + config_.net_latency;
+          deliver.machine = event.machine;
+          deliver.node = node;
+          push(std::move(deliver));
+        }
+        Event next;
+        next.kind = Event::Kind::kReemit;
+        next.time = event.time + config_.reemit_interval;
+        next.machine = event.machine;
+        push(std::move(next));
+        break;
+      }
+      case Event::Kind::kSymptomDeliver: {
+        const auto node = static_cast<std::size_t>(event.node);
+        if (!net_.NodeUp(event.node) || !coordinators_[node]) break;
+        process_output(event.time,
+                       coordinators_[node]->OnSymptom(
+                           event.time, event.machine,
+                           machines_[event.machine].symptom));
+        break;
+      }
+      case Event::Kind::kCoordTick: {
+        const auto node = static_cast<std::size_t>(event.node);
+        if (net_.NodeUp(event.node) && coordinators_[node]) {
+          process_output(event.time, coordinators_[node]->Tick(event.time));
+        }
+        if (!Quiescent(event.time)) {
+          Event next;
+          next.kind = Event::Kind::kCoordTick;
+          next.time = event.time + config_.tick_interval;
+          next.node = event.node;
+          push(std::move(next));
+        }
+        break;
+      }
+      case Event::Kind::kMsgDeliver: {
+        const NodeId to = event.msg.to;
+        const auto node = static_cast<std::size_t>(to);
+        if (!net_.NodeUp(to) || !coordinators_[node]) break;  // lost
+        if (event.msg.kind == MessageKind::kVoteGrant &&
+            event.msg.candidate == to) {
+          // The grant counts (for the auditor as for the candidate) from
+          // the moment it is received.
+          auditor_.OnVoteGrant(event.time, event.msg.from,
+                               event.msg.candidate, event.msg.epoch,
+                               event.msg.expiry);
+        }
+        process_output(event.time,
+                       coordinators_[node]->Deliver(event.time, event.msg));
+        break;
+      }
+      case Event::Kind::kDispatchDeliver: {
+        const ActionDispatch& dispatch = event.dispatch;
+        if (!fence_.Admit(dispatch.machine, dispatch.epoch)) {
+          auditor_.OnStaleRejected(event.time, dispatch.machine,
+                                   dispatch.epoch);
+          ++result.stale_rejected;
+          if (stale_rejected_metric_) stale_rejected_metric_->Inc();
+          if (tracer_) {
+            tracer_->Instant("fence:reject", event.time, "", obs::kNoSpan,
+                             dispatch.machine);
+          }
+          break;
+        }
+        MachineState& machine = machines_[dispatch.machine];
+        if (machine.executing) {
+          // One action at a time; the issuer's timeout machinery (or the
+          // re-emit chain) retries once the machine frees up.
+          ++result.busy_drops;
+          break;
+        }
+        machine.executing = true;
+        auditor_.OnActionExecuted(event.time, dispatch.machine,
+                                  dispatch.epoch);
+        ++result.actions_executed;
+        result.executed.push_back(
+            {dispatch.machine, ActionIndex(dispatch.action)});
+        Event done;
+        done.kind = Event::Kind::kActionDone;
+        done.time =
+            event.time + config_.action_duration[static_cast<std::size_t>(
+                             ActionIndex(dispatch.action))];
+        done.dispatch = dispatch;
+        push(std::move(done));
+        break;
+      }
+      case Event::Kind::kActionDone: {
+        const ActionDispatch& dispatch = event.dispatch;
+        MachineState& machine = machines_[dispatch.machine];
+        machine.executing = false;
+        const bool cured = !machine.sick ||
+                           dispatch.action == RepairAction::kRma ||
+                           ActionStrength(dispatch.action) >=
+                               machine.cure_strength;
+        if (cured && machine.sick) {
+          machine.sick = false;
+          machine.cure_strength = 0;
+          ++result.cures;
+          result.cure_times.emplace_back(dispatch.machine, event.time);
+        }
+        Event report;
+        report.kind = Event::Kind::kResultDeliver;
+        report.time = event.time + config_.net_latency;
+        report.dispatch = dispatch;
+        report.healthy = cured;
+        push(std::move(report));
+        break;
+      }
+      case Event::Kind::kResultDeliver: {
+        const NodeId issuer = event.dispatch.issuer;
+        const auto node = static_cast<std::size_t>(issuer);
+        if (!net_.NodeUp(issuer) || !coordinators_[node]) {
+          // The issuer died (or was replaced by a restart): the result is
+          // lost; timeouts + re-emits rescue the process.
+          ++result.results_lost;
+          break;
+        }
+        process_output(event.time,
+                       coordinators_[node]->OnActionResult(
+                           event.time, event.dispatch.machine, event.healthy,
+                           event.dispatch.attempt));
+        break;
+      }
+    }
+  }
+
+  bool any_open = false;
+  for (const auto& [machine, state] : machines_) {
+    if (state.sick || state.executing) any_open = true;
+  }
+  result.all_completed = !any_open;
+  finalize();
+  return result;
+}
+
+}  // namespace aer::ctrl

@@ -1,0 +1,199 @@
+// ControlPlaneHarness — the deterministic simulation that closes the loop
+// around the distributed control plane: N coordinators (src/ctrl), a fleet
+// of machines with scripted incidents, and a NetPerturber (src/inject)
+// sitting on every coordinator-to-coordinator link injecting crashes,
+// restarts, partitions, and message-level faults.
+//
+// One global event queue ordered by (sim-time, FIFO seq) drives everything;
+// all randomness flows through the perturber's seeded Rng, and no RNG is
+// consumed while the probabilistic arms are off — which is why a fault-free
+// run produces byte-identical cure times and action sequences whether the
+// cluster has 1, 3, or 5 coordinators (the takeover-determinism suite).
+//
+// Machine model: a machine executes at most one repair action at a time
+// (concurrent dispatches are dropped as busy), checks every action's epoch
+// against the highest it has executed under (fencing; stale actions are
+// rejected and audited), and reports each result only to the action's
+// issuer — a crashed or deposed issuer simply never hears it, and the
+// manager's timeout/N-cap machinery plus the symptom re-emit chain are what
+// rescue the process, exactly as in the event-level InjectionHarness.
+//
+// Termination is provable, not hopeful: RMA always cures, the N-cap forces
+// it eventually, re-emits re-detect anything lost, leaders poll timeouts
+// every tick, and a hard event budget converts any residual loop into a
+// reported failure (all_completed = false) instead of a hang. Ticks shut
+// down once the fleet is healthy, no work is in flight, and no open or
+// replicated process remains unowned, so the queue drains on its own.
+#ifndef AER_CTRL_HARNESS_H_
+#define AER_CTRL_HARNESS_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "ctrl/auditor.h"
+#include "ctrl/coordinator.h"
+#include "ctrl/fence.h"
+#include "ctrl/message.h"
+#include "inject/net_perturber.h"
+
+namespace aer::ctrl {
+
+// One scripted fleet failure, same shape as the event-level harness's: at
+// `time`, `machine` falls sick with `symptom` until an action of index
+// >= `cure_strength` executes (RMA always cures).
+struct ControlIncident {
+  SimTime time = 0;
+  MachineId machine = 0;
+  std::string symptom;
+  int cure_strength = 0;
+};
+
+struct ControlHarnessConfig {
+  int cluster_size = 3;
+  SimTime tick_interval = 5;
+  // One-way latency for every hop (coordinator<->coordinator via the
+  // perturber, monitoring->coordinator, coordinator->machine).
+  SimTime net_latency = 1;
+  SimTime reemit_interval = 15 * 60;
+  std::array<SimTime, kNumActions> action_duration = {60, 900, 2 * kHour,
+                                                      8 * kHour};
+  std::size_t max_events = 2'000'000;
+  CoordinatorConfig coordinator;
+  // Message-level injection arms + seed; scripted crashes/partitions come
+  // from the NetFaultScript passed to Run().
+  NetPerturbConfig net;
+
+  // Scripted dispatch delays: the dispatch_index-th dispatch of the run
+  // (0-based, dispatch_log order) is delivered `delay` seconds late. This
+  // is the deterministic lever for overlapping an old leader's in-flight
+  // action with its successor's epoch — the scenario fencing exists for.
+  struct DispatchDelay {
+    std::int64_t dispatch_index = 0;
+    SimTime delay = 0;
+  };
+  std::vector<DispatchDelay> dispatch_delays;
+};
+
+// Where and when one action actually ran — the cross-cluster-size
+// determinism surface ((machine, action) only; epochs differ by design
+// when faults differ).
+struct ExecutedAction {
+  MachineId machine = 0;
+  int action = 0;  // ActionIndex
+  friend bool operator==(const ExecutedAction&,
+                         const ExecutedAction&) = default;
+};
+
+// Every dispatch that left a coordinator, for post-hoc assertions (e.g. "the
+// isolated minority issued nothing after its lease expired").
+struct DispatchRecord {
+  SimTime time = 0;
+  NodeId issuer = kNoNode;
+  Epoch epoch = 0;
+  MachineId machine = 0;
+  int action = 0;
+  friend bool operator==(const DispatchRecord&,
+                         const DispatchRecord&) = default;
+};
+
+struct ControlHarnessResult {
+  bool all_completed = false;
+  std::int64_t incidents = 0;
+  std::int64_t cures = 0;
+  SimTime end_time = 0;
+  std::size_t events_processed = 0;
+
+  // Safety: recomputed by the independent auditor from the event stream.
+  InvariantAuditor::Report audit;
+
+  // Machine-side accounting.
+  std::int64_t actions_dispatched = 0;
+  std::int64_t actions_executed = 0;
+  std::int64_t busy_drops = 0;
+  std::int64_t stale_rejected = 0;  // fence refusals (== audit evidence)
+  std::int64_t results_lost = 0;    // issuer was down at result delivery
+
+  // Control-plane accounting, summed across every coordinator incarnation.
+  Coordinator::Stats coordinators;
+  std::int64_t actions_gated = 0;
+  NetPerturber::Stats net;
+
+  // Determinism surfaces (execution order).
+  std::vector<ExecutedAction> executed;
+  std::vector<std::pair<MachineId, SimTime>> cure_times;
+  std::vector<DispatchRecord> dispatch_log;
+};
+
+class ControlPlaneHarness {
+ public:
+  // `policy` must outlive the harness and is shared by every coordinator's
+  // manager (so a GuardedPolicy's breaker state survives takeovers, same as
+  // a shared policy service would). `manager_config.action_timeout` must be
+  // > 0 whenever the script crashes nodes: a lost result is otherwise
+  // unrecoverable.
+  ControlPlaneHarness(RecoveryPolicy& policy,
+                      RecoveryManagerConfig manager_config,
+                      ControlHarnessConfig config, NetFaultScript script);
+
+  // Attaches sinks (either may be null; both must outlive the harness) to
+  // the perturber and every coordinator (including ones recreated after a
+  // scripted restart).
+  void SetObservers(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
+  // Runs all incidents to quiescence (or the event budget). Callable once.
+  ControlHarnessResult Run(const std::vector<ControlIncident>& incidents);
+
+  // Post-run inspection; null while the node is crashed.
+  const Coordinator* coordinator(NodeId node) const {
+    return coordinators_[static_cast<std::size_t>(node)].get();
+  }
+  const InvariantAuditor& auditor() const { return auditor_; }
+
+ private:
+  struct MachineState {
+    bool sick = false;
+    int cure_strength = 0;
+    std::string symptom;
+    bool executing = false;
+  };
+
+  struct Event;
+
+  void ApplyTransitions(SimTime now);
+  bool Quiescent(SimTime now) const;
+
+  // Recovery-related events currently scheduled (incidents, re-emits,
+  // symptom deliveries, dispatches, executions, results): while any exist,
+  // tick chains must stay alive. Protocol traffic (heartbeats, votes,
+  // replication) deliberately does not count — a leader's own renewal round
+  // is always in flight at tick time, so counting it would keep the ticks
+  // alive forever; in-flight protocol messages drain harmlessly after the
+  // ticks stop.
+  std::int64_t work_pending_ = 0;
+
+  const RecoveryManagerConfig manager_config_;
+  const ControlHarnessConfig config_;
+  RecoveryPolicy& policy_;
+  NetPerturber net_;
+  FenceRegistry fence_;
+  InvariantAuditor auditor_;
+  std::vector<std::unique_ptr<Coordinator>> coordinators_;
+  std::vector<VoterRecord> durable_;  // survives each node's crashes
+  std::unordered_map<MachineId, MachineState> machines_;
+  // Stats of coordinator incarnations already destroyed by a crash.
+  Coordinator::Stats retired_stats_;
+  std::int64_t retired_gated_ = 0;
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* stale_rejected_metric_ = nullptr;
+};
+
+}  // namespace aer::ctrl
+
+#endif  // AER_CTRL_HARNESS_H_

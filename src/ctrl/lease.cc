@@ -1,0 +1,110 @@
+#include "ctrl/lease.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+
+namespace aer::ctrl {
+
+LeaseTable::LeaseTable(int cluster_size, LeaseConfig config,
+                       VoterRecord durable)
+    : cluster_size_(cluster_size), config_(config), voter_(durable) {
+  AER_CHECK_GT(cluster_size, 0);
+  AER_CHECK_GT(config_.lease_duration, 0);
+  max_seen_ = voter_.voted_epoch;
+}
+
+bool LeaseTable::Grant(SimTime now, Epoch epoch, NodeId candidate,
+                       SimTime* expiry) {
+  MutexLock lock(mu_);
+  max_seen_ = std::max(max_seen_, epoch);
+  if (epoch < voter_.voted_epoch) return false;  // fenced: older token
+  if (candidate != voter_.voted_for && voter_.voted_for != kNoNode) {
+    // A different candidate: refuse while the prior promise is still live.
+    if (now < voter_.promised_until) return false;
+    // Within one epoch a voter is bound to its first candidate forever —
+    // two leaseholders in one epoch would break the ≤1-per-epoch invariant.
+    if (epoch == voter_.voted_epoch) return false;
+  }
+  voter_.voted_epoch = epoch;
+  voter_.voted_for = candidate;
+  voter_.promised_until = now + config_.lease_duration;
+  if (expiry != nullptr) *expiry = voter_.promised_until;
+  return true;
+}
+
+VoterRecord LeaseTable::durable() const {
+  MutexLock lock(mu_);
+  return voter_;
+}
+
+void LeaseTable::StartCandidacy(Epoch epoch) {
+  MutexLock lock(mu_);
+  max_seen_ = std::max(max_seen_, epoch);
+  if (holding_epoch_ == epoch) return;  // renewal: keep existing grants
+  holding_epoch_ = epoch;
+  grants_.clear();
+}
+
+void LeaseTable::RecordGrant(SimTime now, NodeId voter, Epoch epoch,
+                             SimTime expiry) {
+  MutexLock lock(mu_);
+  max_seen_ = std::max(max_seen_, epoch);
+  if (epoch != holding_epoch_) return;  // stale election's grant
+  if (expiry <= now) return;
+  SimTime& slot = grants_[voter];
+  slot = std::max(slot, expiry);
+}
+
+void LeaseTable::ClearGrants() {
+  MutexLock lock(mu_);
+  grants_.clear();
+  holding_epoch_ = 0;
+}
+
+Epoch LeaseTable::holding_epoch() const {
+  MutexLock lock(mu_);
+  return holding_epoch_;
+}
+
+bool LeaseTable::HoldsLeaseLocked(SimTime now) const {
+  return LeaseExpiryLocked() > now;
+}
+
+SimTime LeaseTable::LeaseExpiryLocked() const {
+  const int majority = cluster_size_ / 2 + 1;
+  if (holding_epoch_ == 0 ||
+      static_cast<int>(grants_.size()) < majority) {
+    return 0;
+  }
+  // The lease lives while a majority of promises are unexpired: it lapses
+  // at the majority-th largest per-voter expiry.
+  std::vector<SimTime> expiries;
+  expiries.reserve(grants_.size());
+  for (const auto& [voter, expiry] : grants_) expiries.push_back(expiry);
+  std::sort(expiries.begin(), expiries.end(), std::greater<SimTime>());
+  return expiries[static_cast<std::size_t>(majority - 1)];
+}
+
+bool LeaseTable::HoldsLease(SimTime now) const {
+  MutexLock lock(mu_);
+  return HoldsLeaseLocked(now);
+}
+
+SimTime LeaseTable::LeaseExpiry() const {
+  MutexLock lock(mu_);
+  return LeaseExpiryLocked();
+}
+
+Epoch LeaseTable::max_seen_epoch() const {
+  MutexLock lock(mu_);
+  return max_seen_;
+}
+
+void LeaseTable::ObserveEpoch(Epoch epoch) {
+  MutexLock lock(mu_);
+  max_seen_ = std::max(max_seen_, epoch);
+}
+
+}  // namespace aer::ctrl

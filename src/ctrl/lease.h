@@ -1,0 +1,115 @@
+// LeaseTable — both halves of quorum leasing, per coordinator:
+//
+//   Voter side: a time-bounded promise. Granting a vote for (epoch,
+//   candidate) promises not to vote for any *other* candidate until the
+//   promise expires, and never to grant an older epoch again. Re-granting
+//   the same (epoch, candidate) extends the promise — that is how a leader
+//   renews without bumping its fencing token.
+//
+//   Holder side: the grants a candidate has collected. It holds the lease
+//   while a majority of the *static* cluster size has granted its epoch
+//   with unexpired promises; the lease expires at the majority-th largest
+//   per-voter expiry, so losing contact with voters makes the lease lapse
+//   by itself — the isolated leader must stop issuing actions before any
+//   peer can be granted a newer epoch (docs/CONTROL_PLANE.md).
+//
+// The voted-epoch/voted-for pair is the durable part of a coordinator: it
+// survives crash+restart (the harness hands it back to the reborn node) so
+// a rebooted voter cannot double-promise within one window.
+//
+// Thread safety: all state is guarded by an aer::Mutex. The *Locked()
+// accessors are exposed (with the mutex) for callers that batch reads under
+// one acquisition; tests/negative_compile/lease_table_unguarded.cc proves
+// the analyzer rejects calling them without the lock.
+#ifndef AER_CTRL_LEASE_H_
+#define AER_CTRL_LEASE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/mutex.h"
+#include "common/sim_time.h"
+#include "common/thread_annotations.h"
+#include "ctrl/message.h"
+
+namespace aer::ctrl {
+
+struct LeaseConfig {
+  // One promise / one acquired lease lasts this long from grant time.
+  SimTime lease_duration = 30;
+};
+
+// The durable voter record: what must survive a coordinator crash.
+struct VoterRecord {
+  Epoch voted_epoch = 0;
+  NodeId voted_for = kNoNode;
+  SimTime promised_until = 0;
+  friend bool operator==(const VoterRecord&, const VoterRecord&) = default;
+};
+
+class LeaseTable {
+ public:
+  // `cluster_size` fixes the quorum: majority = cluster_size / 2 + 1.
+  // `durable` restores the voter promise saved before a crash (empty record
+  // for a first boot).
+  LeaseTable(int cluster_size, LeaseConfig config, VoterRecord durable);
+
+  // ---- Voter side ------------------------------------------------------
+  // Decides a VoteRequest for (epoch, candidate). On grant, returns the
+  // promise expiry through *expiry and persists the new voter record.
+  bool Grant(SimTime now, Epoch epoch, NodeId candidate, SimTime* expiry);
+
+  // The record the harness must persist across this node's crashes.
+  VoterRecord durable() const;
+
+  // ---- Holder side -----------------------------------------------------
+  // Opens (or re-opens) a candidacy at `epoch`: subsequent grants for that
+  // epoch accumulate toward quorum. Starting a different epoch drops all
+  // collected grants.
+  void StartCandidacy(Epoch epoch);
+
+  // Records a VoteGrant received for our candidacy at `epoch`. Grants for
+  // other epochs (stale elections) are ignored.
+  void RecordGrant(SimTime now, NodeId voter, Epoch epoch, SimTime expiry);
+
+  // Abandons all collected grants (on step-down or when starting a new
+  // election); the voter-side promise is untouched.
+  void ClearGrants();
+
+  // The epoch our current grant set is for (0 = none).
+  Epoch holding_epoch() const;
+
+  bool HoldsLease(SimTime now) const;
+
+  // When the currently-held lease lapses (0 when no quorum was ever
+  // assembled). A leader must stop issuing strictly before this time.
+  SimTime LeaseExpiry() const;
+
+  // Largest epoch seen anywhere (requests, grants); new elections bid
+  // max_seen_epoch() + 1.
+  Epoch max_seen_epoch() const;
+  void ObserveEpoch(Epoch epoch);
+
+  // ---- Locked API (batch reads under one acquisition) ------------------
+  Mutex& mu() const AER_RETURN_CAPABILITY(mu_) { return mu_; }
+  bool HoldsLeaseLocked(SimTime now) const AER_REQUIRES(mu_);
+  SimTime LeaseExpiryLocked() const AER_REQUIRES(mu_);
+  Epoch holding_epoch_locked() const AER_REQUIRES(mu_) {
+    return holding_epoch_;
+  }
+
+ private:
+  const int cluster_size_;
+  const LeaseConfig config_;
+
+  mutable Mutex mu_;
+  VoterRecord voter_ AER_GUARDED_BY(mu_);
+  Epoch max_seen_ AER_GUARDED_BY(mu_) = 0;
+  Epoch holding_epoch_ AER_GUARDED_BY(mu_) = 0;
+  // voter id -> promise expiry, for holding_epoch_ only.
+  std::unordered_map<NodeId, SimTime> grants_ AER_GUARDED_BY(mu_);
+};
+
+}  // namespace aer::ctrl
+
+#endif  // AER_CTRL_LEASE_H_

@@ -1,0 +1,92 @@
+#include "ctrl/membership.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace aer::ctrl {
+
+MembershipTable::MembershipTable(NodeId self, int cluster_size,
+                                 MembershipConfig config)
+    : self_(self), cluster_size_(cluster_size), config_(config) {
+  AER_CHECK_GE(self, 0);
+  AER_CHECK_LT(self, cluster_size);
+  AER_CHECK_GT(config_.suspect_after, 0);
+  AER_CHECK_GE(config_.evict_after, config_.suspect_after);
+}
+
+void MembershipTable::RecordHeartbeat(SimTime now, NodeId peer) {
+  if (peer == self_) return;
+  MutexLock lock(mu_);
+  NoteTransitionsLocked(now);
+  last_heard_[peer] = now;
+  counted_[peer] = PeerState::kAlive;  // a fresh episode counts again
+}
+
+PeerState MembershipTable::StateOfLocked(SimTime now, NodeId peer) const {
+  if (peer == self_) return PeerState::kAlive;
+  const auto it = last_heard_.find(peer);
+  const SimTime last = it == last_heard_.end() ? 0 : it->second;
+  const SimTime silent = now - last;
+  if (silent >= config_.evict_after) return PeerState::kEvicted;
+  if (silent >= config_.suspect_after) return PeerState::kSuspect;
+  return PeerState::kAlive;
+}
+
+void MembershipTable::NoteTransitionsLocked(SimTime now) const {
+  for (NodeId peer = 0; peer < cluster_size_; ++peer) {
+    if (peer == self_) continue;
+    const PeerState state = StateOfLocked(now, peer);
+    const auto it = counted_.find(peer);
+    const PeerState counted =
+        it == counted_.end() ? PeerState::kAlive : it->second;
+    if (state == PeerState::kSuspect && counted == PeerState::kAlive) {
+      ++suspicions_;
+      counted_[peer] = PeerState::kSuspect;
+    } else if (state == PeerState::kEvicted &&
+               counted != PeerState::kEvicted) {
+      if (counted == PeerState::kAlive) ++suspicions_;  // skipped straight by
+      ++evictions_;
+      counted_[peer] = PeerState::kEvicted;
+    }
+  }
+}
+
+PeerState MembershipTable::StateOf(SimTime now, NodeId peer) const {
+  MutexLock lock(mu_);
+  NoteTransitionsLocked(now);
+  return StateOfLocked(now, peer);
+}
+
+std::vector<NodeId> MembershipTable::Alive(SimTime now) const {
+  MutexLock lock(mu_);
+  NoteTransitionsLocked(now);
+  std::vector<NodeId> alive;
+  for (NodeId peer = 0; peer < cluster_size_; ++peer) {
+    if (StateOfLocked(now, peer) == PeerState::kAlive) alive.push_back(peer);
+  }
+  return alive;
+}
+
+bool MembershipTable::IsPreferredCandidate(SimTime now) const {
+  const std::vector<NodeId> alive = Alive(now);
+  return !alive.empty() && alive.front() == self_;
+}
+
+void MembershipTable::Reset() {
+  MutexLock lock(mu_);
+  last_heard_.clear();
+  counted_.clear();
+}
+
+std::int64_t MembershipTable::suspicions() const {
+  MutexLock lock(mu_);
+  return suspicions_;
+}
+
+std::int64_t MembershipTable::evictions() const {
+  MutexLock lock(mu_);
+  return evictions_;
+}
+
+}  // namespace aer::ctrl

@@ -1,0 +1,82 @@
+// MembershipTable — one coordinator's failure-detector view of its peers,
+// driven entirely by heartbeat arrival times on the simulated clock.
+//
+// A peer that has not been heard from for `suspect_after` is *suspected*
+// (it no longer counts as alive for candidate selection); one silent for
+// `evict_after` is *evicted* and stays out of the view until a fresh
+// heartbeat re-admits it (a restarted coordinator rejoins by simply
+// heartbeating again). Deadlines are deterministic functions of the last
+// heartbeat time, so every coordinator at the same sim-time with the same
+// message history computes the same view.
+//
+// Thread safety: all state is guarded by an internal aer::Mutex
+// (docs/STATIC_ANALYSIS.md); the control plane's event loop is
+// single-threaded today, but the annotations keep the -Werror=thread-safety
+// leg authoritative over every new ctrl component from day one.
+#ifndef AER_CTRL_MEMBERSHIP_H_
+#define AER_CTRL_MEMBERSHIP_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/sim_time.h"
+#include "common/thread_annotations.h"
+#include "ctrl/message.h"
+
+namespace aer::ctrl {
+
+struct MembershipConfig {
+  SimTime suspect_after = 15;  // missed ~3 default heartbeat intervals
+  SimTime evict_after = 60;
+};
+
+enum class PeerState : int { kAlive = 0, kSuspect = 1, kEvicted = 2 };
+
+class MembershipTable {
+ public:
+  // `self` is always alive in its own view and needs no heartbeats.
+  MembershipTable(NodeId self, int cluster_size, MembershipConfig config);
+
+  void RecordHeartbeat(SimTime now, NodeId peer);
+
+  PeerState StateOf(SimTime now, NodeId peer) const;
+
+  // Every node currently alive in this view (self included), ascending id.
+  std::vector<NodeId> Alive(SimTime now) const;
+
+  // True if `self` has the lowest id among the nodes it believes alive —
+  // the deterministic candidate-selection rule (docs/CONTROL_PLANE.md).
+  bool IsPreferredCandidate(SimTime now) const;
+
+  // Forgets everything heard so far (coordinator restart: the failure
+  // detector's memory is volatile).
+  void Reset();
+
+  std::int64_t suspicions() const;
+  std::int64_t evictions() const;
+
+ private:
+  PeerState StateOfLocked(SimTime now, NodeId peer) const AER_REQUIRES(mu_);
+  // Counts each peer's suspect/evict transition once per silence episode.
+  void NoteTransitionsLocked(SimTime now) const AER_REQUIRES(mu_);
+
+  const NodeId self_;
+  const int cluster_size_;
+  const MembershipConfig config_;
+
+  mutable Mutex mu_;
+  // Last heartbeat arrival per peer; absent = never heard from, treated as
+  // last heard at time 0 (a fresh view gives every peer one suspect window
+  // of grace before writing it off — deterministic at every node).
+  std::unordered_map<NodeId, SimTime> last_heard_ AER_GUARDED_BY(mu_);
+  // Furthest state already counted per peer, for the transition counters.
+  mutable std::unordered_map<NodeId, PeerState> counted_ AER_GUARDED_BY(mu_);
+  mutable std::int64_t suspicions_ AER_GUARDED_BY(mu_) = 0;
+  mutable std::int64_t evictions_ AER_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace aer::ctrl
+
+#endif  // AER_CTRL_MEMBERSHIP_H_

@@ -1,0 +1,58 @@
+// Control-plane wire format: the messages coordinators exchange over the
+// (simulated, injectable) network. Everything a coordinator knows about its
+// peers arrives through these — there is no shared memory between
+// coordinators, which is what makes the partition arms in
+// docs/CONTROL_PLANE.md meaningful.
+#ifndef AER_CTRL_MESSAGE_H_
+#define AER_CTRL_MESSAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "core/recovery_manager.h"
+
+namespace aer::ctrl {
+
+// Dense coordinator id, 0..cluster_size-1. Distinct from MachineId: the
+// fleet's machines are not control-plane members.
+using NodeId = int;
+inline constexpr NodeId kNoNode = -1;
+
+// Lease epochs are fencing tokens: strictly monotonic per leadership change,
+// carried on every repair action, checked by every machine.
+using Epoch = std::uint64_t;
+
+enum class MessageKind : int {
+  kHeartbeat = 0,     // membership liveness (every node, every tick)
+  kVoteRequest = 1,   // lease acquisition or renewal for (epoch, candidate)
+  kVoteGrant = 2,     // one voter's time-bounded promise
+  kReplicate = 3,     // leader -> follower open-process snapshot
+};
+
+struct Message {
+  MessageKind kind = MessageKind::kHeartbeat;
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  SimTime sent_at = 0;
+
+  // kHeartbeat / kVoteRequest / kVoteGrant / kReplicate: the sender's view
+  // of the current epoch (heartbeats gossip it so a rejoining node catches
+  // up without waiting for an election to fail).
+  Epoch epoch = 0;
+
+  // kVoteRequest: candidate == from. kVoteGrant: who the grant is for.
+  NodeId candidate = kNoNode;
+  // kVoteGrant: the promise expires at this sim-time; the grant is the
+  // voter's word that it will not vote for anyone else before then.
+  SimTime expiry = 0;
+
+  // kReplicate payload: the leader's full open-process state plus a
+  // version (bumped every publication) so followers keep only the newest.
+  std::uint64_t snapshot_version = 0;
+  std::vector<OpenProcessSnapshot> snapshot;
+};
+
+}  // namespace aer::ctrl
+
+#endif  // AER_CTRL_MESSAGE_H_

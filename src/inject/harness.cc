@@ -30,6 +30,10 @@ struct Event {
   bool report_healthy = false;
   bool actually_cured = false;
   int epoch = 0;
+  // kDeliver payload for delayed deliveries: events_processed at scheduling
+  // time, so arrival can compute how many events overtook this one (-1 for
+  // on-time deliveries).
+  std::int64_t scheduled_after = -1;
 };
 
 struct EventLater {
@@ -83,6 +87,7 @@ void InjectionHarness::SetObservers(obs::Tracer* tracer,
   obs_.hangs = &metrics->GetCounter("aer_inject_hangs_total");
   obs_.false_successes =
       &metrics->GetCounter("aer_inject_false_successes_total");
+  obs_.reorder_depth = &metrics->GetStat("aer_inject_reorder_depth");
 }
 
 HarnessResult InjectionHarness::Run(
@@ -129,6 +134,8 @@ HarnessResult InjectionHarness::Run(
     e.time = now;
     if (rng.NextBool(config_.delay_event)) {
       e.time += rng.NextInt(1, config_.max_delay);
+      e.scheduled_after =
+          static_cast<std::int64_t>(result.events_processed);
       ++result.events_delayed;
       if (obs_.delayed) obs_.delayed->Inc();
       if (tracer_) tracer_->Instant("inject:delay", now, symptom, obs::kNoSpan, machine);
@@ -245,6 +252,18 @@ HarnessResult InjectionHarness::Run(
       }
       case EventKind::kDeliver: {
         MachineState& state = machines_[event.machine];
+        if (event.scheduled_after >= 0) {
+          // Events processed between this delayed report's emission and its
+          // arrival all overtook it: the reorder depth the manager absorbed.
+          const std::int64_t depth =
+              static_cast<std::int64_t>(result.events_processed) -
+              event.scheduled_after - 1;
+          result.reorder_depth_max = std::max(result.reorder_depth_max, depth);
+          result.reorder_depth_sum += depth;
+          if (obs_.reorder_depth) {
+            obs_.reorder_depth->Observe(static_cast<double>(depth));
+          }
+        }
         manager_.OnSymptom(event.time, event.machine, state.symptom);
         drive(event.time, event.machine);
         schedule_poll(event.time);

@@ -81,6 +81,13 @@ struct HarnessResult {
   std::int64_t hangs_injected = 0;
   std::int64_t false_successes_injected = 0;
 
+  // Reorder depth of delayed deliveries: how many other events ran between a
+  // delayed report's emission and its (late) arrival — the depth of
+  // out-of-order traffic the manager had to absorb. Mirrored per delivery
+  // into the aer_inject_reorder_depth stat metric.
+  std::int64_t reorder_depth_max = 0;
+  std::int64_t reorder_depth_sum = 0;
+
   SimTime end_time = 0;
   std::size_t events_processed = 0;
   RecoveryManager::Stats manager;
@@ -141,6 +148,7 @@ class InjectionHarness {
     obs::Counter* delayed = nullptr;
     obs::Counter* hangs = nullptr;
     obs::Counter* false_successes = nullptr;
+    obs::StatMetric* reorder_depth = nullptr;
   };
   ObsMetrics obs_;
 };

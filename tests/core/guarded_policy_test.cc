@@ -155,6 +155,75 @@ TEST(GuardedPolicyTest, ProcessKeepsItsPolicyAcrossATrip) {
   EXPECT_EQ(guard.ChooseAction(MakeContext(3, 60, 60)), Y);
 }
 
+TEST(GuardedPolicyTest, HalfOpenServesExactlyProbationCompletions) {
+  FixedPolicy primary(B);
+  FixedPolicy fallback(Y);
+  GuardedPolicyConfig config;
+  config.window = 1;
+  config.baseline_mean_downtime = 100.0;
+  config.probation = 3;
+  GuardedPolicy guard(primary, fallback, config);
+
+  CompleteProcess(guard, 1, 1000);  // trips (window of 1)
+  ASSERT_TRUE(guard.using_fallback());
+  // probation - 1 completions are not enough to half-open...
+  CompleteProcess(guard, 2, 50);
+  CompleteProcess(guard, 3, 50);
+  EXPECT_TRUE(guard.using_fallback());
+  // ...the probation-th exactly is.
+  CompleteProcess(guard, 4, 50);
+  EXPECT_FALSE(guard.using_fallback());
+}
+
+TEST(GuardedPolicyTest, RetripsExactlyWhenFreshWindowFillsAfterHalfOpen) {
+  FixedPolicy primary(B);
+  FixedPolicy fallback(Y);
+  GuardedPolicyConfig config;
+  config.window = 2;
+  config.regression_ratio = 1.5;
+  config.baseline_mean_downtime = 100.0;
+  config.probation = 1;
+  GuardedPolicy guard(primary, fallback, config);
+
+  CompleteProcess(guard, 1, 400);
+  CompleteProcess(guard, 2, 400);
+  ASSERT_TRUE(guard.using_fallback());
+  ASSERT_EQ(guard.stats().breaker_trips, 1);
+  CompleteProcess(guard, 3, 50);  // serves the 1-completion probation
+  ASSERT_FALSE(guard.using_fallback());
+
+  // Half-open granted the primary a *fresh* window: a regressed completion
+  // inside the window (window - 1 samples) must not re-trip...
+  CompleteProcess(guard, 4, 400);
+  EXPECT_FALSE(guard.using_fallback());
+  EXPECT_EQ(guard.stats().breaker_trips, 1);
+  // ...and the completion that fills the window exactly must.
+  CompleteProcess(guard, 5, 400);
+  EXPECT_TRUE(guard.using_fallback());
+  EXPECT_EQ(guard.stats().breaker_trips, 2);
+}
+
+TEST(GuardedPolicyTest, MeanExactlyAtRegressionBoundaryDoesNotTrip) {
+  FixedPolicy primary(B);
+  FixedPolicy fallback(Y);
+  GuardedPolicyConfig config;
+  config.window = 2;
+  config.regression_ratio = 1.5;
+  config.baseline_mean_downtime = 100.0;
+  GuardedPolicy guard(primary, fallback, config);
+
+  // Mean == ratio * baseline sits on the boundary: strictly-greater is the
+  // trip condition, so this must stay closed.
+  CompleteProcess(guard, 1, 150);
+  CompleteProcess(guard, 2, 150);
+  EXPECT_FALSE(guard.using_fallback());
+  EXPECT_EQ(guard.stats().breaker_trips, 0);
+  // One sample past the boundary slides the mean strictly above: trip.
+  CompleteProcess(guard, 3, 200);
+  EXPECT_TRUE(guard.using_fallback());
+  EXPECT_EQ(guard.stats().breaker_trips, 1);
+}
+
 TEST(GuardedPolicyTest, OutcomeFeedbackRoutedToDecidingPolicy) {
   // An OnlinePolicy-style learner must only see outcomes of its own
   // decisions; use counting fallbacks to observe the routing.

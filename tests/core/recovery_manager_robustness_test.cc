@@ -196,6 +196,111 @@ TEST(RecoveryManagerRobustnessTest, HistoryIsEvictedAfterRetention) {
   EXPECT_GT(manager.stats().history_evictions, 0);
 }
 
+TEST(RecoveryManagerRobustnessTest, ExportSnapshotsOpenProcessesInOrder) {
+  UserDefinedPolicy policy;
+  RecoveryManager manager(policy);
+  for (MachineId m : {5, 2, 9}) {
+    manager.OnSymptom(10, m, "s");
+    manager.OnRecoveryNeeded(20, m);
+  }
+  // Machine 2 completes: only still-open processes are exported.
+  manager.OnActionResult(30, 2, /*healthy=*/true);
+
+  const auto snapshots = manager.ExportOpenProcesses();
+  ASSERT_EQ(snapshots.size(), 2u);
+  EXPECT_EQ(snapshots[0].machine, 5);
+  EXPECT_EQ(snapshots[1].machine, 9);
+  EXPECT_EQ(snapshots[0].symptom, "s");
+  EXPECT_EQ(snapshots[0].tried, std::vector<RepairAction>{Y});
+}
+
+TEST(RecoveryManagerRobustnessTest, AdoptResumesAttemptHistory) {
+  // Leader-side manager works two attempts into a process...
+  UserDefinedPolicy policy_a;
+  RecoveryManager leader(policy_a);
+  leader.OnSymptom(0, 7, "s");
+  EXPECT_EQ(*leader.OnRecoveryNeeded(10, 7), Y);
+  leader.OnActionResult(20, 7, /*healthy=*/false);
+  EXPECT_EQ(*leader.OnRecoveryNeeded(20, 7), B);
+  leader.OnActionResult(30, 7, /*healthy=*/false);
+  const auto snapshots = leader.ExportOpenProcesses();
+  ASSERT_EQ(snapshots.size(), 1u);
+
+  // ...and the takeover manager resumes at attempt 3, not attempt 1: the
+  // user ladder grants reboot two tries, so the next action is the second
+  // reboot — never a restarted kTryNop.
+  UserDefinedPolicy policy_b;
+  RecoveryManager follower(policy_b);
+  EXPECT_TRUE(follower.AdoptProcess(40, snapshots[0]));
+  EXPECT_EQ(follower.stats().processes_adopted, 1);
+  EXPECT_EQ(follower.ActionsTried(7), 2);
+  EXPECT_EQ(*follower.OnRecoveryNeeded(50, 7), B);
+  follower.OnActionResult(60, 7, /*healthy=*/true);
+  EXPECT_EQ(follower.stats().processes_completed, 1);
+}
+
+TEST(RecoveryManagerRobustnessTest, AdoptRefusesAnAlreadyOpenProcess) {
+  UserDefinedPolicy policy;
+  RecoveryManager manager(policy);
+  manager.OnSymptom(0, 7, "s");
+  manager.OnRecoveryNeeded(10, 7);
+  const auto snapshots = manager.ExportOpenProcesses();
+  ASSERT_EQ(snapshots.size(), 1u);
+  EXPECT_FALSE(manager.AdoptProcess(20, snapshots[0]));
+  EXPECT_EQ(manager.stats().processes_adopted, 0);
+  EXPECT_EQ(manager.ActionsTried(7), 1);
+}
+
+TEST(RecoveryManagerRobustnessTest, AdoptedAttemptsCountTowardTheNCap) {
+  UserDefinedPolicy policy_a;
+  RecoveryManager leader(policy_a);
+  leader.OnSymptom(0, 7, "s");
+  leader.OnRecoveryNeeded(10, 7);
+  leader.OnActionResult(20, 7, /*healthy=*/false);
+  leader.OnRecoveryNeeded(20, 7);
+
+  UserDefinedPolicy policy_b;
+  RecoveryManagerConfig config;
+  config.max_actions_per_process = 3;
+  RecoveryManager follower(policy_b, config);
+  ASSERT_TRUE(follower.AdoptProcess(30, leader.ExportOpenProcesses()[0]));
+  // Two adopted attempts burned two of three: the cap forces RMA now.
+  EXPECT_EQ(*follower.OnRecoveryNeeded(40, 7), A);
+  EXPECT_EQ(follower.stats().manual_repairs_forced, 1);
+}
+
+TEST(RecoveryManagerRobustnessTest, AdoptResetsInFlightState) {
+  // The snapshot is taken while an action is in flight on the old leader;
+  // the adopter must not inherit that deadline (the result will never reach
+  // it) — only its own next dispatch starts a timeout clock.
+  UserDefinedPolicy policy_a;
+  RecoveryManager leader(policy_a);
+  leader.OnSymptom(0, 7, "s");
+  leader.OnRecoveryNeeded(10, 7);  // in flight at export time
+
+  UserDefinedPolicy policy_b;
+  RecoveryManagerConfig config;
+  config.action_timeout = 100;
+  RecoveryManager follower(policy_b, config);
+  ASSERT_TRUE(follower.AdoptProcess(20, leader.ExportOpenProcesses()[0]));
+  EXPECT_TRUE(follower.PollTimeouts(100000).empty());
+  EXPECT_EQ(*follower.OnRecoveryNeeded(30, 7), B);
+  ASSERT_EQ(follower.PollTimeouts(130).size(), 1u);
+}
+
+TEST(RecoveryManagerRobustnessTest, AdoptCarriesQuarantineAcrossTakeover) {
+  UserDefinedPolicy policy;
+  RecoveryManager manager(policy);
+  OpenProcessSnapshot snapshot;
+  snapshot.machine = 7;
+  snapshot.start = 0;
+  snapshot.symptom = "flappy";
+  snapshot.quarantined = true;
+  ASSERT_TRUE(manager.AdoptProcess(10, snapshot));
+  EXPECT_TRUE(manager.IsQuarantined(7));
+  EXPECT_EQ(*manager.OnRecoveryNeeded(20, 7), A);
+}
+
 TEST(RecoveryManagerRobustnessTest, RecentHistorySurvivesEviction) {
   UserDefinedPolicy policy;
   RecoveryManagerConfig config;

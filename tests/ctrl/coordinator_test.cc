@@ -1,0 +1,185 @@
+// Coordinator protocol unit tests: message-level election, the lease gate
+// on the recovery surface, result correlation, and takeover-resume via
+// replicated snapshots — all by shuttling messages by hand, no harness.
+#include "ctrl/coordinator.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/user_policy.h"
+
+namespace aer::ctrl {
+namespace {
+
+RecoveryManagerConfig ManagerConfig() {
+  RecoveryManagerConfig config;
+  config.action_timeout = 600;
+  return config;
+}
+
+// Delivers every message in `out` addressed to `node`, returning the
+// node's combined output.
+CoordinatorOutput DeliverAll(Coordinator& node, SimTime now,
+                             const CoordinatorOutput& out) {
+  CoordinatorOutput combined;
+  for (const Message& message : out.messages) {
+    if (message.to != node.id()) continue;
+    CoordinatorOutput one = node.Deliver(now, message);
+    for (Message& m : one.messages) combined.messages.push_back(std::move(m));
+    for (const ActionDispatch& d : one.dispatches) {
+      combined.dispatches.push_back(d);
+    }
+  }
+  return combined;
+}
+
+TEST(CoordinatorTest, SingleNodeElectsItselfThroughTheNetwork) {
+  UserDefinedPolicy policy;
+  Coordinator node(0, 1, CoordinatorConfig{}, policy, ManagerConfig());
+
+  const CoordinatorOutput tick = node.Tick(0);
+  // No peers, so no heartbeats — but the self-vote still goes through the
+  // message loop (that is what keeps timing identical across cluster
+  // sizes).
+  ASSERT_EQ(tick.messages.size(), 1u);
+  EXPECT_EQ(tick.messages[0].kind, MessageKind::kVoteRequest);
+  EXPECT_EQ(tick.messages[0].to, 0);
+  EXPECT_EQ(tick.messages[0].epoch, 1u);
+  EXPECT_FALSE(node.IsLeader(0));
+
+  const CoordinatorOutput grant = DeliverAll(node, 1, tick);
+  ASSERT_EQ(grant.messages.size(), 1u);
+  EXPECT_EQ(grant.messages[0].kind, MessageKind::kVoteGrant);
+  const CoordinatorOutput done = DeliverAll(node, 2, grant);
+  EXPECT_TRUE(done.messages.empty());
+  EXPECT_TRUE(node.IsLeader(2));
+  EXPECT_EQ(node.stats().elections_started, 1);
+  EXPECT_EQ(node.stats().leases_acquired, 1);
+}
+
+TEST(CoordinatorTest, LeaderDispatchesFencedCorrelatedActions) {
+  UserDefinedPolicy policy;
+  Coordinator node(0, 1, CoordinatorConfig{}, policy, ManagerConfig());
+  DeliverAll(node, 2, DeliverAll(node, 1, node.Tick(0)));
+  ASSERT_TRUE(node.IsLeader(2));
+
+  const CoordinatorOutput out = node.OnSymptom(3, 7, "Watchdog");
+  ASSERT_EQ(out.dispatches.size(), 1u);
+  EXPECT_EQ(out.dispatches[0].machine, 7);
+  EXPECT_EQ(out.dispatches[0].epoch, 1u);
+  EXPECT_EQ(out.dispatches[0].attempt, 0);
+  EXPECT_EQ(out.dispatches[0].issuer, 0);
+
+  // A healthy result for the newest attempt closes the process.
+  node.OnActionResult(10, 7, /*healthy=*/true, /*attempt=*/0);
+  EXPECT_EQ(node.service().manager().open_process_count(), 0u);
+}
+
+TEST(CoordinatorTest, StaleResultEchoesAreDropped) {
+  UserDefinedPolicy policy;
+  Coordinator node(0, 1, CoordinatorConfig{}, policy, ManagerConfig());
+  DeliverAll(node, 2, DeliverAll(node, 1, node.Tick(0)));
+  node.OnSymptom(3, 7, "Watchdog");
+
+  // Echo of some attempt that is not the newest recorded one.
+  const CoordinatorOutput out = node.OnActionResult(10, 7, true, 4);
+  EXPECT_TRUE(out.dispatches.empty());
+  EXPECT_EQ(node.stats().stale_results_dropped, 1);
+  EXPECT_EQ(node.service().manager().open_process_count(), 1u);
+}
+
+TEST(CoordinatorTest, FollowerGatesRecoveryTraffic) {
+  UserDefinedPolicy policy;
+  Coordinator node(1, 3, CoordinatorConfig{}, policy, ManagerConfig());
+  const CoordinatorOutput out = node.OnSymptom(3, 7, "Watchdog");
+  EXPECT_TRUE(out.dispatches.empty());
+  EXPECT_EQ(node.service().actions_gated(), 1);
+  EXPECT_EQ(node.service().manager().open_process_count(), 0u);
+}
+
+TEST(CoordinatorTest, NonPreferredNodeDoesNotBid) {
+  UserDefinedPolicy policy;
+  Coordinator node(1, 3, CoordinatorConfig{}, policy, ManagerConfig());
+  // Node 0 is within its never-heard grace window, so node 1 defers.
+  const CoordinatorOutput tick = node.Tick(0);
+  for (const Message& message : tick.messages) {
+    EXPECT_EQ(message.kind, MessageKind::kHeartbeat);
+  }
+  EXPECT_EQ(node.stats().elections_started, 0);
+}
+
+TEST(CoordinatorTest, TakeoverAdoptsReplicaAndResumesAttemptCount) {
+  UserDefinedPolicy policy;
+  CoordinatorConfig config;
+  Coordinator node0(0, 3, config, policy, ManagerConfig());
+  Coordinator node1(1, 3, config, policy, ManagerConfig());
+  Coordinator node2(2, 3, config, policy, ManagerConfig());
+
+  // Elect node 0: its bid reaches everyone, two grants are a majority.
+  const CoordinatorOutput bid = node0.Tick(0);
+  CoordinatorOutput grants = DeliverAll(node0, 1, bid);
+  const CoordinatorOutput g1 = DeliverAll(node1, 1, bid);
+  const CoordinatorOutput g2 = DeliverAll(node2, 1, bid);
+  for (const auto& o : {g1, g2}) {
+    for (const Message& m : o.messages) grants.messages.push_back(m);
+  }
+  DeliverAll(node0, 2, grants);
+  ASSERT_TRUE(node0.IsLeader(2));
+
+  // The leader opens a process and records its first action.
+  ASSERT_EQ(node0.OnSymptom(3, 7, "Watchdog").dispatches.size(), 1u);
+  EXPECT_EQ(node0.service().manager().ActionsTried(7), 1);
+
+  // Its next tick replicates the open process to the followers.
+  const CoordinatorOutput tick = node0.Tick(5);
+  DeliverAll(node1, 6, tick);
+  EXPECT_EQ(node1.service().replica_entries(), 1u);
+
+  // Node 0 "crashes" (goes silent). Keep node 2 visible to node 1, let the
+  // promises to node 0 expire, and let node 1 bid.
+  Message hb;
+  hb.kind = MessageKind::kHeartbeat;
+  hb.from = 2;
+  hb.to = 1;
+  hb.sent_at = 30;
+  node1.Deliver(30, hb);
+
+  const CoordinatorOutput bid2 = node1.Tick(40);
+  bool saw_request = false;
+  CoordinatorOutput grants2 = DeliverAll(node1, 41, bid2);
+  for (const Message& m : bid2.messages) {
+    if (m.kind == MessageKind::kVoteRequest) saw_request = true;
+  }
+  ASSERT_TRUE(saw_request);
+  const CoordinatorOutput g22 = DeliverAll(node2, 41, bid2);
+  for (const Message& m : g22.messages) grants2.messages.push_back(m);
+  const CoordinatorOutput takeover = DeliverAll(node1, 42, grants2);
+
+  ASSERT_TRUE(node1.IsLeader(42));
+  EXPECT_EQ(node1.stats().takeovers, 1);
+  EXPECT_EQ(node1.stats().processes_adopted, 1);
+  // Resume, not restart: the adopted process keeps the previous leader's
+  // attempt count, and the re-drive dispatches attempt #1 under epoch 2.
+  ASSERT_EQ(takeover.dispatches.size(), 1u);
+  EXPECT_EQ(takeover.dispatches[0].machine, 7);
+  EXPECT_EQ(takeover.dispatches[0].attempt, 1);
+  EXPECT_EQ(takeover.dispatches[0].epoch, 2u);
+  EXPECT_EQ(node1.service().manager().ActionsTried(7), 2);
+}
+
+TEST(CoordinatorTest, LeaderStepsDownWhenLeaseLapses) {
+  UserDefinedPolicy policy;
+  Coordinator node(0, 1, CoordinatorConfig{}, policy, ManagerConfig());
+  DeliverAll(node, 2, DeliverAll(node, 1, node.Tick(0)));
+  ASSERT_TRUE(node.IsLeader(2));
+
+  // Far past the lease without renewal traffic: the gate refuses first,
+  // the next entry point records the step-down.
+  EXPECT_FALSE(node.IsLeader(1000));
+  const CoordinatorOutput out = node.OnSymptom(1000, 7, "Watchdog");
+  EXPECT_TRUE(out.dispatches.empty());
+  EXPECT_EQ(node.stats().stepdowns, 1);
+  EXPECT_EQ(node.service().actions_gated(), 1);
+}
+
+}  // namespace
+}  // namespace aer::ctrl

@@ -1,0 +1,80 @@
+// Takeover determinism: with the same seed and the same fault script, the
+// fleet-visible outcome — which actions ran on which machines, in what
+// order, and when each incident was cured — must be byte-identical whether
+// the control plane has 1, 3, or 5 coordinators. Self-votes go through the
+// simulated network like any other message and no RNG is consumed while the
+// probabilistic arms are off, which is what makes this hold exactly.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/user_policy.h"
+#include "ctrl/harness.h"
+
+namespace aer::ctrl {
+namespace {
+
+ControlHarnessResult RunFleet(int cluster_size) {
+  UserDefinedPolicy policy;
+  RecoveryManagerConfig manager_config;
+  manager_config.action_timeout = 120;
+  ControlHarnessConfig config;
+  config.cluster_size = cluster_size;
+  config.tick_interval = 5;
+  config.net_latency = 1;
+  config.reemit_interval = 60;
+  config.action_duration = {2, 5, 10, 20};
+  config.coordinator.lease.lease_duration = 30;
+  config.coordinator.membership.suspect_after = 15;
+  config.coordinator.membership.evict_after = 60;
+  config.net.seed = 20070625;
+  ControlPlaneHarness harness(policy, manager_config, config,
+                              NetFaultScript{});
+  return harness.Run({
+      {20, 1, "Watchdog", 0},
+      {35, 2, "NoHeartbeat", 2},
+      {40, 3, "Watchdog", 1},
+      {220, 1, "Watchdog", 1},  // reopens a machine with history
+      {400, 4, "NoHeartbeat", 3},
+  });
+}
+
+TEST(CtrlDeterminismTest, ClusterSizeDoesNotChangeTheFleetOutcome) {
+  const ControlHarnessResult one = RunFleet(1);
+  const ControlHarnessResult three = RunFleet(3);
+  const ControlHarnessResult five = RunFleet(5);
+
+  ASSERT_TRUE(one.all_completed);
+  ASSERT_TRUE(three.all_completed);
+  ASSERT_TRUE(five.all_completed);
+  EXPECT_EQ(one.cures, 5);
+
+  // Byte-identical action sequences and cure times across cluster sizes.
+  EXPECT_EQ(one.executed, three.executed);
+  EXPECT_EQ(one.executed, five.executed);
+  EXPECT_EQ(one.cure_times, three.cure_times);
+  EXPECT_EQ(one.cure_times, five.cure_times);
+  // Even the dispatch log matches: same leader (node 0), same epoch, same
+  // instants — only control-plane chatter (heartbeats, grants) differs.
+  EXPECT_EQ(one.dispatch_log, three.dispatch_log);
+  EXPECT_EQ(one.dispatch_log, five.dispatch_log);
+
+  for (const ControlHarnessResult* result : {&one, &three, &five}) {
+    EXPECT_TRUE(result->audit.Clean());
+    EXPECT_EQ(result->stale_rejected, 0);
+    EXPECT_EQ(result->results_lost, 0);
+  }
+}
+
+TEST(CtrlDeterminismTest, RepeatRunsAreByteIdentical) {
+  const ControlHarnessResult a = RunFleet(3);
+  const ControlHarnessResult b = RunFleet(3);
+  EXPECT_EQ(a.executed, b.executed);
+  EXPECT_EQ(a.cure_times, b.cure_times);
+  EXPECT_EQ(a.dispatch_log, b.dispatch_log);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.end_time, b.end_time);
+}
+
+}  // namespace
+}  // namespace aer::ctrl

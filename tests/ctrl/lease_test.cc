@@ -1,0 +1,203 @@
+// LeaseTable voter/holder contracts, FenceRegistry admission, and the
+// InvariantAuditor's independent recomputation of lease windows — the three
+// safety pillars of docs/CONTROL_PLANE.md, each testable in isolation.
+#include "ctrl/lease.h"
+
+#include <gtest/gtest.h>
+
+#include "ctrl/auditor.h"
+#include "ctrl/fence.h"
+
+namespace aer::ctrl {
+namespace {
+
+LeaseConfig ThirtySeconds() {
+  LeaseConfig config;
+  config.lease_duration = 30;
+  return config;
+}
+
+TEST(LeaseVoterTest, GrantReturnsPromiseExpiry) {
+  LeaseTable table(3, ThirtySeconds(), VoterRecord{});
+  SimTime expiry = 0;
+  EXPECT_TRUE(table.Grant(100, 1, 0, &expiry));
+  EXPECT_EQ(expiry, 130);
+  EXPECT_EQ(table.durable().voted_epoch, 1u);
+  EXPECT_EQ(table.durable().voted_for, 0);
+}
+
+TEST(LeaseVoterTest, RefusesOtherCandidateWhilePromiseLive) {
+  LeaseTable table(3, ThirtySeconds(), VoterRecord{});
+  SimTime expiry = 0;
+  ASSERT_TRUE(table.Grant(100, 1, 0, &expiry));
+  // Higher epoch, different candidate, inside the promise window: no.
+  EXPECT_FALSE(table.Grant(120, 2, 1, &expiry));
+  // After the promise expires the higher epoch wins.
+  EXPECT_TRUE(table.Grant(130, 2, 1, &expiry));
+  EXPECT_EQ(expiry, 160);
+}
+
+TEST(LeaseVoterTest, BoundToFirstCandidateWithinAnEpochForever) {
+  LeaseTable table(3, ThirtySeconds(), VoterRecord{});
+  SimTime expiry = 0;
+  ASSERT_TRUE(table.Grant(100, 1, 0, &expiry));
+  // Same epoch, different candidate: refused even after the promise
+  // expires — two holders in one epoch would break fencing.
+  EXPECT_FALSE(table.Grant(500, 1, 2, &expiry));
+}
+
+TEST(LeaseVoterTest, SameCandidateRenewsAndRebids) {
+  LeaseTable table(3, ThirtySeconds(), VoterRecord{});
+  SimTime expiry = 0;
+  ASSERT_TRUE(table.Grant(100, 1, 0, &expiry));
+  // Re-granting the same (epoch, candidate) extends the promise.
+  EXPECT_TRUE(table.Grant(110, 1, 0, &expiry));
+  EXPECT_EQ(expiry, 140);
+  // The same candidate may bid a higher epoch inside its own window.
+  EXPECT_TRUE(table.Grant(120, 5, 0, &expiry));
+  EXPECT_FALSE(table.Grant(121, 4, 0, &expiry));  // older epoch: fenced
+}
+
+TEST(LeaseVoterTest, DurableRecordSurvivesRestart) {
+  VoterRecord durable;
+  {
+    LeaseTable table(3, ThirtySeconds(), VoterRecord{});
+    SimTime expiry = 0;
+    ASSERT_TRUE(table.Grant(100, 3, 0, &expiry));
+    durable = table.durable();
+  }
+  // The reborn voter keeps its word: no older epoch, no second candidate
+  // inside the promised window.
+  LeaseTable reborn(3, ThirtySeconds(), durable);
+  SimTime expiry = 0;
+  EXPECT_FALSE(reborn.Grant(105, 2, 1, &expiry));
+  EXPECT_FALSE(reborn.Grant(105, 3, 1, &expiry));
+  EXPECT_TRUE(reborn.Grant(105, 3, 0, &expiry));
+}
+
+TEST(LeaseHolderTest, MajorityOfUnexpiredGrantsHoldsTheLease) {
+  LeaseTable table(3, ThirtySeconds(), VoterRecord{});
+  table.StartCandidacy(1);
+  EXPECT_FALSE(table.HoldsLease(100));
+  table.RecordGrant(100, 0, 1, 130);
+  EXPECT_FALSE(table.HoldsLease(100));  // 1 of 3 is no majority
+  table.RecordGrant(101, 1, 1, 131);
+  EXPECT_TRUE(table.HoldsLease(101));
+  // Expiry is the majority-th (2nd) largest per-voter expiry.
+  EXPECT_EQ(table.LeaseExpiry(), 130);
+  EXPECT_TRUE(table.HoldsLease(129));
+  EXPECT_FALSE(table.HoldsLease(130));
+  // A third grant pushes the 2nd-largest up.
+  table.RecordGrant(120, 2, 1, 150);
+  EXPECT_EQ(table.LeaseExpiry(), 131);
+}
+
+TEST(LeaseHolderTest, IgnoresStaleEpochsAndExpiredGrants) {
+  LeaseTable table(3, ThirtySeconds(), VoterRecord{});
+  table.StartCandidacy(2);
+  table.RecordGrant(100, 0, 1, 130);  // old election's grant
+  table.RecordGrant(100, 1, 2, 90);   // already expired on arrival
+  EXPECT_FALSE(table.HoldsLease(100));
+  EXPECT_EQ(table.LeaseExpiry(), 0);
+}
+
+TEST(LeaseHolderTest, NewCandidacyDropsGrantsRenewalKeepsThem) {
+  LeaseTable table(3, ThirtySeconds(), VoterRecord{});
+  table.StartCandidacy(1);
+  table.RecordGrant(100, 0, 1, 130);
+  table.RecordGrant(100, 1, 1, 130);
+  ASSERT_TRUE(table.HoldsLease(100));
+  table.StartCandidacy(1);  // renewal round: same epoch, grants kept
+  EXPECT_TRUE(table.HoldsLease(100));
+  table.StartCandidacy(2);  // new election: grants dropped
+  EXPECT_FALSE(table.HoldsLease(100));
+  EXPECT_EQ(table.holding_epoch(), 2u);
+}
+
+TEST(LeaseHolderTest, ClearGrantsStepsDown) {
+  LeaseTable table(3, ThirtySeconds(), VoterRecord{});
+  table.StartCandidacy(1);
+  table.RecordGrant(100, 0, 1, 130);
+  table.RecordGrant(100, 1, 1, 130);
+  ASSERT_TRUE(table.HoldsLease(100));
+  table.ClearGrants();
+  EXPECT_FALSE(table.HoldsLease(100));
+  EXPECT_EQ(table.holding_epoch(), 0u);
+}
+
+TEST(LeaseHolderTest, MaxSeenEpochTracksAllTraffic) {
+  LeaseTable table(3, ThirtySeconds(), VoterRecord{});
+  SimTime expiry = 0;
+  table.Grant(100, 4, 1, &expiry);
+  EXPECT_EQ(table.max_seen_epoch(), 4u);
+  table.ObserveEpoch(9);
+  EXPECT_EQ(table.max_seen_epoch(), 9u);
+  table.RecordGrant(100, 0, 2, 130);
+  EXPECT_EQ(table.max_seen_epoch(), 9u);
+}
+
+TEST(LeaseHolderTest, LockedAccessorsBatchUnderOneAcquisition) {
+  LeaseTable table(3, ThirtySeconds(), VoterRecord{});
+  table.StartCandidacy(1);
+  table.RecordGrant(100, 0, 1, 130);
+  table.RecordGrant(100, 1, 1, 130);
+  MutexLock lock(table.mu());
+  EXPECT_TRUE(table.HoldsLeaseLocked(100));
+  EXPECT_EQ(table.LeaseExpiryLocked(), 130);
+  EXPECT_EQ(table.holding_epoch_locked(), 1u);
+}
+
+TEST(FenceRegistryTest, RejectsOnlyStaleEpochs) {
+  FenceRegistry fence;
+  EXPECT_TRUE(fence.Admit(7, 1));
+  EXPECT_TRUE(fence.Admit(7, 1));  // same epoch re-admits (same leader)
+  EXPECT_TRUE(fence.Admit(7, 3));
+  EXPECT_FALSE(fence.Admit(7, 2));  // below the floor: fenced off
+  EXPECT_EQ(fence.FloorOf(7), 3u);
+  EXPECT_EQ(fence.rejections(), 1);
+  // Floors are per machine.
+  EXPECT_TRUE(fence.Admit(8, 1));
+  EXPECT_EQ(fence.FloorOf(8), 1u);
+}
+
+TEST(AuditorTest, RecomputesLeaseWindowsFromGrantTraffic) {
+  InvariantAuditor auditor(3);
+  auditor.OnVoteGrant(100, /*voter=*/0, /*candidate=*/0, /*epoch=*/1, 130);
+  // One grant is no quorum: an action now is a violation.
+  auditor.OnActionIssued(101, /*issuer=*/0, /*epoch=*/1, /*machine=*/5);
+  auditor.OnVoteGrant(102, 1, 0, 1, 132);
+  auditor.OnActionIssued(103, 0, 1, 5);  // quorum reached: valid
+  auditor.OnActionIssued(135, 0, 1, 5);  // both promises lapsed: violation
+  const InvariantAuditor::Report report = auditor.report();
+  EXPECT_EQ(report.issued_without_lease, 2);
+  EXPECT_EQ(report.actions_issued, 3);
+  EXPECT_EQ(report.epochs_with_holder, 1);
+  EXPECT_FALSE(report.Clean());
+}
+
+TEST(AuditorTest, FlagsSecondLeaseholderInOneEpoch) {
+  InvariantAuditor auditor(3);
+  auditor.OnVoteGrant(100, 0, 0, 1, 130);
+  auditor.OnVoteGrant(100, 1, 0, 1, 130);
+  // A disjoint-looking majority for another candidate in the same epoch
+  // (impossible with honest voters — which is the point of auditing it).
+  auditor.OnVoteGrant(105, 1, 2, 1, 135);
+  auditor.OnVoteGrant(105, 2, 2, 1, 135);
+  const InvariantAuditor::Report report = auditor.report();
+  EXPECT_EQ(report.duplicate_leaseholders, 1);
+  EXPECT_FALSE(report.Clean());
+}
+
+TEST(AuditorTest, FlagsStaleExecutionCountsCleanRejection) {
+  InvariantAuditor auditor(3);
+  auditor.OnActionExecuted(100, /*machine=*/5, /*epoch=*/2);
+  auditor.OnStaleRejected(101, 5, 1);   // machine refused: the good path
+  auditor.OnActionExecuted(102, 5, 1);  // machine executed stale: violation
+  const InvariantAuditor::Report report = auditor.report();
+  EXPECT_EQ(report.stale_rejected, 1);
+  EXPECT_EQ(report.stale_executed, 1);
+  EXPECT_FALSE(report.Clean());
+}
+
+}  // namespace
+}  // namespace aer::ctrl

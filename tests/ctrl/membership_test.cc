@@ -1,0 +1,90 @@
+#include "ctrl/membership.h"
+
+#include <gtest/gtest.h>
+
+namespace aer::ctrl {
+namespace {
+
+MembershipConfig FastConfig() {
+  MembershipConfig config;
+  config.suspect_after = 15;
+  config.evict_after = 60;
+  return config;
+}
+
+TEST(MembershipTest, SelfIsAlwaysAlive) {
+  MembershipTable table(0, 3, FastConfig());
+  EXPECT_EQ(table.StateOf(0, 0), PeerState::kAlive);
+  EXPECT_EQ(table.StateOf(1'000'000, 0), PeerState::kAlive);
+}
+
+TEST(MembershipTest, FreshPeersGetOneSuspectWindowOfGrace) {
+  MembershipTable table(0, 3, FastConfig());
+  // Never-heard peers count as last heard at time 0.
+  EXPECT_EQ(table.StateOf(14, 1), PeerState::kAlive);
+  EXPECT_EQ(table.StateOf(15, 1), PeerState::kSuspect);
+  EXPECT_EQ(table.StateOf(59, 1), PeerState::kSuspect);
+  EXPECT_EQ(table.StateOf(60, 1), PeerState::kEvicted);
+}
+
+TEST(MembershipTest, HeartbeatsKeepPeersAliveAndSilenceDemotes) {
+  MembershipTable table(0, 3, FastConfig());
+  table.RecordHeartbeat(100, 1);
+  EXPECT_EQ(table.StateOf(114, 1), PeerState::kAlive);
+  EXPECT_EQ(table.StateOf(115, 1), PeerState::kSuspect);
+  EXPECT_EQ(table.StateOf(160, 1), PeerState::kEvicted);
+}
+
+TEST(MembershipTest, HeartbeatReadmitsEvictedPeer) {
+  MembershipTable table(0, 3, FastConfig());
+  table.RecordHeartbeat(100, 1);
+  EXPECT_EQ(table.StateOf(160, 1), PeerState::kEvicted);
+  table.RecordHeartbeat(200, 1);  // a restarted node rejoins by talking
+  EXPECT_EQ(table.StateOf(201, 1), PeerState::kAlive);
+}
+
+TEST(MembershipTest, AliveListsAscendingIdsIncludingSelf) {
+  MembershipTable table(1, 3, FastConfig());
+  table.RecordHeartbeat(100, 0);
+  table.RecordHeartbeat(100, 2);
+  EXPECT_EQ(table.Alive(105), (std::vector<NodeId>{0, 1, 2}));
+  // Node 0 goes silent.
+  table.RecordHeartbeat(130, 2);
+  EXPECT_EQ(table.Alive(130), (std::vector<NodeId>{1, 2}));
+}
+
+TEST(MembershipTest, PreferredCandidateIsLowestAliveId) {
+  MembershipTable table(1, 3, FastConfig());
+  table.RecordHeartbeat(100, 0);
+  table.RecordHeartbeat(100, 2);
+  EXPECT_FALSE(table.IsPreferredCandidate(105));  // node 0 is alive
+  table.RecordHeartbeat(130, 2);
+  EXPECT_TRUE(table.IsPreferredCandidate(130));  // node 0 silent, 1 leads
+}
+
+TEST(MembershipTest, TransitionsCountOncePerSilenceEpisode) {
+  MembershipTable table(0, 2, FastConfig());
+  table.RecordHeartbeat(10, 1);
+  // Repeated queries in the suspect window count one suspicion.
+  table.StateOf(30, 1);
+  table.StateOf(40, 1);
+  EXPECT_EQ(table.suspicions(), 1);
+  EXPECT_EQ(table.evictions(), 0);
+  table.StateOf(80, 1);  // now evicted
+  EXPECT_EQ(table.evictions(), 1);
+  // Readmission then a fresh silence episode counts again.
+  table.RecordHeartbeat(100, 1);
+  table.StateOf(120, 1);
+  EXPECT_EQ(table.suspicions(), 2);
+}
+
+TEST(MembershipTest, ResetForgetsHeartbeats) {
+  MembershipTable table(0, 2, FastConfig());
+  table.RecordHeartbeat(100, 1);
+  table.Reset();
+  // Back to the never-heard state: silent since time 0.
+  EXPECT_EQ(table.StateOf(100, 1), PeerState::kEvicted);
+}
+
+}  // namespace
+}  // namespace aer::ctrl

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "cluster/user_policy.h"
+#include "obs/metrics.h"
 
 namespace aer {
 namespace {
@@ -138,6 +139,62 @@ TEST(InjectionHarnessTest, DeterministicAcrossRuns) {
   EXPECT_EQ(a.hangs_injected, b.hangs_injected);
   EXPECT_EQ(a.manager.actions_taken, b.manager.actions_taken);
   EXPECT_EQ(a.manager.total_downtime, b.manager.total_downtime);
+}
+
+TEST(InjectionHarnessTest, ReorderDepthTracksDelayedDeliveries) {
+  UserDefinedPolicy policy;
+  HarnessConfig config;
+  config.delay_event = 1.0;  // every emission slips
+  config.max_delay = 600;
+  InjectionHarness harness(policy, HardenedConfig(), config);
+  obs::MetricsRegistry metrics;
+  harness.SetObservers(nullptr, &metrics);
+  const HarnessResult result = harness.Run(MakeIncidents(20));
+
+  EXPECT_TRUE(result.all_completed);
+  ASSERT_GT(result.events_delayed, 0);
+  // Delayed deliveries overtake other traffic: the depth accounting must
+  // see at least one reordering, the max bounds every sample, and the
+  // stat metric mirrors the same samples one-to-one.
+  EXPECT_GT(result.reorder_depth_max, 0);
+  EXPECT_GE(result.reorder_depth_sum, result.reorder_depth_max);
+  const RunningStat stat =
+      metrics.GetStat("aer_inject_reorder_depth").Snapshot();
+  EXPECT_EQ(stat.count(), result.events_delayed);
+  EXPECT_EQ(static_cast<std::int64_t>(stat.max()),
+            result.reorder_depth_max);
+  EXPECT_EQ(static_cast<std::int64_t>(stat.sum()),
+            result.reorder_depth_sum);
+}
+
+TEST(InjectionHarnessTest, PerArmInjectionCountsMirrorIntoMetrics) {
+  UserDefinedPolicy policy;
+  HarnessConfig config;
+  config.drop_event = 0.2;
+  config.duplicate_event = 0.2;
+  config.delay_event = 0.2;
+  config.hang_action = 0.2;
+  config.false_success = 0.2;
+  InjectionHarness harness(policy, HardenedConfig(), config);
+  obs::MetricsRegistry metrics;
+  harness.SetObservers(nullptr, &metrics);
+  const HarnessResult result = harness.Run(MakeIncidents(40));
+
+  EXPECT_TRUE(result.all_completed);
+  const auto counter = [&metrics](const char* name) {
+    return metrics.GetCounter(name).value();
+  };
+  EXPECT_EQ(counter("aer_inject_incidents_total"), result.incidents);
+  EXPECT_EQ(counter("aer_inject_cures_total"), result.cures);
+  EXPECT_EQ(counter("aer_inject_events_dropped_total"),
+            result.events_dropped);
+  EXPECT_EQ(counter("aer_inject_events_duplicated_total"),
+            result.events_duplicated);
+  EXPECT_EQ(counter("aer_inject_events_delayed_total"),
+            result.events_delayed);
+  EXPECT_EQ(counter("aer_inject_hangs_total"), result.hangs_injected);
+  EXPECT_EQ(counter("aer_inject_false_successes_total"),
+            result.false_successes_injected);
 }
 
 TEST(InjectionHarnessTest, EventBudgetTurnsLivelockIntoAFailureReport) {

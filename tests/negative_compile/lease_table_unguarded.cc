@@ -1,0 +1,27 @@
+// Negative-compile case: the LeaseTable's *Locked() accessors carry
+// AER_REQUIRES(mu_), so batching reads without actually holding the table's
+// mutex must be rejected by -Werror=thread-safety. The control variant takes
+// the lock through mu()'s AER_RETURN_CAPABILITY and must compile everywhere.
+#include "common/mutex.h"
+#include "ctrl/lease.h"
+
+namespace {
+
+bool LeaderMayIssue(const aer::ctrl::LeaseTable& table, aer::SimTime now) {
+#ifndef AER_NEGATIVE
+  aer::MutexLock lock(table.mu());
+#endif
+  // Unguarded locked-API reads when AER_NEGATIVE is defined.
+  return table.HoldsLeaseLocked(now) && table.LeaseExpiryLocked() > now &&
+         table.holding_epoch_locked() > 0;
+}
+
+bool Use() {
+  aer::ctrl::LeaseTable table(3, aer::ctrl::LeaseConfig{},
+                              aer::ctrl::VoterRecord{});
+  return LeaderMayIssue(table, 10);
+}
+
+}  // namespace
+
+bool NegativeCompileProbe() { return Use(); }

@@ -15,7 +15,9 @@
 #include "cluster/user_policy.h"
 #include "core/guarded_policy.h"
 #include "core/recovery_manager.h"
+#include "ctrl/harness.h"
 #include "inject/harness.h"
+#include "inject/net_perturber.h"
 #include "mining/error_type.h"
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
@@ -45,6 +47,7 @@ TEST(MetricNamesTest, RecoveryManagerRegistersFrozenSet) {
       "aer_recovery_history_evictions_total",
       "aer_recovery_manual_forced_total",
       "aer_recovery_out_of_order_total",
+      "aer_recovery_processes_adopted_total",
       "aer_recovery_processes_total",
       "aer_recovery_stale_results_total",
       "aer_recovery_timeouts_total",
@@ -84,6 +87,7 @@ TEST(MetricNamesTest, InjectionHarnessRegistersFrozenSet) {
       "aer_inject_false_successes_total",
       "aer_inject_hangs_total",
       "aer_inject_incidents_total",
+      "aer_inject_reorder_depth",
   };
   std::vector<std::string> inject_names;
   for (const std::string& name : registry.Names()) {
@@ -91,7 +95,56 @@ TEST(MetricNamesTest, InjectionHarnessRegistersFrozenSet) {
     else EXPECT_EQ(name.rfind("aer_recovery_", 0), 0u) << name;
   }
   EXPECT_EQ(Sorted(inject_names), expected_inject);
-  EXPECT_EQ(registry.size(), expected_inject.size() + 12);
+  EXPECT_EQ(registry.size(), expected_inject.size() + 13);
+}
+
+TEST(MetricNamesTest, ControlPlaneHarnessRegistersFrozenSet) {
+  obs::MetricsRegistry registry;
+  UserDefinedPolicy policy;
+  ctrl::ControlPlaneHarness harness(policy, RecoveryManagerConfig{},
+                                    ctrl::ControlHarnessConfig{},
+                                    NetFaultScript{});
+  harness.SetObservers(nullptr, &registry);
+  // The full ctrl stack: coordinators (+ their gating service and embedded
+  // recovery manager), the net perturber, and the harness's fence metric.
+  const std::vector<std::string> expected_ctrl = {
+      "aer_ctrl_actions_gated_total",
+      "aer_ctrl_current_epoch",
+      "aer_ctrl_elections_started_total",
+      "aer_ctrl_heartbeats_sent_total",
+      "aer_ctrl_lease_renewals_total",
+      "aer_ctrl_leases_acquired_total",
+      "aer_ctrl_members_evicted_total",
+      "aer_ctrl_members_suspected_total",
+      "aer_ctrl_processes_adopted_total",
+      "aer_ctrl_snapshots_installed_total",
+      "aer_ctrl_stale_actions_rejected_total",
+      "aer_ctrl_stale_results_dropped_total",
+      "aer_ctrl_stepdowns_total",
+      "aer_ctrl_takeovers_total",
+      "aer_ctrl_votes_granted_total",
+  };
+  const std::vector<std::string> expected_net = {
+      "aer_inject_coordinator_crashes_total",
+      "aer_inject_coordinator_restarts_total",
+      "aer_inject_net_msgs_delayed_total",
+      "aer_inject_net_msgs_dropped_total",
+      "aer_inject_net_msgs_duplicated_total",
+      "aer_inject_net_partition_drops_total",
+      "aer_inject_partitions_healed_total",
+      "aer_inject_partitions_started_total",
+  };
+  std::vector<std::string> ctrl_names;
+  std::vector<std::string> net_names;
+  for (const std::string& name : registry.Names()) {
+    if (name.rfind("aer_ctrl_", 0) == 0) ctrl_names.push_back(name);
+    else if (name.rfind("aer_inject_", 0) == 0) net_names.push_back(name);
+    else EXPECT_EQ(name.rfind("aer_recovery_", 0), 0u) << name;
+  }
+  EXPECT_EQ(Sorted(ctrl_names), expected_ctrl);
+  EXPECT_EQ(Sorted(net_names), expected_net);
+  EXPECT_EQ(registry.size(),
+            expected_ctrl.size() + expected_net.size() + 13);
 }
 
 TEST(MetricNamesTest, SimulationPlatformRegistersFrozenSet) {
@@ -169,6 +222,10 @@ TEST(MetricNamesTest, AllFrozenNamesAreValid) {
   guard.SetObservers(nullptr, &registry);
   InjectionHarness harness(guard, RecoveryManagerConfig{}, HarnessConfig{});
   harness.SetObservers(nullptr, &registry);
+  ctrl::ControlPlaneHarness ctrl_harness(fallback, RecoveryManagerConfig{},
+                                         ctrl::ControlHarnessConfig{},
+                                         NetFaultScript{});
+  ctrl_harness.SetObservers(nullptr, &registry);
   PublishTrainingTelemetry(registry, {});
   for (const std::string& name : registry.Names()) {
     EXPECT_TRUE(obs::IsValidMetricName(name)) << name;
