@@ -32,13 +32,16 @@ from pathlib import Path
 # Benches that need extra flags to finish quickly in --smoke mode.
 SMOKE_EXTRA_ARGS = {
     "micro_benchmarks": ["--benchmark_min_time=0.05"],
+    # Keeps the million-machine arm but shrinks the simulated duration
+    # (equivalent to AER_SCALE=small; the flag makes the leg self-contained).
+    "bench_fleet_scale": ["--smoke"],
 }
 
 # Metrics worth pinning in a baseline: deterministic counters and the
 # throughput figures the CI gate watches. Wall-clock metrics are excluded —
 # they vary run to run and machine to machine.
 BASELINE_METRIC_KEYS = ("episodes", "types")
-THROUGHPUT_PREFIX = "episodes_per_sec"
+THROUGHPUT_PREFIXES = ("episodes_per_sec", "events_per_sec")
 # Observability counters mirrored from a MetricsRegistry snapshot
 # (bench_json RecordRegistrySnapshot). Deterministic by contract
 # (docs/OBSERVABILITY.md), so they are compared exactly like checksums.
@@ -99,7 +102,7 @@ def baseline_view(records: dict) -> dict:
         metrics = {}
         for key, value in record.get("metrics", {}).items():
             if key in BASELINE_METRIC_KEYS or key.startswith(
-                    (THROUGHPUT_PREFIX, OBS_METRIC_PREFIX)):
+                    THROUGHPUT_PREFIXES + (OBS_METRIC_PREFIX,)):
                 metrics[key] = value
         if metrics:
             entry["metrics"] = metrics
@@ -131,11 +134,11 @@ def compare(records: dict, baseline_path: Path, threshold: float) -> list:
             elif (key in BASELINE_METRIC_KEYS or
                   key.startswith(OBS_METRIC_PREFIX)) and value != base_value:
                 errors.append(f"{name}: {key} changed {base_value} -> {value}")
-            elif key.startswith(THROUGHPUT_PREFIX) and \
+            elif key.startswith(THROUGHPUT_PREFIXES) and \
                     value < base_value * (1.0 - threshold):
                 errors.append(
                     f"{name}: {key} regressed {base_value:.0f} -> "
-                    f"{value:.0f} eps/s (> {threshold:.0%} below baseline)")
+                    f"{value:.0f} /s (> {threshold:.0%} below baseline)")
     return errors
 
 
@@ -174,7 +177,7 @@ def append_trend(records: dict, trend_path: Path) -> None:
                 "wall_ms": record.get("wall_ms"),
             }
             for key, value in sorted(record.get("metrics", {}).items()):
-                if key.startswith(THROUGHPUT_PREFIX):
+                if key.startswith(THROUGHPUT_PREFIXES):
                     row[key] = value
             f.write(json.dumps(row) + "\n")
     print(f"run_all: appended {len(records)} trend rows -> {trend_path}")

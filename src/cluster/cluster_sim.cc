@@ -106,6 +106,10 @@ SimulationResult ClusterSimulator::Run(RecoveryPolicy& policy) {
                                   (2.0 * rng.NextDouble() - 1.0));
     }
   }
+  // Live count of machines currently down, so fleet-down detection is an
+  // O(1) comparison that stays valid even if the healthy pool is replaced
+  // by a different victim-selection structure.
+  int num_down = 0;
   const auto pool_remove = [&](MachineId m) {
     MachineState& st = machines[static_cast<std::size_t>(m)];
     AER_CHECK_GE(st.pool_pos, 0);
@@ -114,12 +118,14 @@ SimulationResult ClusterSimulator::Run(RecoveryPolicy& policy) {
     machines[static_cast<std::size_t>(last)].pool_pos = st.pool_pos;
     healthy_pool.pop_back();
     st.pool_pos = -1;
+    ++num_down;
   };
   const auto pool_add = [&](MachineId m) {
     MachineState& st = machines[static_cast<std::size_t>(m)];
     AER_CHECK_EQ(st.pool_pos, -1);
     st.pool_pos = static_cast<int>(healthy_pool.size());
     healthy_pool.push_back(m);
+    --num_down;
   };
 
   std::priority_queue<Event, std::vector<Event>, EventLater> queue;
@@ -212,7 +218,8 @@ SimulationResult ClusterSimulator::Run(RecoveryPolicy& policy) {
       case EventKind::kFaultArrival: {
         schedule_next_arrival(e.time);
         if (!accept_arrival(e.time)) break;  // thinned (off-peak)
-        if (healthy_pool.empty()) {
+        if (num_down == config_.num_machines) {  // whole fleet is down
+          AER_DCHECK(healthy_pool.empty());
           ++result.fault_arrivals_skipped;
           break;
         }

@@ -1,0 +1,95 @@
+// Fleet-scale discrete-event simulator: the ClusterSimulator's workload on
+// a timing-wheel scheduler, SoA machine state, and sharded execution.
+//
+// Two run modes, two determinism guarantees (docs/FLEET_SIM.md):
+//
+//  RunSeedCompat() — single-shard replay of the seed engine's exact draw
+//    order on the EventWheel. Output is byte-identical to
+//    ClusterSimulator::Run for the same (config, catalog, policy); the
+//    equivalence suite (tests/fleet/fleet_equivalence_test.cc) pins this.
+//
+//  Run() — the scale path. The fleet is split into contiguous machine-ID
+//    shards; each machine owns an independent RNG stream
+//    (DeriveStream(seed, machine)) and its own Poisson arrival chain (by
+//    superposition, per-machine arrivals at rate 1/mtbf are exactly the
+//    seed's fleet-level Poisson process). Shards run on the work-stealing
+//    ThreadPool and a serial merge in machine-ID order assembles the
+//    result, so the RecoveryLog and SimulationResult are byte-identical
+//    for ANY thread count and ANY shard count. The one semantic difference
+//    from the seed engine: a fault arriving at a machine that is already
+//    down is skipped (counted in fault_arrivals_skipped) instead of being
+//    redirected to a random healthy machine — victim redirection is global
+//    state that would serialize the shards.
+//
+// Run() invokes the policy concurrently from shard threads, so it requires
+// ChooseAction to be pure (the documented RecoveryPolicy contract) and
+// OnActionOutcome to be state-free. All shipped stateless policies
+// (UserDefinedPolicy, TrainedPolicy, HybridPolicy) qualify; learning
+// policies (rl/online_policy.h) must use RunSeedCompat or an external lock.
+#ifndef AER_FLEET_FLEET_SIM_H_
+#define AER_FLEET_FLEET_SIM_H_
+
+#include <cstdint>
+
+#include "cluster/cluster_sim.h"
+#include "cluster/fault_model.h"
+#include "cluster/fleet_state.h"
+#include "cluster/policy.h"
+#include "common/thread_pool.h"
+#include "fleet/shard_merge.h"
+#include "obs/metrics.h"
+
+namespace aer::fleet {
+
+// Interned symptom-id / fault-sampling tables shared by all shards of one
+// run; defined in fleet_sim.cc.
+struct FleetSimTables;
+
+struct FleetSimConfig {
+  // The workload parameters, shared verbatim with the seed engine.
+  ClusterSimConfig sim;
+  // Shard count for Run(). <= 0 derives a count from the fleet size alone
+  // (deterministic in the config, never in the host's core count — shard
+  // boundaries feed nothing into the output, but keeping the resolved
+  // value config-pure keeps the aer_fleet_shards gauge reproducible).
+  int num_shards = 0;
+};
+
+class FleetSimulator {
+ public:
+  FleetSimulator(FleetSimConfig config, FaultCatalog catalog);
+
+  // Sharded run. `pool` supplies the worker threads (the calling thread
+  // participates); nullptr runs the shards serially. Output is identical
+  // either way.
+  SimulationResult Run(RecoveryPolicy& policy, ThreadPool* pool = nullptr);
+
+  // Seed-compatibility mode: byte-identical to ClusterSimulator::Run.
+  SimulationResult RunSeedCompat(RecoveryPolicy& policy);
+
+  // Optional observability sink; same contract as ClusterSimulator: the
+  // aer_fleet_* metrics are folded in after the run, instrumentation never
+  // feeds back into the simulation. The registry must outlive the runs.
+  void SetMetrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  const FaultCatalog& catalog() const { return catalog_; }
+
+  // The shard count Run() will use (config_.num_shards resolved).
+  int num_shards() const;
+
+ private:
+  void RunShard(int shard, int num_shards, const FleetSimTables& tables,
+                FleetState& state, RecoveryPolicy& policy,
+                ShardMerger& merger) const;
+  // Serial merge in shard (machine-ID) order + final sorts + metric fold.
+  void Finalize(std::vector<ShardOutput> outputs, int shards_used,
+                SimulationResult& result);
+
+  FleetSimConfig config_;
+  FaultCatalog catalog_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace aer::fleet
+
+#endif  // AER_FLEET_FLEET_SIM_H_

@@ -1,0 +1,229 @@
+// Equivalence suite for the fleet simulator (docs/FLEET_SIM.md):
+//
+//  1. FleetSimulator::RunSeedCompat is byte-identical to the seed engine
+//     (ClusterSimulator::Run) — same log serialization, same entries, same
+//     SimulationResult fields — across seeds × fleet sizes × policies,
+//     including the heterogeneity / diurnal / cross-fault-noise paths.
+//  2. FleetSimulator::Run (sharded) is byte-identical to itself for any
+//     thread count and any shard count.
+//
+// Together these are the wheel-vs-heap proof (compat replays the seed's
+// exact draw order on the EventWheel) and the determinism proof the
+// parallel engine rests on.
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_sim.h"
+#include "cluster/fault_catalog.h"
+#include "cluster/user_policy.h"
+#include "common/thread_pool.h"
+#include "core/policy_generator.h"
+#include "fleet/fleet_sim.h"
+#include "rl/policy.h"
+
+namespace aer::fleet {
+namespace {
+
+std::string Serialize(const RecoveryLog& log) {
+  std::ostringstream os;
+  log.Write(os);
+  return os.str();
+}
+
+void ExpectResultsIdentical(const SimulationResult& a,
+                            const SimulationResult& b) {
+  // Byte-level: the paper-format serialization (resolves symptom ids
+  // through each log's own intern table).
+  ASSERT_EQ(Serialize(a.log), Serialize(b.log));
+  // Entry-level: ids themselves must match too (same intern order).
+  ASSERT_EQ(a.log.size(), b.log.size());
+  for (std::size_t i = 0; i < a.log.size(); ++i) {
+    ASSERT_EQ(a.log.entries()[i], b.log.entries()[i]) << "entry " << i;
+  }
+  ASSERT_EQ(a.ground_truth.size(), b.ground_truth.size());
+  for (std::size_t i = 0; i < a.ground_truth.size(); ++i) {
+    const ProcessGroundTruth& ga = a.ground_truth[i];
+    const ProcessGroundTruth& gb = b.ground_truth[i];
+    ASSERT_EQ(ga.machine, gb.machine) << "ground truth " << i;
+    ASSERT_EQ(ga.start, gb.start) << "ground truth " << i;
+    ASSERT_EQ(ga.end, gb.end) << "ground truth " << i;
+    ASSERT_EQ(ga.fault_index, gb.fault_index) << "ground truth " << i;
+    ASSERT_EQ(ga.noisy, gb.noisy) << "ground truth " << i;
+  }
+  EXPECT_EQ(a.fault_arrivals_skipped, b.fault_arrivals_skipped);
+  EXPECT_EQ(a.processes_completed, b.processes_completed);
+  EXPECT_EQ(a.total_downtime, b.total_downtime);
+}
+
+// Fleet size → duration that keeps each run at a few hundred processes so
+// the full matrix stays fast under the sanitizer legs.
+SimTime DurationFor(int num_machines) {
+  if (num_machines <= 1) return 180 * kDay;
+  if (num_machines <= 7) return 90 * kDay;
+  if (num_machines <= 100) return 30 * kDay;
+  return 4 * kDay;
+}
+
+ClusterSimConfig MatrixConfig(std::uint64_t seed, int num_machines) {
+  ClusterSimConfig config;
+  config.num_machines = num_machines;
+  config.duration = DurationFor(num_machines);
+  config.machine_mtbf_days = 10.0;
+  config.seed = seed;
+  // Odd seeds exercise the optional paths: machine heterogeneity, diurnal
+  // thinning, and cross-fault noise all consume extra draws, so draw-order
+  // equivalence must hold with them on as well.
+  if (seed % 2 == 1) {
+    config.machine_speed_spread = 0.25;
+    config.diurnal_amplitude = 0.4;
+    config.cross_fault_noise_probability = 0.05;
+  }
+  return config;
+}
+
+// A trained Q policy for the second policy arm, generated once from a
+// seed-engine log (the pipeline's normal path).
+const TrainedPolicy& TrainedQPolicy() {
+  static const TrainedPolicy* policy = [] {
+    ClusterSimConfig config;
+    config.num_machines = 200;
+    config.duration = 60 * kDay;
+    config.machine_mtbf_days = 10.0;
+    config.seed = 301;
+    UserDefinedPolicy user;
+    const SimulationResult result =
+        ClusterSimulator(config, MakeDefaultCatalog()).Run(user);
+    return new TrainedPolicy(PolicyGenerator().Generate(result.log));
+  }();
+  return *policy;
+}
+
+class FleetEquivalenceTest : public testing::TestWithParam<bool> {};
+
+// Seeds {1..5} × fleets {1, 7, 100, 10k} × {user policy, trained Q policy}:
+// the wheel-based compat engine reproduces the seed engine byte for byte.
+TEST_P(FleetEquivalenceTest, CompatByteIdenticalToSeedEngine) {
+  const bool trained = GetParam();
+  const FaultCatalog catalog = MakeDefaultCatalog();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    for (const int machines : {1, 7, 100, 10000}) {
+      const ClusterSimConfig config = MatrixConfig(seed, machines);
+
+      SimulationResult seed_result;
+      SimulationResult fleet_result;
+      if (trained) {
+        TrainedPolicy a = TrainedQPolicy();
+        TrainedPolicy b = TrainedQPolicy();
+        seed_result = ClusterSimulator(config, catalog).Run(a);
+        fleet_result =
+            FleetSimulator(FleetSimConfig{.sim = config}, catalog)
+                .RunSeedCompat(b);
+      } else {
+        UserDefinedPolicy a;
+        UserDefinedPolicy b;
+        seed_result = ClusterSimulator(config, catalog).Run(a);
+        fleet_result =
+            FleetSimulator(FleetSimConfig{.sim = config}, catalog)
+                .RunSeedCompat(b);
+      }
+      SCOPED_TRACE(testing::Message() << "seed=" << seed << " machines="
+                                      << machines << " trained=" << trained);
+      ExpectResultsIdentical(seed_result, fleet_result);
+      EXPECT_GT(fleet_result.log.size(), 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, FleetEquivalenceTest,
+                         testing::Values(false, true),
+                         [](const testing::TestParamInfo<bool>& info) {
+                           return info.param ? "TrainedQPolicy"
+                                             : "UserPolicy";
+                         });
+
+ClusterSimConfig ShardedConfig() {
+  ClusterSimConfig config;
+  config.num_machines = 3000;
+  config.duration = 10 * kDay;
+  config.machine_mtbf_days = 8.0;
+  config.machine_speed_spread = 0.2;
+  config.diurnal_amplitude = 0.3;
+  config.seed = 99;
+  return config;
+}
+
+// The sharded engine's output is a pure function of the config: 1, 2 and 8
+// pool threads (and no pool at all) produce byte-identical results.
+TEST(FleetShardingTest, ThreadCountInvariance) {
+  const FaultCatalog catalog = MakeDefaultCatalog();
+  const FleetSimConfig config{.sim = ShardedConfig(), .num_shards = 8};
+
+  UserDefinedPolicy policy;
+  const SimulationResult serial =
+      FleetSimulator(config, catalog).Run(policy, nullptr);
+  EXPECT_GT(serial.processes_completed, 100);
+  for (const int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    UserDefinedPolicy p;
+    const SimulationResult parallel =
+        FleetSimulator(config, catalog).Run(p, &pool);
+    SCOPED_TRACE(testing::Message() << "threads=" << threads);
+    ExpectResultsIdentical(serial, parallel);
+  }
+}
+
+// Shard boundaries are not allowed to leak into the output either: the
+// per-machine stream discipline makes 1, 5 and 32 shards byte-identical.
+TEST(FleetShardingTest, ShardCountInvariance) {
+  const FaultCatalog catalog = MakeDefaultCatalog();
+  ThreadPool pool(4);
+
+  UserDefinedPolicy policy;
+  const FleetSimConfig one{.sim = ShardedConfig(), .num_shards = 1};
+  const SimulationResult baseline =
+      FleetSimulator(one, catalog).Run(policy, &pool);
+  for (const int shards : {5, 32}) {
+    const FleetSimConfig config{.sim = ShardedConfig(),
+                                .num_shards = shards};
+    UserDefinedPolicy p;
+    const SimulationResult result =
+        FleetSimulator(config, catalog).Run(p, &pool);
+    SCOPED_TRACE(testing::Message() << "shards=" << shards);
+    ExpectResultsIdentical(baseline, result);
+  }
+}
+
+// Thread invariance holds with the trained policy in the loop too (pure
+// ChooseAction invoked concurrently from shard threads).
+TEST(FleetShardingTest, TrainedPolicyThreadInvariance) {
+  const FaultCatalog catalog = MakeDefaultCatalog();
+  const FleetSimConfig config{.sim = ShardedConfig(), .num_shards = 8};
+
+  TrainedPolicy serial_policy = TrainedQPolicy();
+  const SimulationResult serial =
+      FleetSimulator(config, catalog).Run(serial_policy, nullptr);
+  ThreadPool pool(8);
+  TrainedPolicy parallel_policy = TrainedQPolicy();
+  const SimulationResult parallel =
+      FleetSimulator(config, catalog).Run(parallel_policy, &pool);
+  ExpectResultsIdentical(serial, parallel);
+}
+
+// The compat mode rides the sharded engine's wheel; its repeatability is
+// its own guarantee (two compat runs are bit-equal), independent of the
+// seed engine being present.
+TEST(FleetShardingTest, CompatIsDeterministic) {
+  const FaultCatalog catalog = MakeDefaultCatalog();
+  const FleetSimConfig config{.sim = MatrixConfig(3, 100)};
+  UserDefinedPolicy a;
+  UserDefinedPolicy b;
+  const SimulationResult ra = FleetSimulator(config, catalog).RunSeedCompat(a);
+  const SimulationResult rb = FleetSimulator(config, catalog).RunSeedCompat(b);
+  ExpectResultsIdentical(ra, rb);
+}
+
+}  // namespace
+}  // namespace aer::fleet

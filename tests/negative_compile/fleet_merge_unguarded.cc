@@ -1,0 +1,32 @@
+// Negative-compile case: the ShardMerger's *Locked() inspection API carries
+// AER_REQUIRES(mu_), so polling shard slots without holding the merger's
+// mutex must be rejected by -Werror=thread-safety. The control variant
+// takes the lock through mu()'s AER_RETURN_CAPABILITY and must compile
+// everywhere.
+#include <cstddef>
+
+#include "common/mutex.h"
+#include "fleet/shard_merge.h"
+
+namespace {
+
+std::size_t FilledShards(const aer::fleet::ShardMerger& merger) {
+#ifndef AER_NEGATIVE
+  aer::MutexLock lock(merger.mu());
+#endif
+  // Unguarded locked-API reads when AER_NEGATIVE is defined.
+  std::size_t filled = 0;
+  for (int shard = 0; shard < merger.num_shards_locked(); ++shard) {
+    if (merger.shard_filled_locked(shard)) ++filled;
+  }
+  return filled;
+}
+
+std::size_t Use() {
+  aer::fleet::ShardMerger merger(4);
+  return FilledShards(merger);
+}
+
+}  // namespace
+
+std::size_t NegativeCompileProbe() { return Use(); }

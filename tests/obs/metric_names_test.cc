@@ -18,6 +18,7 @@
 #include "ctrl/harness.h"
 #include "inject/harness.h"
 #include "inject/net_perturber.h"
+#include "fleet/fleet_sim.h"
 #include "mining/error_type.h"
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
@@ -182,6 +183,30 @@ TEST(MetricNamesTest, ClusterSimulatorRegistersFrozenSet) {
       "aer_sim_downtime_seconds_total",
       "aer_sim_faults_skipped_total",
       "aer_sim_processes_total",
+  };
+  EXPECT_EQ(Sorted(registry.Names()), expected);
+}
+
+TEST(MetricNamesTest, FleetSimulatorRegistersFrozenSet) {
+  fleet::FleetSimConfig config;
+  config.sim.num_machines = 50;
+  config.sim.duration = 5 * kDay;
+  config.sim.machine_mtbf_days = 5.0;
+  config.sim.seed = 3;
+  obs::MetricsRegistry registry;
+  UserDefinedPolicy policy;
+  fleet::FleetSimulator sim(config, MakeDefaultCatalog());
+  sim.SetMetrics(&registry);
+  sim.Run(policy);
+  const std::vector<std::string> expected = {
+      "aer_fleet_arrivals_skipped_total",
+      "aer_fleet_arrivals_total",
+      "aer_fleet_downtime_seconds_total",
+      "aer_fleet_events_total",
+      "aer_fleet_machines",
+      "aer_fleet_processes_total",
+      "aer_fleet_shards",
+      "aer_fleet_wheel_peak_events",
   };
   EXPECT_EQ(Sorted(registry.Names()), expected);
 }
