@@ -15,6 +15,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -22,7 +23,11 @@
 #include "bench_json.h"
 #include "cluster/user_policy.h"
 #include "ctrl/harness.h"
+#include "obs/chrome_trace.h"
+#include "obs/critical_path.h"
 #include "obs/metrics.h"
+#include "obs/trace_collector.h"
+#include "obs/trace_dag.h"
 
 namespace aer::bench {
 namespace {
@@ -51,7 +56,8 @@ std::vector<ctrl::ControlIncident> Incidents() {
 }
 
 ctrl::ControlHarnessResult RunOnce(int cluster_size, NetFaultScript script,
-                                   obs::MetricsRegistry* registry) {
+                                   obs::MetricsRegistry* registry,
+                                   obs::TraceCollector* traces = nullptr) {
   UserDefinedPolicy policy;
   RecoveryManagerConfig manager_config;
   manager_config.action_timeout = 120;
@@ -59,6 +65,7 @@ ctrl::ControlHarnessResult RunOnce(int cluster_size, NetFaultScript script,
                                     FastConfig(cluster_size),
                                     std::move(script));
   if (registry != nullptr) harness.SetObservers(nullptr, registry);
+  if (traces != nullptr) harness.SetTraceCollector(traces);
   return harness.Run(Incidents());
 }
 
@@ -93,8 +100,11 @@ void Run() {
     arms.push_back({"steady n=" + std::to_string(n), n, {}, -1});
   }
   {
-    Arm takeover{"takeover n=3", 3, {}, 72};
-    takeover.script.crashes.push_back({72, 0, 300});
+    // The crash lands while machines 2 and 3 are mid-ladder, so their
+    // in-flight actions lose their issuer and the successor must adopt and
+    // resume — the scenario the takeover_gap stage attributes.
+    Arm takeover{"takeover n=3", 3, {}, 45};
+    takeover.script.crashes.push_back({45, 0, 300});
     arms.push_back(std::move(takeover));
   }
   {
@@ -109,6 +119,11 @@ void Run() {
   }
 
   obs::MetricsRegistry registry;
+  // Causal trace of the takeover arm's observed run: the critical-path
+  // attribution below turns the headline takeover latency into named stages
+  // (docs/OBSERVABILITY.md "Distributed tracing").
+  obs::TraceCollector takeover_traces;
+  takeover_traces.SetMetrics(&registry);
   std::vector<std::string> labels;
   ChartSeries cures{"incidents cured", {}};
   ChartSeries end_time{"sim end time", {}};
@@ -118,8 +133,9 @@ void Run() {
   SimTime crash_takeover_latency = 0;
   for (const Arm& arm : arms) {
     // One observed run for the registry + determinism surfaces...
-    const ctrl::ControlHarnessResult result =
-        RunOnce(arm.cluster_size, arm.script, &registry);
+    const ctrl::ControlHarnessResult result = RunOnce(
+        arm.cluster_size, arm.script, &registry,
+        arm.name == "takeover n=3" ? &takeover_traces : nullptr);
     // ...then unobserved repetitions for a measurable wall time.
     const auto start = std::chrono::steady_clock::now();
     std::int64_t arm_elections = result.coordinators.elections_started;
@@ -152,12 +168,48 @@ void Run() {
   const double elections_per_sec =
       wall_ms > 0.0 ? static_cast<double>(elections) / (wall_ms / 1000.0)
                     : 0.0;
+  // Critical-path attribution of the takeover arm: per-stage sim-time of
+  // every cure lands in the aer_trace_* histograms (and through the
+  // registry snapshot, in the baseline), and the two control-plane stages
+  // behind the headline takeover latency become their own trend metrics.
+  const std::vector<obs::TraceRecord> takeover_records =
+      takeover_traces.Snapshot();
+  const std::vector<obs::CriticalPath> takeover_paths =
+      obs::AnalyzeCriticalPaths(takeover_records);
+  obs::PublishCriticalPathMetrics(registry, takeover_paths);
+  SimTime takeover_gap = 0;
+  SimTime election_wait = 0;
+  for (const obs::CriticalPath& path : takeover_paths) {
+    takeover_gap += path.stage_seconds[static_cast<std::size_t>(
+        obs::TraceStage::kTakeoverGap)];
+    election_wait += path.stage_seconds[static_cast<std::size_t>(
+        obs::TraceStage::kElectionWait)];
+  }
+
   BenchRecord& record = BenchRecord::Instance();
   record.RecordRegistrySnapshot(registry);
   record.SetMetric("elections_per_sec", elections_per_sec);
   record.SetMetric("ctrl_wall_ms", wall_ms);
   record.SetIntMetric("takeover_latency_sim_seconds",
                       crash_takeover_latency);
+  record.SetIntMetric("takeover_stage_takeover_gap_sim_seconds",
+                      takeover_gap);
+  record.SetIntMetric("takeover_stage_election_wait_sim_seconds",
+                      election_wait);
+
+  // One loadable Chrome trace of the takeover arm rides along with the
+  // BENCH_*.json records (the CI bench job uploads it). The TRACE_ prefix
+  // keeps it out of run_all.py's BENCH_*.json glob.
+  const char* artifact_env = std::getenv("AER_BENCH_JSON_DIR");
+  const std::string artifact_dir =
+      artifact_env != nullptr ? artifact_env : ".";
+  if (artifact_dir != "off") {
+    std::ofstream out(artifact_dir + "/TRACE_ctrl_takeover.chrome.json");
+    if (out.good()) {
+      out << obs::ChromeTraceJson(obs::BuildTraceDag(takeover_records),
+                                  takeover_paths);
+    }
+  }
 
   std::printf("\n%d reps/arm: %.1f ms wall, %.0f elections/sec; leader "
               "takeover resumed in-flight recovery %lld sim-seconds after "

@@ -42,6 +42,10 @@ SMOKE_EXTRA_ARGS = {
 # they vary run to run and machine to machine.
 BASELINE_METRIC_KEYS = ("episodes", "types")
 THROUGHPUT_PREFIXES = ("episodes_per_sec", "events_per_sec")
+# Deterministic sim-time latencies trended alongside throughput: the
+# control-plane takeover latency and its critical-path stage attribution
+# (bench_ctrl, docs/OBSERVABILITY.md "Distributed tracing").
+TREND_LATENCY_PREFIXES = ("takeover_",)
 # Observability counters mirrored from a MetricsRegistry snapshot
 # (bench_json RecordRegistrySnapshot). Deterministic by contract
 # (docs/OBSERVABILITY.md), so they are compared exactly like checksums.
@@ -177,7 +181,7 @@ def append_trend(records: dict, trend_path: Path) -> None:
                 "wall_ms": record.get("wall_ms"),
             }
             for key, value in sorted(record.get("metrics", {}).items()):
-                if key.startswith(THROUGHPUT_PREFIXES):
+                if key.startswith(THROUGHPUT_PREFIXES + TREND_LATENCY_PREFIXES):
                     row[key] = value
             f.write(json.dumps(row) + "\n")
     print(f"run_all: appended {len(records)} trend rows -> {trend_path}")

@@ -25,13 +25,18 @@
 #include "cluster/user_policy.h"
 #include "core/guarded_policy.h"
 #include "core/policy_generator.h"
+#include "ctrl/harness.h"
 #include "eval/experiment.h"
 #include "inject/harness.h"
 #include "log/log_report.h"
 #include "mining/symptom_clusters.h"
 #include "common/profiler.h"
+#include "obs/chrome_trace.h"
+#include "obs/critical_path.h"
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
+#include "obs/trace_collector.h"
+#include "obs/trace_dag.h"
 #include "obs/tracer.h"
 #include "rl/policy_diff.h"
 
@@ -97,6 +102,8 @@ int Usage() {
       "  aerctl metrics   [--incidents N] [--seed N] [--clean] [--json]\n"
       "  aerctl trace     [--incidents N] [--seed N] [--clean] "
       "[--type SYMPTOM] [--top N] [--json]\n"
+      "  aerctl trace     --dag|--critical-path|--chrome [--cluster N] "
+      "[--seed N]\n"
       "  aerctl timeseries [--incidents N] [--seed N] [--clean] "
       "[--window SECONDS] [--capacity N] [--json]\n"
       "  aerctl profile   [--incidents N] [--seed N] [--clean] [--wall] "
@@ -401,7 +408,65 @@ int Metrics(const Flags& flags) {
   return 0;
 }
 
+// `trace --dag|--critical-path|--chrome` drives the distributed control
+// plane (src/ctrl) instead of the event-level pipeline: a compressed-time
+// cluster cures three scripted incidents while node 0 crashes mid-recovery
+// and later restarts, so the collected causal DAG exercises dispatch,
+// execution, timeout, takeover adoption, and the leadership overlay.
+// Fully deterministic for a given (--cluster, --seed) pair — the DAG text,
+// the critical-path attribution, and the Chrome trace JSON are byte-
+// identical across runs (the golden CLI tests pin them).
+void RunTracedControlPipeline(const Flags& flags,
+                              obs::TraceCollector& traces) {
+  ctrl::ControlHarnessConfig config;
+  config.cluster_size = static_cast<int>(flags.GetInt("cluster", 3));
+  config.tick_interval = 5;
+  config.net_latency = 1;
+  config.reemit_interval = 60;
+  config.action_duration = {2, 5, 10, 20};
+  config.coordinator.lease.lease_duration = 30;
+  config.coordinator.membership.suspect_after = 15;
+  config.coordinator.membership.evict_after = 60;
+  config.coordinator.election_retry = 10;
+  config.net.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+
+  RecoveryManagerConfig manager_config;
+  manager_config.action_timeout = 120;
+
+  NetFaultScript script;
+  script.crashes.push_back({72, 0, 300});
+
+  UserDefinedPolicy policy;
+  ctrl::ControlPlaneHarness harness(policy, manager_config, config, script);
+  harness.SetTraceCollector(&traces);
+  harness.Run({
+      {50, 7, "NoHeartbeat", 3},
+      {150, 2, "Watchdog", 1},
+      {400, 9, "Watchdog", 0},
+  });
+}
+
 int Trace(const Flags& flags) {
+  if (flags.Has("dag") || flags.Has("critical-path") || flags.Has("chrome")) {
+    obs::TraceCollector traces;
+    RunTracedControlPipeline(flags, traces);
+    const std::vector<obs::TraceRecord> records = traces.Snapshot();
+    if (flags.Has("chrome")) {
+      std::printf("%s\n",
+                  obs::ChromeTraceJson(obs::BuildTraceDag(records),
+                                       obs::AnalyzeCriticalPaths(records))
+                      .c_str());
+    } else if (flags.Has("critical-path")) {
+      std::printf(
+          "%s",
+          obs::FormatCriticalPaths(obs::AnalyzeCriticalPaths(records))
+              .c_str());
+    } else {
+      std::printf("%s", obs::FormatTraceDag(obs::BuildTraceDag(records))
+                            .c_str());
+    }
+    return 0;
+  }
   obs::Tracer tracer;
   obs::MetricsRegistry metrics;
   RunObservedPipeline(flags, tracer, metrics);

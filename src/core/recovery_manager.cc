@@ -90,12 +90,19 @@ void RecoveryManager::ReportOutcome(MachineId machine, OpenProcess& process,
 }
 
 void RecoveryManager::OnSymptom(SimTime time, MachineId machine,
-                                std::string_view symptom) {
+                                std::string_view symptom,
+                                obs::TraceContext trace) {
   AER_PROFILE_SCOPE("rm_on_symptom");
   const SymptomId id = log_.symptoms().Intern(symptom);
   const auto it = open_.find(machine);
   if (it != open_.end()) {
     OpenProcess& process = it->second;
+    // A late-arriving context for an already-open process (e.g. the first
+    // traced symptom after adoption of an untraced snapshot) still binds.
+    if (process.trace == obs::kNoTrace && trace.active()) {
+      process.trace = trace.trace_id;
+      if (tracer_) tracer_->SetTraceId(process.span, process.trace);
+    }
     const SimTime seen = ClampTime(process, time);
     // A monitoring retransmission: same symptom at the same (clamped)
     // instant adds no information — absorb it instead of bloating the log.
@@ -120,6 +127,7 @@ void RecoveryManager::OnSymptom(SimTime time, MachineId machine,
   process.initial_symptom = id;
   process.last_symptom = id;
   process.last_symptom_time = time;
+  process.trace = trace.trace_id;
 
   MachineHistory& history = history_[machine];
   process.last_recovery_end = history.last_recovery_end;
@@ -140,6 +148,9 @@ void RecoveryManager::OnSymptom(SimTime time, MachineId machine,
     process.span = tracer_->StartSpan("recovery", time);
     tracer_->SetLabel(process.span, symptom);
     tracer_->SetMachine(process.span, machine);
+    if (process.trace != obs::kNoTrace) {
+      tracer_->SetTraceId(process.span, process.trace);
+    }
     if (process.quarantined) {
       tracer_->AddEvent(process.span, time, "flap_quarantine");
     }
@@ -206,6 +217,9 @@ std::optional<RepairAction> RecoveryManager::OnRecoveryNeeded(
         StrFormat("action:%s", std::string(ActionName(action)).c_str()), now,
         process.span);
     tracer_->SetMachine(process.action_span, machine);
+    if (process.trace != obs::kNoTrace) {
+      tracer_->SetTraceId(process.action_span, process.trace);
+    }
   }
   return action;
 }
@@ -283,6 +297,16 @@ void RecoveryManager::ExpireInFlightAction(MachineId machine,
                                            OpenProcess& process) {
   const SimTime deadline = ActionDeadline(process);
   ReportOutcome(machine, process, deadline, /*cured=*/false);
+  if (traces_ && process.trace != obs::kNoTrace && !process.tried.empty()) {
+    obs::TraceRecord record;
+    record.trace_id = process.trace;
+    record.time = deadline;
+    record.kind = obs::TraceEventKind::kTimeout;
+    record.machine = machine;
+    record.attempt = static_cast<int>(process.tried.size()) - 1;
+    record.action = ActionIndex(process.tried.back());
+    traces_->Record(std::move(record));
+  }
   process.action_in_flight = false;
   process.last_event_time = std::max(process.last_event_time, deadline);
   ++process.timeouts;
@@ -327,6 +351,11 @@ int RecoveryManager::ActionsTried(MachineId machine) const {
   return it == open_.end() ? 0 : static_cast<int>(it->second.tried.size());
 }
 
+obs::TraceId RecoveryManager::TraceOf(MachineId machine) const {
+  const auto it = open_.find(machine);
+  return it == open_.end() ? obs::kNoTrace : it->second.trace;
+}
+
 std::vector<OpenProcessSnapshot> RecoveryManager::ExportOpenProcesses()
     const {
   std::vector<OpenProcessSnapshot> snapshots;
@@ -340,6 +369,7 @@ std::vector<OpenProcessSnapshot> RecoveryManager::ExportOpenProcesses()
     snapshot.timeouts = process.timeouts;
     snapshot.quarantined = process.quarantined;
     snapshot.last_event_time = process.last_event_time;
+    snapshot.trace_id = process.trace;
     snapshots.push_back(std::move(snapshot));
   }
   // open_ iteration order is unspecified; sort for deterministic replication.
@@ -362,6 +392,7 @@ bool RecoveryManager::AdoptProcess(SimTime now,
   process.tried = snapshot.tried;
   process.timeouts = snapshot.timeouts;
   process.quarantined = snapshot.quarantined;
+  process.trace = snapshot.trace_id;
   // The adopting coordinator's clock is `now`; the snapshot's watermark may
   // be ahead of it if replication raced an event — keep the max so the
   // monotonic clamp never regresses.
@@ -377,6 +408,9 @@ bool RecoveryManager::AdoptProcess(SimTime now,
     process.span = tracer_->StartSpan("recovery", snapshot.start);
     tracer_->SetLabel(process.span, snapshot.symptom);
     tracer_->SetMachine(process.span, snapshot.machine);
+    if (process.trace != obs::kNoTrace) {
+      tracer_->SetTraceId(process.span, process.trace);
+    }
     tracer_->AddEvent(process.span, now, "adopted");
   }
   open_.emplace(snapshot.machine, std::move(process));

@@ -34,6 +34,8 @@
 #include "cluster/policy.h"
 #include "log/recovery_log.h"
 #include "obs/metrics.h"
+#include "obs/trace_collector.h"
+#include "obs/trace_context.h"
 #include "obs/tracer.h"
 
 namespace aer {
@@ -75,6 +77,9 @@ struct OpenProcessSnapshot {
   int timeouts = 0;
   bool quarantined = false;
   SimTime last_event_time = 0;
+  // Distributed trace of the process (obs/trace_context.h); replicated so
+  // the adopting leader continues the same causal trace across takeover.
+  obs::TraceId trace_id = obs::kNoTrace;
 
   friend bool operator==(const OpenProcessSnapshot&,
                          const OpenProcessSnapshot&) = default;
@@ -93,10 +98,18 @@ class RecoveryManager {
   // into the aer_recovery_* metrics (docs/OBSERVABILITY.md).
   void SetObservers(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
 
+  // Attaches the causal trace sink (may be null; must outlive the manager).
+  // With a collector set, action timeouts emit trace records and adopted /
+  // opened processes keep their distributed trace id.
+  void SetTraceCollector(obs::TraceCollector* traces) { traces_ = traces; }
+
   // Event monitoring: a symptom was observed on a machine. Opens a recovery
   // process if none is active; records the symptom either way. Tolerates
-  // out-of-order and duplicate reports (see Stats).
-  void OnSymptom(SimTime time, MachineId machine, std::string_view symptom);
+  // out-of-order and duplicate reports (see Stats). `trace` is the symptom's
+  // causal context: it binds the opened process (and its spans) to the
+  // distributed trace; an inactive context leaves the process untraced.
+  void OnSymptom(SimTime time, MachineId machine, std::string_view symptom,
+                 obs::TraceContext trace = {});
 
   // Fault detection: the machine needs (another) repair action now. Returns
   // the action the caller must execute, or nullopt if no process is open.
@@ -126,6 +139,10 @@ class RecoveryManager {
   // Control-plane callers use this as the attempt index when correlating
   // dispatched actions with their results across leader changes.
   int ActionsTried(MachineId machine) const;
+
+  // Distributed trace id of the machine's open process (kNoTrace if none or
+  // untraced). Control-plane callers stamp it onto outgoing dispatches.
+  obs::TraceId TraceOf(MachineId machine) const;
 
   // Snapshots every open process in ascending machine-id order — the
   // replication payload a leader coordinator streams to its followers.
@@ -184,6 +201,7 @@ class RecoveryManager {
     bool quarantined = false;
     obs::SpanId span = obs::kNoSpan;         // the process's "recovery" span
     obs::SpanId action_span = obs::kNoSpan;  // the in-flight action's span
+    obs::TraceId trace = obs::kNoTrace;      // distributed trace id
   };
 
   struct MachineHistory {
@@ -219,6 +237,7 @@ class RecoveryManager {
   Stats stats_;
 
   obs::Tracer* tracer_ = nullptr;
+  obs::TraceCollector* traces_ = nullptr;
   // Cached metric handles (resolved once in SetObservers) so the hot path
   // never takes the registry lock; all null when no registry is attached.
   struct ObsMetrics {

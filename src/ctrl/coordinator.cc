@@ -43,6 +43,11 @@ void Coordinator::SetObservers(obs::Tracer* tracer,
   obs_.current_epoch = &metrics->GetGauge("aer_ctrl_current_epoch");
 }
 
+void Coordinator::SetTraceCollector(obs::TraceCollector* traces) {
+  traces_ = traces;
+  service_.SetTraceCollector(traces);
+}
+
 void Coordinator::DriveLocked(SimTime now, MachineId machine,
                               CoordinatorOutput* out) {
   const std::optional<RepairAction> action =
@@ -57,6 +62,7 @@ void Coordinator::DriveLocked(SimTime now, MachineId machine,
   // are dispatching.
   dispatch.attempt = service_.manager().ActionsTried(machine) - 1;
   dispatch.issuer = self_;
+  dispatch.trace = service_.manager().TraceOf(machine);
   out->dispatches.push_back(dispatch);
 }
 
@@ -70,14 +76,36 @@ void Coordinator::CheckBecameLeaderLocked(SimTime now,
     tracer_->Instant("ctrl:leader", now,
                      "epoch=" + std::to_string(lease_.holding_epoch()));
   }
-  const int adopted = service_.AdoptReplica(now);
-  if (adopted > 0) {
+  if (traces_) {
+    obs::TraceRecord record;
+    record.time = now;
+    record.kind = obs::TraceEventKind::kLeaderElected;
+    record.node = self_;
+    record.epoch = lease_.holding_epoch();
+    traces_->Record(std::move(record));
+  }
+  const std::vector<MachineId> adopted = service_.AdoptReplica(now);
+  if (!adopted.empty()) {
     ++stats_.takeovers;
-    stats_.processes_adopted += adopted;
+    stats_.processes_adopted += static_cast<std::int64_t>(adopted.size());
     if (obs_.takeovers) obs_.takeovers->Inc();
-    if (obs_.adopted) obs_.adopted->Inc(adopted);
+    if (obs_.adopted) {
+      obs_.adopted->Inc(static_cast<std::int64_t>(adopted.size()));
+    }
     if (tracer_) {
-      tracer_->Instant("ctrl:takeover", now, std::to_string(adopted));
+      tracer_->Instant("ctrl:takeover", now, std::to_string(adopted.size()));
+    }
+    if (traces_) {
+      for (const MachineId machine : adopted) {
+        obs::TraceRecord record;
+        record.trace_id = service_.manager().TraceOf(machine);
+        record.time = now;
+        record.kind = obs::TraceEventKind::kAdopt;
+        record.machine = machine;
+        record.node = self_;
+        record.epoch = lease_.holding_epoch();
+        traces_->Record(std::move(record));
+      }
     }
   }
   // Resume: every open process (adopted or our own) gets its next action.
@@ -94,6 +122,14 @@ void Coordinator::CheckSteppedDownLocked(SimTime now) {
   ++stats_.stepdowns;
   if (obs_.stepdowns) obs_.stepdowns->Inc();
   if (tracer_) tracer_->Instant("ctrl:stepdown", now);
+  if (traces_) {
+    obs::TraceRecord record;
+    record.time = now;
+    record.kind = obs::TraceEventKind::kLeaderLost;
+    record.node = self_;
+    record.epoch = lease_.max_seen_epoch();
+    traces_->Record(std::move(record));
+  }
 }
 
 void Coordinator::SyncMembershipCountersLocked() {
@@ -251,11 +287,12 @@ CoordinatorOutput Coordinator::Deliver(SimTime now, const Message& message) {
 }
 
 CoordinatorOutput Coordinator::OnSymptom(SimTime now, MachineId machine,
-                                         std::string_view symptom) {
+                                         std::string_view symptom,
+                                         obs::TraceContext trace) {
   CoordinatorOutput out;
   MutexLock lock(mu_);
   CheckSteppedDownLocked(now);
-  if (service_.OnSymptom(now, machine, symptom)) {
+  if (service_.OnSymptom(now, machine, symptom, trace)) {
     DriveLocked(now, machine, &out);
   }
   return out;

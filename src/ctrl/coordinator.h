@@ -36,6 +36,8 @@
 #include "ctrl/message.h"
 #include "ctrl/service.h"
 #include "obs/metrics.h"
+#include "obs/trace_collector.h"
+#include "obs/trace_context.h"
 #include "obs/tracer.h"
 
 namespace aer::ctrl {
@@ -47,6 +49,9 @@ struct ActionDispatch {
   Epoch epoch = 0;    // fencing token: machines reject anything stale
   int attempt = 0;    // index into the process's tried list (correlation)
   NodeId issuer = kNoNode;
+  // Causal trace of the recovery process this action serves; carried to the
+  // machine so its action spans join the same distributed trace.
+  obs::TraceId trace = obs::kNoTrace;
 };
 
 // Everything one entry point produced; the caller owns routing/execution.
@@ -76,6 +81,11 @@ class Coordinator {
   // and registers the aer_ctrl_* metrics (docs/OBSERVABILITY.md).
   void SetObservers(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
 
+  // Attaches the causal trace sink (may be null; must outlive the
+  // coordinator). Leadership transitions and takeover adoptions become
+  // trace records; the sink also forwards to the wrapped manager.
+  void SetTraceCollector(obs::TraceCollector* traces);
+
   // Periodic maintenance; call at a fixed cadence per node.
   CoordinatorOutput Tick(SimTime now);
 
@@ -83,9 +93,11 @@ class Coordinator {
   CoordinatorOutput Deliver(SimTime now, const Message& message);
 
   // A fleet symptom reached this node (monitoring broadcasts to every
-  // coordinator; only a leaseholder acts on it).
+  // coordinator; only a leaseholder acts on it). `trace` is the symptom's
+  // causal context, minted by the monitoring layer.
   CoordinatorOutput OnSymptom(SimTime now, MachineId machine,
-                              std::string_view symptom);
+                              std::string_view symptom,
+                              obs::TraceContext trace = {});
 
   // A machine reported the outcome of a dispatched action back to its
   // issuer. `attempt` echoes the dispatch; stale echoes are dropped.
@@ -146,6 +158,7 @@ class Coordinator {
   std::int64_t evictions_seen_ AER_GUARDED_BY(mu_) = 0;
 
   obs::Tracer* tracer_ = nullptr;
+  obs::TraceCollector* traces_ = nullptr;
   struct ObsMetrics {
     obs::Counter* heartbeats = nullptr;
     obs::Counter* elections = nullptr;

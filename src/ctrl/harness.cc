@@ -45,6 +45,10 @@ struct ControlPlaneHarness::Event {
   Message msg;
   ActionDispatch dispatch;
   bool healthy = false;
+  // The event descends from a network-duplicated hop; trace records it
+  // produces carry the flag so the critical-path analyzer never
+  // double-counts stages.
+  bool duplicate = false;
 };
 
 ControlPlaneHarness::ControlPlaneHarness(RecoveryPolicy& policy,
@@ -89,6 +93,13 @@ void ControlPlaneHarness::SetObservers(obs::Tracer* tracer,
           : &metrics->GetCounter("aer_ctrl_stale_actions_rejected_total");
 }
 
+void ControlPlaneHarness::SetTraceCollector(obs::TraceCollector* traces) {
+  traces_ = traces;
+  for (auto& coordinator : coordinators_) {
+    if (coordinator) coordinator->SetTraceCollector(traces);
+  }
+}
+
 void ControlPlaneHarness::ApplyTransitions(SimTime now) {
   for (const NetTransition& transition : net_.AdvanceTo(now)) {
     if (transition.kind == NetTransition::Kind::kCrash) {
@@ -102,6 +113,13 @@ void ControlPlaneHarness::ApplyTransitions(SimTime now) {
         retired_gated_ += coordinator->service().actions_gated();
         coordinator.reset();
       }
+      if (traces_) {
+        obs::TraceRecord record;
+        record.time = transition.at;
+        record.kind = obs::TraceEventKind::kNodeCrash;
+        record.node = transition.node;
+        traces_->Record(std::move(record));
+      }
     } else if (transition.kind == NetTransition::Kind::kRestart) {
       auto& coordinator =
           coordinators_[static_cast<std::size_t>(transition.node)];
@@ -110,6 +128,14 @@ void ControlPlaneHarness::ApplyTransitions(SimTime now) {
           policy_, manager_config_,
           durable_[static_cast<std::size_t>(transition.node)]);
       coordinator->SetObservers(tracer_, metrics_);
+      coordinator->SetTraceCollector(traces_);
+      if (traces_) {
+        obs::TraceRecord record;
+        record.time = transition.at;
+        record.kind = obs::TraceEventKind::kNodeRestart;
+        record.node = transition.node;
+        traces_->Record(std::move(record));
+      }
     }
     // Partition start/heal is routing state the perturber already applied.
   }
@@ -214,11 +240,51 @@ ControlHarnessResult ControlPlaneHarness::Run(
       record.machine = dispatch.machine;
       record.action = ActionIndex(dispatch.action);
       result.dispatch_log.push_back(record);
-      Event e;
-      e.kind = Event::Kind::kDispatchDeliver;
-      e.time = now + config_.net_latency + extra_delay;
-      e.dispatch = dispatch;
-      push(std::move(e));
+      if (traces_) {
+        obs::TraceRecord trace;
+        trace.trace_id = dispatch.trace;
+        trace.time = now;
+        trace.kind = obs::TraceEventKind::kDispatch;
+        trace.machine = dispatch.machine;
+        trace.node = dispatch.issuer;
+        trace.attempt = dispatch.attempt;
+        trace.action = ActionIndex(dispatch.action);
+        trace.epoch = dispatch.epoch;
+        traces_->Record(std::move(trace));
+      }
+      const NetPerturber::Routing routing = net_.RouteMachineHop(
+          now, config_.net_latency + extra_delay);
+      if (routing.deliver) {
+        Event e;
+        e.kind = Event::Kind::kDispatchDeliver;
+        e.time = routing.at;
+        e.dispatch = dispatch;
+        push(std::move(e));
+      } else {
+        // Lost on the machine network: the issuer's timeout machinery (or
+        // the re-emit chain) retries. The trace keeps the orphan edge.
+        if (traces_) {
+          obs::TraceRecord trace;
+          trace.trace_id = dispatch.trace;
+          trace.time = now;
+          trace.kind = obs::TraceEventKind::kDispatchDrop;
+          trace.machine = dispatch.machine;
+          trace.node = dispatch.issuer;
+          trace.attempt = dispatch.attempt;
+          trace.action = ActionIndex(dispatch.action);
+          trace.epoch = dispatch.epoch;
+          trace.detail = "dropped";
+          traces_->Record(std::move(trace));
+        }
+      }
+      if (routing.duplicated) {
+        Event e;
+        e.kind = Event::Kind::kDispatchDeliver;
+        e.time = routing.duplicate_at;
+        e.dispatch = dispatch;
+        e.duplicate = true;
+        push(std::move(e));
+      }
     }
   };
 
@@ -272,11 +338,29 @@ ControlHarnessResult ControlPlaneHarness::Run(
     switch (event.kind) {
       case Event::Kind::kIncident: {
         MachineState& machine = machines_[event.machine];
+        const bool fresh = !machine.sick;
         machine.sick = true;
         machine.symptom = event.symptom;
         // Overlapping incidents: the harder fault wins.
         machine.cure_strength =
             std::max(machine.cure_strength, event.cure_strength);
+        if (fresh) {
+          // A fresh incident opens a new recovery episode: mint its
+          // deterministic trace id. Overlapping incidents join the episode.
+          ++machine.episodes;
+          machine.trace = obs::MakeTraceId(config_.net.seed, event.machine,
+                                           machine.episodes);
+        }
+        if (traces_) {
+          obs::TraceRecord trace;
+          trace.trace_id = machine.trace;
+          trace.time = event.time;
+          trace.kind = obs::TraceEventKind::kIncident;
+          trace.machine = event.machine;
+          trace.duplicate = !fresh;
+          trace.detail = event.symptom;
+          traces_->Record(std::move(trace));
+        }
         if (tracer_) {
           tracer_->Instant("inject:incident", event.time, event.symptom,
                            obs::kNoSpan, event.machine);
@@ -322,10 +406,24 @@ ControlHarnessResult ControlPlaneHarness::Run(
       case Event::Kind::kSymptomDeliver: {
         const auto node = static_cast<std::size_t>(event.node);
         if (!net_.NodeUp(event.node) || !coordinators_[node]) break;
+        MachineState& machine = machines_[event.machine];
+        // Only the leaseholder's admission is a trace event: followers
+        // receive the same broadcast but gate it, and recording theirs
+        // would make the trace stream depend on the cluster size.
+        if (traces_ && coordinators_[node]->IsLeader(event.time)) {
+          obs::TraceRecord trace;
+          trace.trace_id = machine.trace;
+          trace.time = event.time;
+          trace.kind = obs::TraceEventKind::kSymptom;
+          trace.machine = event.machine;
+          trace.node = event.node;
+          trace.detail = machine.symptom;
+          traces_->Record(std::move(trace));
+        }
         process_output(event.time,
                        coordinators_[node]->OnSymptom(
-                           event.time, event.machine,
-                           machines_[event.machine].symptom));
+                           event.time, event.machine, machine.symptom,
+                           obs::TraceContext{machine.trace}));
         break;
       }
       case Event::Kind::kCoordTick: {
@@ -360,6 +458,23 @@ ControlHarnessResult ControlPlaneHarness::Run(
       }
       case Event::Kind::kDispatchDeliver: {
         const ActionDispatch& dispatch = event.dispatch;
+        const auto trace_hop = [this, &event, &dispatch](
+                                   obs::TraceEventKind kind,
+                                   std::string detail) {
+          if (!traces_) return;
+          obs::TraceRecord trace;
+          trace.trace_id = dispatch.trace;
+          trace.time = event.time;
+          trace.kind = kind;
+          trace.machine = dispatch.machine;
+          trace.node = dispatch.issuer;
+          trace.attempt = dispatch.attempt;
+          trace.action = ActionIndex(dispatch.action);
+          trace.epoch = dispatch.epoch;
+          trace.duplicate = event.duplicate;
+          trace.detail = std::move(detail);
+          traces_->Record(std::move(trace));
+        };
         if (!fence_.Admit(dispatch.machine, dispatch.epoch)) {
           auditor_.OnStaleRejected(event.time, dispatch.machine,
                                    dispatch.epoch);
@@ -369,6 +484,7 @@ ControlHarnessResult ControlPlaneHarness::Run(
             tracer_->Instant("fence:reject", event.time, "", obs::kNoSpan,
                              dispatch.machine);
           }
+          trace_hop(obs::TraceEventKind::kFenceReject, "stale_epoch");
           break;
         }
         MachineState& machine = machines_[dispatch.machine];
@@ -376,6 +492,7 @@ ControlHarnessResult ControlPlaneHarness::Run(
           // One action at a time; the issuer's timeout machinery (or the
           // re-emit chain) retries once the machine frees up.
           ++result.busy_drops;
+          trace_hop(obs::TraceEventKind::kBusyDrop, "executing");
           break;
         }
         machine.executing = true;
@@ -384,12 +501,14 @@ ControlHarnessResult ControlPlaneHarness::Run(
         ++result.actions_executed;
         result.executed.push_back(
             {dispatch.machine, ActionIndex(dispatch.action)});
+        trace_hop(obs::TraceEventKind::kActionStart, "");
         Event done;
         done.kind = Event::Kind::kActionDone;
         done.time =
             event.time + config_.action_duration[static_cast<std::size_t>(
                              ActionIndex(dispatch.action))];
         done.dispatch = dispatch;
+        done.duplicate = event.duplicate;
         push(std::move(done));
         break;
       }
@@ -401,29 +520,86 @@ ControlHarnessResult ControlPlaneHarness::Run(
                            dispatch.action == RepairAction::kRma ||
                            ActionStrength(dispatch.action) >=
                                machine.cure_strength;
+        const auto trace_hop = [this, &event, &dispatch](
+                                   obs::TraceEventKind kind,
+                                   std::string detail) {
+          if (!traces_) return;
+          obs::TraceRecord trace;
+          trace.trace_id = dispatch.trace;
+          trace.time = event.time;
+          trace.kind = kind;
+          trace.machine = dispatch.machine;
+          trace.node = dispatch.issuer;
+          trace.attempt = dispatch.attempt;
+          trace.action = ActionIndex(dispatch.action);
+          trace.epoch = dispatch.epoch;
+          trace.duplicate = event.duplicate;
+          trace.detail = std::move(detail);
+          traces_->Record(std::move(trace));
+        };
+        trace_hop(obs::TraceEventKind::kActionDone, cured ? "cured" : "sick");
         if (cured && machine.sick) {
           machine.sick = false;
           machine.cure_strength = 0;
           ++result.cures;
           result.cure_times.emplace_back(dispatch.machine, event.time);
+          trace_hop(obs::TraceEventKind::kCure, "");
+        }
+        const NetPerturber::Routing routing =
+            net_.RouteMachineHop(event.time, config_.net_latency);
+        if (!routing.deliver) {
+          // The result hop itself was lost; timeouts + re-emits rescue.
+          ++result.results_lost;
+          trace_hop(obs::TraceEventKind::kResultLost, "dropped");
+          break;
         }
         Event report;
         report.kind = Event::Kind::kResultDeliver;
-        report.time = event.time + config_.net_latency;
+        report.time = routing.at;
         report.dispatch = dispatch;
         report.healthy = cured;
+        report.duplicate = event.duplicate;
         push(std::move(report));
+        if (routing.duplicated) {
+          Event dup;
+          dup.kind = Event::Kind::kResultDeliver;
+          dup.time = routing.duplicate_at;
+          dup.dispatch = dispatch;
+          dup.healthy = cured;
+          dup.duplicate = true;
+          push(std::move(dup));
+        }
         break;
       }
       case Event::Kind::kResultDeliver: {
         const NodeId issuer = event.dispatch.issuer;
         const auto node = static_cast<std::size_t>(issuer);
+        const auto trace_hop = [this, &event, issuer](
+                                   obs::TraceEventKind kind,
+                                   std::string detail) {
+          if (!traces_) return;
+          obs::TraceRecord trace;
+          trace.trace_id = event.dispatch.trace;
+          trace.time = event.time;
+          trace.kind = kind;
+          trace.machine = event.dispatch.machine;
+          trace.node = issuer;
+          trace.attempt = event.dispatch.attempt;
+          trace.action = ActionIndex(event.dispatch.action);
+          trace.epoch = event.dispatch.epoch;
+          trace.duplicate = event.duplicate;
+          trace.detail = std::move(detail);
+          traces_->Record(std::move(trace));
+        };
         if (!net_.NodeUp(issuer) || !coordinators_[node]) {
           // The issuer died (or was replaced by a restart): the result is
           // lost; timeouts + re-emits rescue the process.
           ++result.results_lost;
+          trace_hop(obs::TraceEventKind::kResultLost, "issuer_down");
           break;
         }
+        trace_hop(obs::TraceEventKind::kResultDeliver,
+                  event.healthy ? "healthy" : "sick");
         process_output(event.time,
                        coordinators_[node]->OnActionResult(
                            event.time, event.dispatch.machine, event.healthy,

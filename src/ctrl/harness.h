@@ -40,6 +40,8 @@
 #include "ctrl/fence.h"
 #include "ctrl/message.h"
 #include "inject/net_perturber.h"
+#include "obs/trace_collector.h"
+#include "obs/trace_context.h"
 
 namespace aer::ctrl {
 
@@ -145,6 +147,15 @@ class ControlPlaneHarness {
   // scripted restart).
   void SetObservers(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
 
+  // Attaches the causal trace sink (may be null; must outlive the harness).
+  // Each fresh incident mints a deterministic trace id from
+  // (config.net.seed, machine, per-machine episode ordinal); every hop of
+  // the recovery process — symptom admission, dispatch, fencing, execution,
+  // result, timeout, adoption — lands in the collector as one causal DAG
+  // (docs/OBSERVABILITY.md "Distributed tracing"). Null disables tracing
+  // with zero behavioral difference.
+  void SetTraceCollector(obs::TraceCollector* traces);
+
   // Runs all incidents to quiescence (or the event budget). Callable once.
   ControlHarnessResult Run(const std::vector<ControlIncident>& incidents);
 
@@ -160,6 +171,11 @@ class ControlPlaneHarness {
     int cure_strength = 0;
     std::string symptom;
     bool executing = false;
+    // Recovery episodes seen on this machine (fresh incidents while
+    // healthy) and the trace id of the most recent one. The id survives the
+    // cure so post-cure stragglers still attach to their episode.
+    std::int64_t episodes = 0;
+    obs::TraceId trace = obs::kNoTrace;
   };
 
   struct Event;
@@ -192,6 +208,7 @@ class ControlPlaneHarness {
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Counter* stale_rejected_metric_ = nullptr;
+  obs::TraceCollector* traces_ = nullptr;
 };
 
 }  // namespace aer::ctrl

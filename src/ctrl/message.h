@@ -11,6 +11,7 @@
 
 #include "common/sim_time.h"
 #include "core/recovery_manager.h"
+#include "obs/trace_context.h"
 
 namespace aer::ctrl {
 
@@ -51,6 +52,13 @@ struct Message {
   // version (bumped every publication) so followers keep only the newest.
   std::uint64_t snapshot_version = 0;
   std::vector<OpenProcessSnapshot> snapshot;
+
+  // Causal trace context of the recovery process this message serves, if
+  // any (docs/OBSERVABILITY.md "Distributed tracing"). Membership traffic
+  // (heartbeats, votes) is untraced; replication snapshots carry per-process
+  // ids in their payload instead, so this stays kNoTrace for all four
+  // current kinds unless a future kind serves exactly one process.
+  obs::TraceContext trace;
 };
 
 }  // namespace aer::ctrl

@@ -33,9 +33,10 @@ bool CoordinatedRecoveryService::Admitted(SimTime now) {
 }
 
 bool CoordinatedRecoveryService::OnSymptom(SimTime now, MachineId machine,
-                                           std::string_view symptom) {
+                                           std::string_view symptom,
+                                           obs::TraceContext trace) {
   if (!Admitted(now)) return false;
-  manager_.OnSymptom(now, machine, symptom);
+  manager_.OnSymptom(now, machine, symptom, trace);
   return true;
 }
 
@@ -80,15 +81,17 @@ bool CoordinatedRecoveryService::InstallReplica(
   return true;
 }
 
-int CoordinatedRecoveryService::AdoptReplica(SimTime now) {
+std::vector<MachineId> CoordinatedRecoveryService::AdoptReplica(SimTime now) {
   std::vector<OpenProcessSnapshot> replica;
   {
     MutexLock lock(mu_);
     replica = replica_;
   }
-  int adopted = 0;
+  std::vector<MachineId> adopted;
   for (const OpenProcessSnapshot& snapshot : replica) {
-    if (manager_.AdoptProcess(now, snapshot)) ++adopted;
+    if (manager_.AdoptProcess(now, snapshot)) {
+      adopted.push_back(snapshot.machine);
+    }
   }
   return adopted;
 }

@@ -26,6 +26,8 @@
 #include "ctrl/lease.h"
 #include "ctrl/message.h"
 #include "obs/metrics.h"
+#include "obs/trace_collector.h"
+#include "obs/trace_context.h"
 #include "obs/tracer.h"
 
 namespace aer::ctrl {
@@ -42,10 +44,16 @@ class CoordinatedRecoveryService {
   // gating/replication metrics (docs/OBSERVABILITY.md).
   void SetObservers(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
 
+  // Forwards the causal trace sink to the wrapped manager.
+  void SetTraceCollector(obs::TraceCollector* traces) {
+    manager_.SetTraceCollector(traces);
+  }
+
   // ---- Lease-gated manager surface -------------------------------------
   // Each returns whether the call was admitted; a gated call leaves the
   // manager untouched and bumps actions_gated.
-  bool OnSymptom(SimTime now, MachineId machine, std::string_view symptom);
+  bool OnSymptom(SimTime now, MachineId machine, std::string_view symptom,
+                 obs::TraceContext trace = {});
   std::optional<RepairAction> OnRecoveryNeeded(SimTime now,
                                                MachineId machine);
   bool OnActionResult(SimTime now, MachineId machine, bool healthy);
@@ -64,8 +72,8 @@ class CoordinatedRecoveryService {
 
   // New-leader side: folds the stored replica into the manager. Processes
   // already open locally are left alone; each adoption resumes the previous
-  // leader's process. Returns the number adopted.
-  int AdoptReplica(SimTime now);
+  // leader's process. Returns the adopted machines in replica order.
+  std::vector<MachineId> AdoptReplica(SimTime now);
 
   std::uint64_t replica_version() const;
   std::size_t replica_entries() const;

@@ -77,7 +77,8 @@ class EngineCore {
  public:
   EngineCore(const ClusterSimConfig& cfg, const FaultCatalog& catalog,
              const Tables& tables, FleetState& state, EventWheel& wheel,
-             RecoveryPolicy& policy, ShardOutput& out, Mode& mode)
+             RecoveryPolicy& policy, ShardOutput& out, Mode& mode,
+             const obs::TraceCollector* traces = nullptr)
       : cfg_(cfg),
         catalog_(catalog),
         t_(tables),
@@ -85,7 +86,29 @@ class EngineCore {
         wheel_(wheel),
         policy_(policy),
         out_(out),
-        mode_(mode) {}
+        mode_(mode),
+        traces_(traces) {}
+
+  // Buffers one sampled causal trace record into the shard output. The id
+  // is a pure function of (seed, machine, process ordinal) and the sampling
+  // decision a pure function of the id, so every shard agrees without
+  // coordination and tracing never perturbs the simulation.
+  void Trace(SimTime time, MachineId m, obs::TraceEventKind kind, int attempt,
+             int action, std::string detail = {}) {
+    if (traces_ == nullptr) return;
+    const obs::TraceId id =
+        obs::MakeTraceId(cfg_.seed, m, st_.process_seq(m));
+    if (!traces_->Sampled(id)) return;
+    obs::TraceRecord record;
+    record.trace_id = id;
+    record.time = time;
+    record.kind = kind;
+    record.machine = m;
+    record.attempt = attempt;
+    record.action = action;
+    record.detail = std::move(detail);
+    out_.trace.push_back(std::move(record));
+  }
 
   void Push(SimTime time, FleetEventKind kind, MachineId machine,
             std::uint32_t process_seq, SymptomId symptom,
@@ -115,6 +138,10 @@ class EngineCore {
     // Primary symptom opens the process.
     out_.entries.push_back(LogEntry::Symptom(now, m, t_.primary[f]));
     st_.PushEmitted(m, t_.primary[f]);
+    Trace(now, m, obs::TraceEventKind::kIncident, -1, -1,
+          fault.primary_symptom);
+    Trace(now, m, obs::TraceEventKind::kSymptom, -1, -1,
+          fault.primary_symptom);
 
     // Detection completes after the monitoring delay; all secondary
     // symptoms land inside that window.
@@ -165,6 +192,7 @@ class EngineCore {
     if (Stale(e)) return;
     out_.entries.push_back(
         LogEntry::Symptom(e.time, e.event.machine, e.event.symptom));
+    Trace(e.time, e.event.machine, obs::TraceEventKind::kSymptom, -1, -1);
   }
 
   void HandleChooseAction(const ScheduledEvent& e) {
@@ -200,7 +228,12 @@ class EngineCore {
                               e.time - st_.last_action_start(m), cured);
     }
 
+    Trace(e.time, m, obs::TraceEventKind::kActionDone,
+          st_.tried_count(m) - 1, ActionIndex(e.event.action),
+          cured ? "cured" : "sick");
     if (cured) {
+      Trace(e.time, m, obs::TraceEventKind::kCure, st_.tried_count(m) - 1,
+            ActionIndex(e.event.action));
       out_.entries.push_back(LogEntry::Success(e.time, m));
       out_.ground_truth.push_back({.machine = m,
                                    .start = st_.process_start(m),
@@ -214,6 +247,11 @@ class EngineCore {
       mode_.OnCured(m);
       return;
     }
+    // Result monitoring is machine-local: the failed outcome is "delivered"
+    // with zero transit, so the decision gap shows up as timeout_wait in
+    // the critical path rather than an unattributed hole.
+    Trace(e.time, m, obs::TraceEventKind::kResultDeliver,
+          st_.tried_count(m) - 1, ActionIndex(e.event.action), "sick");
     // Failed: maybe re-emit a realized symptom, then choose the next action
     // after a decision gap.
     if (rng.NextBool(cfg_.symptom_reemit_probability) &&
@@ -264,6 +302,10 @@ class EngineCore {
     st_.PushTried(m, action);
     st_.set_last_action_start(m, now);
     out_.entries.push_back(LogEntry::Action(now, m, action));
+    Trace(now, m, obs::TraceEventKind::kDispatch, st_.tried_count(m) - 1,
+          ActionIndex(action));
+    Trace(now, m, obs::TraceEventKind::kActionStart,
+          st_.tried_count(m) - 1, ActionIndex(action));
     const ActionResponse& resp =
         fault.responses[static_cast<std::size_t>(ActionIndex(action))];
     const SimTime duration = std::max<SimTime>(
@@ -282,6 +324,7 @@ class EngineCore {
   RecoveryPolicy& policy_;
   ShardOutput& out_;
   Mode& mode_;
+  const obs::TraceCollector* traces_ = nullptr;
 };
 
 // One global RNG + global push counter: the seed engine's draw and tie
@@ -369,7 +412,7 @@ SimulationResult FleetSimulator::RunSeedCompat(RecoveryPolicy& policy) {
   mode.state = &state;
   ShardOutput out;
   EngineCore<CompatMode> engine(cfg, catalog_, tables, state, wheel, policy,
-                                out, mode);
+                                out, mode, traces_);
 
   // Seed draw order: per-machine speeds first (only when spread > 0), then
   // the first arrival.
@@ -457,7 +500,7 @@ void FleetSimulator::RunShard(int shard, int shards, const FleetSimTables& t,
   EventWheel wheel(0);
   ShardMode mode(begin, end, cfg.seed);
   EngineCore<ShardMode> engine(cfg, catalog_, t, state, wheel, policy, out,
-                               mode);
+                               mode, traces_);
 
   // Per-machine Poisson arrivals: superposing num_machines independent
   // rate-1/mtbf processes gives exactly the seed engine's fleet-level
@@ -570,6 +613,16 @@ void FleetSimulator::Finalize(std::vector<ShardOutput> outputs,
   std::size_t num_gt = 0;
   for (const ShardOutput& out : outputs) num_gt += out.ground_truth.size();
   result.ground_truth.reserve(num_gt);
+  if (traces_ != nullptr) {
+    // Same discipline as the log merge: per-shard buffers handed over in
+    // shard order, stably sorted by (time, machine) inside the collector.
+    std::vector<std::vector<obs::TraceRecord>> trace_shards;
+    trace_shards.reserve(outputs.size());
+    for (ShardOutput& out : outputs) {
+      trace_shards.push_back(std::move(out.trace));
+    }
+    traces_->MergeShards(std::move(trace_shards));
+  }
   // Serial merge in shard (== machine-ID) order; the final stable sorts
   // put entries in the seed engine's (time, machine) order with per-key
   // insertion order preserved.

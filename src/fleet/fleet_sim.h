@@ -38,6 +38,7 @@
 #include "common/thread_pool.h"
 #include "fleet/shard_merge.h"
 #include "obs/metrics.h"
+#include "obs/trace_collector.h"
 
 namespace aer::fleet {
 
@@ -72,6 +73,13 @@ class FleetSimulator {
   // feeds back into the simulation. The registry must outlive the runs.
   void SetMetrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  // Optional causal trace sink (must outlive the runs; null disables).
+  // Each recovery process whose deterministic id passes the collector's
+  // head sampling contributes incident/symptom/action/cure records,
+  // buffered per shard and merged after the pool barrier (MergeShards) —
+  // so the collector contents are byte-identical for any thread count.
+  void SetTraceCollector(obs::TraceCollector* traces) { traces_ = traces; }
+
   const FaultCatalog& catalog() const { return catalog_; }
 
   // The shard count Run() will use (config_.num_shards resolved).
@@ -88,6 +96,7 @@ class FleetSimulator {
   FleetSimConfig config_;
   FaultCatalog catalog_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceCollector* traces_ = nullptr;
 };
 
 }  // namespace aer::fleet

@@ -25,6 +25,7 @@
 #include "common/sim_time.h"
 #include "common/thread_annotations.h"
 #include "log/log_entry.h"
+#include "obs/trace_collector.h"
 
 namespace aer::fleet {
 
@@ -33,6 +34,10 @@ namespace aer::fleet {
 struct ShardOutput {
   std::vector<LogEntry> entries;
   std::vector<ProcessGroundTruth> ground_truth;
+  // Sampled causal trace records, machine-local order. Merged into the
+  // attached TraceCollector via MergeShards — byte-identical for any
+  // shard-to-thread assignment. Empty unless tracing is attached.
+  std::vector<obs::TraceRecord> trace;
   std::int64_t fault_arrivals = 0;
   std::int64_t fault_arrivals_skipped = 0;
   std::int64_t processes_completed = 0;

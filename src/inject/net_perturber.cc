@@ -22,6 +22,12 @@ NetPerturber::NetPerturber(NetPerturbConfig config, NetFaultScript script)
   AER_CHECK_LE(config_.delay_message, 1.0);
   AER_CHECK_GE(config_.duplicate_message, 0.0);
   AER_CHECK_LE(config_.duplicate_message, 1.0);
+  AER_CHECK_GE(config_.drop_machine_hop, 0.0);
+  AER_CHECK_LE(config_.drop_machine_hop, 1.0);
+  AER_CHECK_GE(config_.delay_machine_hop, 0.0);
+  AER_CHECK_LE(config_.delay_machine_hop, 1.0);
+  AER_CHECK_GE(config_.duplicate_machine_hop, 0.0);
+  AER_CHECK_LE(config_.duplicate_machine_hop, 1.0);
   AER_CHECK_GT(config_.max_delay, 0);
 
   int order = 0;
@@ -194,6 +200,37 @@ NetPerturber::Routing NetPerturber::Route(SimTime now, int from, int to,
     ++stats_.duplicates;
     if (obs_.duplicates) obs_.duplicates->Inc();
     if (tracer_) tracer_->Instant("inject:net_duplicate", now);
+  }
+  return routing;
+}
+
+NetPerturber::Routing NetPerturber::RouteMachineHop(SimTime now,
+                                                    SimTime base_latency) {
+  AER_CHECK_GE(base_latency, 0);
+  ++stats_.machine_hops_routed;
+  Routing routing;
+  routing.deliver = true;
+  routing.at = now + base_latency;
+  // Same RNG discipline as Route(): disabled arms draw nothing.
+  if (config_.drop_machine_hop > 0.0 &&
+      rng_.NextBool(config_.drop_machine_hop)) {
+    routing.deliver = false;
+    ++stats_.machine_drops;
+    if (tracer_) tracer_->Instant("inject:machine_drop", now);
+    return routing;
+  }
+  if (config_.delay_machine_hop > 0.0 &&
+      rng_.NextBool(config_.delay_machine_hop)) {
+    routing.at += rng_.NextInt(1, config_.max_delay);
+    ++stats_.machine_delays;
+    if (tracer_) tracer_->Instant("inject:machine_delay", now);
+  }
+  if (config_.duplicate_machine_hop > 0.0 &&
+      rng_.NextBool(config_.duplicate_machine_hop)) {
+    routing.duplicated = true;
+    routing.duplicate_at = routing.at + rng_.NextInt(1, config_.max_delay);
+    ++stats_.machine_duplicates;
+    if (tracer_) tracer_->Instant("inject:machine_duplicate", now);
   }
   return routing;
 }

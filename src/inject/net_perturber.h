@@ -63,6 +63,14 @@ struct NetPerturbConfig {
   double delay_message = 0.0;
   double duplicate_message = 0.0;
   SimTime max_delay = 10;
+
+  // Machine-network arms, applied by RouteMachineHop() to the hops between
+  // the control plane and fleet machines (dispatches, results). Defaults
+  // keep the machine network reliable — and consume no RNG — so enabling
+  // coordinator-link chaos alone reproduces historical runs byte-for-byte.
+  double drop_machine_hop = 0.0;
+  double delay_machine_hop = 0.0;
+  double duplicate_machine_hop = 0.0;
 };
 
 // A transition AdvanceTo() applied while catching up to `now`.
@@ -110,8 +118,18 @@ class NetPerturber {
   };
   Routing Route(SimTime now, int from, int to, SimTime base_latency);
 
+  // Routing verdict for one control-plane<->machine hop. Machines are not
+  // membership nodes, so liveness/partition state does not apply — only the
+  // probabilistic machine-hop arms (drop -> delay -> duplicate), which
+  // consume RNG only when enabled.
+  Routing RouteMachineHop(SimTime now, SimTime base_latency);
+
   struct Stats {
     std::int64_t messages_routed = 0;
+    std::int64_t machine_hops_routed = 0;
+    std::int64_t machine_drops = 0;
+    std::int64_t machine_delays = 0;
+    std::int64_t machine_duplicates = 0;
     std::int64_t partition_drops = 0;  // closed link or down endpoint
     std::int64_t random_drops = 0;
     std::int64_t delays = 0;

@@ -1,0 +1,121 @@
+#include "obs/chrome_trace.h"
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "common/json_writer.h"
+#include "common/string_util.h"
+
+namespace aer::obs {
+namespace {
+
+constexpr std::int64_t kMicrosPerSimSecond = 1000000;
+
+JsonValue Meta(const char* what, int pid, std::int64_t tid,
+               const std::string& name) {
+  JsonValue event = JsonValue::Object();
+  event.Set("name", JsonValue::String(what));
+  event.Set("ph", JsonValue::String("M"));
+  event.Set("pid", JsonValue::Int(pid));
+  event.Set("tid", JsonValue::Int(tid));
+  JsonValue args = JsonValue::Object();
+  args.Set("name", JsonValue::String(name));
+  event.Set("args", std::move(args));
+  return event;
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const TraceDag& dag,
+                            const std::vector<CriticalPath>& paths) {
+  std::map<TraceId, const CriticalPath*> path_of;
+  for (const CriticalPath& path : paths) path_of[path.trace_id] = &path;
+
+  JsonValue events = JsonValue::Array();
+  int pid = 0;
+  for (const TraceProcess& process : dag.processes) {
+    ++pid;
+    const std::string title = StrFormat(
+        "recovery %016llx machine %lld",
+        static_cast<unsigned long long>(process.trace_id),
+        static_cast<long long>(process.machine));
+    events.Append(Meta("process_name", pid, 0, title));
+    events.Append(Meta("thread_name", pid, 0, "critical-path"));
+    events.Append(Meta("thread_name", pid, 1, "events"));
+
+    const auto it = path_of.find(process.trace_id);
+    if (it != path_of.end()) {
+      for (const StageSegment& segment : it->second->segments) {
+        JsonValue event = JsonValue::Object();
+        event.Set("name", JsonValue::String(
+                              std::string(TraceStageName(segment.stage))));
+        event.Set("cat", JsonValue::String("critical-path"));
+        event.Set("ph", JsonValue::String("X"));
+        event.Set("pid", JsonValue::Int(pid));
+        event.Set("tid", JsonValue::Int(0));
+        event.Set("ts", JsonValue::Int(segment.from * kMicrosPerSimSecond));
+        event.Set("dur", JsonValue::Int((segment.to - segment.from) *
+                                        kMicrosPerSimSecond));
+        events.Append(std::move(event));
+      }
+    }
+
+    for (const TraceDagNode& node : process.nodes) {
+      const TraceRecord& r = node.record;
+      JsonValue event = JsonValue::Object();
+      event.Set("name",
+                JsonValue::String(std::string(TraceEventKindName(r.kind))));
+      event.Set("cat", JsonValue::String("trace-event"));
+      event.Set("ph", JsonValue::String("i"));
+      event.Set("s", JsonValue::String("t"));
+      event.Set("pid", JsonValue::Int(pid));
+      event.Set("tid", JsonValue::Int(1));
+      event.Set("ts", JsonValue::Int(r.time * kMicrosPerSimSecond));
+      JsonValue args = JsonValue::Object();
+      args.Set("parent", JsonValue::Int(node.parent));
+      if (r.node >= 0) args.Set("node", JsonValue::Int(r.node));
+      if (r.attempt >= 0) args.Set("attempt", JsonValue::Int(r.attempt));
+      if (r.action >= 0) args.Set("action", JsonValue::Int(r.action));
+      if (r.duplicate) args.Set("duplicate", JsonValue::Bool(true));
+      if (node.orphan) args.Set("orphan", JsonValue::Bool(true));
+      if (!r.detail.empty()) args.Set("detail", JsonValue::String(r.detail));
+      event.Set("args", std::move(args));
+      events.Append(std::move(event));
+    }
+  }
+
+  // Global leadership / lifecycle events get their own synthetic process so
+  // election gaps line up visually with every recovery lane.
+  if (!dag.global_events.empty()) {
+    ++pid;
+    events.Append(Meta("process_name", pid, 0, "control plane"));
+    events.Append(Meta("thread_name", pid, 0, "leadership"));
+    for (const TraceRecord& r : dag.global_events) {
+      JsonValue event = JsonValue::Object();
+      event.Set("name",
+                JsonValue::String(std::string(TraceEventKindName(r.kind))));
+      event.Set("cat", JsonValue::String("control-plane"));
+      event.Set("ph", JsonValue::String("i"));
+      event.Set("s", JsonValue::String("p"));
+      event.Set("pid", JsonValue::Int(pid));
+      event.Set("tid", JsonValue::Int(0));
+      event.Set("ts", JsonValue::Int(r.time * kMicrosPerSimSecond));
+      JsonValue args = JsonValue::Object();
+      if (r.node >= 0) args.Set("node", JsonValue::Int(r.node));
+      if (r.epoch != 0) {
+        args.Set("epoch", JsonValue::Int(static_cast<std::int64_t>(r.epoch)));
+      }
+      if (!r.detail.empty()) args.Set("detail", JsonValue::String(r.detail));
+      event.Set("args", std::move(args));
+      events.Append(std::move(event));
+    }
+  }
+
+  JsonValue root = JsonValue::Object();
+  root.Set("displayTimeUnit", JsonValue::String("ms"));
+  root.Set("traceEvents", std::move(events));
+  return root.ToString();
+}
+
+}  // namespace aer::obs

@@ -1,0 +1,27 @@
+// Chrome trace-event exporter: renders a stitched trace DAG plus its
+// critical-path attribution as the Trace Event Format JSON that
+// chrome://tracing and Perfetto load directly.
+//
+// Mapping: one "process" (pid) per recovery trace; tid 0 carries the
+// critical-path stage segments as complete ("X") events, tid 1 carries the
+// raw causal records as instant ("i") events. Sim time is exported as
+// microseconds (1 sim second = 1e6 ts units) so second-granularity stages
+// render with visible width. Output is deterministic: byte-identical for
+// the same record stream (aerctl golden surface).
+#ifndef AER_OBS_CHROME_TRACE_H_
+#define AER_OBS_CHROME_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/critical_path.h"
+#include "obs/trace_dag.h"
+
+namespace aer::obs {
+
+std::string ChromeTraceJson(const TraceDag& dag,
+                            const std::vector<CriticalPath>& paths);
+
+}  // namespace aer::obs
+
+#endif  // AER_OBS_CHROME_TRACE_H_

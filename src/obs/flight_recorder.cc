@@ -10,6 +10,7 @@
 #include "common/json_writer.h"
 #include "common/mutex.h"
 #include "common/profiler.h"
+#include "obs/trace_dag.h"
 
 namespace aer::obs {
 namespace {
@@ -39,6 +40,7 @@ struct Installed {
   const Tracer* tracer = nullptr;
   const MetricsRegistry* metrics = nullptr;
   const TimeSeriesRecorder* timeseries = nullptr;
+  const TraceCollector* traces = nullptr;
   struct sigaction previous[kNumFatalSignals] = {};
   // Intrusive retire chain (see g_retired below).
   Installed* retired_next = nullptr;
@@ -114,6 +116,18 @@ bool WriteDump(const Installed& state, std::string_view reason,
   }
   root.Set("timeseries", std::move(ts_section));
 
+  if (state.traces != nullptr) {
+    // The stitched DAG of the most recent recovery processes; spans above
+    // carry matching trace ids, so the dump is filterable by trace.
+    std::vector<TraceRecord> records = state.traces->Snapshot();
+    if (records.size() > state.config.max_trace_records) {
+      records.erase(records.begin(),
+                    records.end() - static_cast<std::ptrdiff_t>(
+                                        state.config.max_trace_records));
+    }
+    root.Set("trace_dag", TraceDagToJson(BuildTraceDag(records)));
+  }
+
   root.Set("profile",
            ProfileRegistry::ProfileToJson(ProfileRegistry::Global().Snapshot(),
                                           {.include_wall = true}));
@@ -148,7 +162,8 @@ void SignalHandler(int signo) {
 
 void FlightRecorder::Install(FlightRecorderConfig config, const Tracer* tracer,
                              const MetricsRegistry* metrics,
-                             const TimeSeriesRecorder* timeseries) {
+                             const TimeSeriesRecorder* timeseries,
+                             const TraceCollector* traces) {
   MutexLock lock(InstallMutex());
   Installed* state = g_installed.load(std::memory_order_acquire);
   const bool first = state == nullptr;
@@ -160,6 +175,7 @@ void FlightRecorder::Install(FlightRecorderConfig config, const Tracer* tracer,
   state->tracer = tracer;
   state->metrics = metrics;
   state->timeseries = timeseries;
+  state->traces = traces;
   if (first) {
     struct sigaction action = {};
     action.sa_handler = &SignalHandler;

@@ -27,6 +27,7 @@
 
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
+#include "obs/trace_collector.h"
 #include "obs/tracer.h"
 
 namespace aer::obs {
@@ -37,6 +38,8 @@ struct FlightRecorderConfig {
   std::string path;
   // Most recent completed spans included in the dump.
   std::size_t max_spans = 64;
+  // Most recent causal trace records stitched into the dump's trace DAG.
+  std::size_t max_trace_records = 512;
 };
 
 // Static-only: there is one process-wide recorder, mirroring the one
@@ -52,7 +55,8 @@ class FlightRecorder {
   // Uninstall.
   static void Install(FlightRecorderConfig config, const Tracer* tracer,
                       const MetricsRegistry* metrics,
-                      const TimeSeriesRecorder* timeseries);
+                      const TimeSeriesRecorder* timeseries,
+                      const TraceCollector* traces = nullptr);
 
   // Removes the hook and restores the previous signal handlers.
   static void Uninstall();

@@ -37,6 +37,20 @@ bool IsValidMetricName(std::string_view name) {
   return true;
 }
 
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 MetricsRegistry::Entry& MetricsRegistry::GetOrCreate(std::string_view name,
                                                      MetricKind kind) {
   AER_CHECK(IsValidMetricName(name))

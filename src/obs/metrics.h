@@ -138,6 +138,11 @@ struct MetricsSnapshot {
 // catalog in docs/OBSERVABILITY.md stays greppable and export-safe.
 bool IsValidMetricName(std::string_view name);
 
+// Escapes a Prometheus exposition label value: `\` -> `\\`, `"` -> `\"`,
+// newline -> `\n` (the format's three mandated escapes). Every exporter
+// emitting `key="value"` label pairs must route values through this.
+std::string EscapeLabelValue(std::string_view value);
+
 class MetricsRegistry {
  public:
   struct ExportOptions {

@@ -128,11 +128,18 @@ std::string TimeSeriesRecorder::ExportText() const {
       static_cast<long long>(config_.window_width),
       static_cast<unsigned long long>(config_.capacity),
       static_cast<long long>(next_index_), static_cast<long long>(dropped_));
+  // Static labels first, then the window coordinates. Values go through the
+  // exposition escaper — a label like job="a\"b" must not break the line
+  // grammar for scrapers.
+  std::string static_labels;
+  for (const auto& [key, value] : config_.labels) {
+    static_labels += key + "=\"" + EscapeLabelValue(value) + "\",";
+  }
   for (const TimeSeriesWindow& w : ring_) {
     const std::string labels = StrFormat(
-        "{window=\"%lld\",start=\"%lld\",end=\"%lld\"}",
-        static_cast<long long>(w.index), static_cast<long long>(w.start),
-        static_cast<long long>(w.end));
+        "{%swindow=\"%lld\",start=\"%lld\",end=\"%lld\"}",
+        static_labels.c_str(), static_cast<long long>(w.index),
+        static_cast<long long>(w.start), static_cast<long long>(w.end));
     out += StrFormat("# window index=%lld start=%lld end=%lld\n",
                      static_cast<long long>(w.index),
                      static_cast<long long>(w.start),
@@ -160,6 +167,13 @@ JsonValue TimeSeriesRecorder::ExportJson() const {
            JsonValue::Int(static_cast<std::int64_t>(config_.capacity)));
   root.Set("closed", JsonValue::Int(next_index_));
   root.Set("dropped", JsonValue::Int(dropped_));
+  if (!config_.labels.empty()) {
+    JsonValue labels = JsonValue::Object();
+    for (const auto& [key, value] : config_.labels) {
+      labels.Set(key, JsonValue::String(value));
+    }
+    root.Set("labels", std::move(labels));
+  }
   JsonValue windows = JsonValue::Array();
   for (const TimeSeriesWindow& w : ring_) {
     JsonValue window = JsonValue::Object();

@@ -49,6 +49,10 @@ struct TimeSeriesConfig {
   // When false (default), volatile (wall-clock-derived) gauges are omitted
   // so exports stay a pure function of (code, seed, scale).
   bool include_volatile = false;
+  // Static labels prepended to every exported sample's label set (job,
+  // cluster, scenario, ...). Values may contain arbitrary bytes; the text
+  // exporter escapes them per the Prometheus exposition format.
+  std::vector<std::pair<std::string, std::string>> labels;
 };
 
 // One closed window. Delta lists hold only metrics that changed during the

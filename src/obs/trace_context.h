@@ -1,0 +1,69 @@
+// Deterministic causal trace identity.
+//
+// A TraceId names one machine sickness episode end to end: from the injected
+// incident, through symptom fan-in, coordinator dispatch, machine-side action
+// execution, and result delivery — across leader takeovers. Ids are a pure
+// function of (seed, machine, episode ordinal): no RNG draws, no wall clock,
+// so the same run always mints the same ids and trace output joins the
+// byte-identical determinism surfaces (docs/OBSERVABILITY.md).
+//
+// TraceContext is the single field stamped onto ctrl::Message and
+// ctrl::ActionDispatch; components that do not care simply copy it through.
+#ifndef AER_OBS_TRACE_CONTEXT_H_
+#define AER_OBS_TRACE_CONTEXT_H_
+
+#include <cstdint>
+
+namespace aer::obs {
+
+using TraceId = std::uint64_t;
+
+// "Not part of any trace". Propagation is a no-op for this id and the
+// collector never records it as a process trace.
+inline constexpr TraceId kNoTrace = 0;
+
+// splitmix64 finalizer: a well-mixed bijection on 64-bit values. Constants
+// are frozen — changing them changes every trace id and therefore every
+// trace golden.
+constexpr std::uint64_t MixTraceBits(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Trace id for the `episode`-th sickness episode (1-based) of `machine`
+// under `seed`. Coerced away from kNoTrace so "no trace" stays unambiguous.
+constexpr TraceId MakeTraceId(std::uint64_t seed, std::int64_t machine,
+                              std::uint64_t episode) {
+  const TraceId id = MixTraceBits(
+      MixTraceBits(MixTraceBits(seed) ^ static_cast<std::uint64_t>(machine)) ^
+      episode);
+  return id == kNoTrace ? TraceId{1} : id;
+}
+
+// Deterministic head sampling: keep a trace iff its mixed id falls below
+// probability * 2^53. The decision is a pure function of (id, probability),
+// so every shard/coordinator agrees on it without coordination and the kept
+// set is identical for any thread count. probability <= 0 keeps nothing,
+// >= 1 keeps everything (2^53 avoids the 2^64 overflow at p == 1).
+constexpr bool SampleTrace(TraceId id, double probability) {
+  if (probability >= 1.0) return true;
+  if (probability <= 0.0) return false;
+  const std::uint64_t threshold =
+      static_cast<std::uint64_t>(probability * 9007199254740992.0);  // 2^53
+  return (MixTraceBits(id) >> 11) < threshold;
+}
+
+// The per-message causal context. Plain value type; copied on every hop.
+struct TraceContext {
+  TraceId trace_id = kNoTrace;
+
+  constexpr bool active() const { return trace_id != kNoTrace; }
+  friend constexpr bool operator==(const TraceContext&,
+                                   const TraceContext&) = default;
+};
+
+}  // namespace aer::obs
+
+#endif  // AER_OBS_TRACE_CONTEXT_H_

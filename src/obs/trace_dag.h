@@ -1,0 +1,67 @@
+// Stitching flat TraceRecords into per-process causal DAGs.
+//
+// BuildTraceDag groups a collector snapshot by trace id (in order of each
+// trace's first record) and assigns every record a parent edge by frozen,
+// purely positional rules: a node's parent is always an earlier node of the
+// same trace, so the result is acyclic by construction and byte-identical
+// for any producer thread/shard count (the input order is already
+// canonicalized by TraceCollector). Loss events (dropped dispatches, lost
+// results, dropped messages) are marked `orphan`: the causal chain ends
+// there and the next progress hangs off an earlier node.
+//
+// Records with trace_id == kNoTrace (leadership and node-lifecycle events)
+// are kept aside as `global_events`; the critical-path analyzer overlays
+// them onto every process.
+#ifndef AER_OBS_TRACE_DAG_H_
+#define AER_OBS_TRACE_DAG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json_writer.h"
+#include "common/sim_time.h"
+#include "obs/trace_collector.h"
+#include "obs/trace_context.h"
+
+namespace aer::obs {
+
+struct TraceDagNode {
+  TraceRecord record;
+  // Index of the parent node within the owning process, -1 for the root.
+  // Invariant: parent < own index (acyclicity).
+  int parent = -1;
+  // True for loss events: this node has no causal descendants.
+  bool orphan = false;
+};
+
+// One recovery process: every record sharing a trace id, in canonical
+// (collector) order. nodes[0] is the root.
+struct TraceProcess {
+  TraceId trace_id = kNoTrace;
+  std::int64_t machine = -1;
+  SimTime start = 0;  // first record's time
+  SimTime end = 0;    // cure time if cured, else last record's time
+  bool cured = false;
+  std::vector<TraceDagNode> nodes;
+};
+
+struct TraceDag {
+  // Ordered by each process's first appearance in the record stream.
+  std::vector<TraceProcess> processes;
+  // trace_id == kNoTrace records, in stream order.
+  std::vector<TraceRecord> global_events;
+};
+
+TraceDag BuildTraceDag(const std::vector<TraceRecord>& records);
+
+// Deterministic plain-text rendering (one process block per trace, node
+// lines indented). Part of the aerctl golden surface.
+std::string FormatTraceDag(const TraceDag& dag);
+
+// Deterministic JSON rendering: {processes: [...], global_events: [...]}.
+JsonValue TraceDagToJson(const TraceDag& dag);
+
+}  // namespace aer::obs
+
+#endif  // AER_OBS_TRACE_DAG_H_

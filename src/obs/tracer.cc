@@ -36,6 +36,12 @@ void Tracer::SetMachine(SpanId id, std::int64_t machine) {
   if (it != open_.end()) it->second.machine = machine;
 }
 
+void Tracer::SetTraceId(SpanId id, TraceId trace_id) {
+  MutexLock lock(mu_);
+  auto it = open_.find(id);
+  if (it != open_.end()) it->second.trace_id = trace_id;
+}
+
 void Tracer::AddEvent(SpanId id, SimTime time, std::string_view label) {
   MutexLock lock(mu_);
   auto it = open_.find(id);
@@ -134,6 +140,13 @@ std::string Tracer::FormatSpans(const std::vector<Span>& spans) {
         static_cast<long long>(span.machine),
         static_cast<long long>(span.start), static_cast<long long>(span.end),
         static_cast<long long>(span.duration()));
+    if (span.trace_id != kNoTrace) {
+      // Appended (never inline) and only when tagged, so untraced dumps —
+      // including the pre-tracing goldens — keep their exact bytes.
+      out.pop_back();
+      out += StrFormat(" trace=%016llx\n",
+                       static_cast<unsigned long long>(span.trace_id));
+    }
     for (const SpanEvent& event : span.events) {
       out += StrFormat("  event t=%lld %s\n",
                        static_cast<long long>(event.time),
@@ -156,6 +169,12 @@ JsonValue Tracer::SpansToJson(const std::vector<Span>& spans) {
     value.Set("name", JsonValue::String(span.name));
     value.Set("label", JsonValue::String(span.label));
     value.Set("machine", JsonValue::Int(span.machine));
+    if (span.trace_id != kNoTrace) {
+      value.Set("trace_id",
+                JsonValue::String(StrFormat(
+                    "%016llx",
+                    static_cast<unsigned long long>(span.trace_id))));
+    }
     value.Set("start", JsonValue::Int(span.start));
     value.Set("end", JsonValue::Int(span.end));
     value.Set("duration_s", JsonValue::Int(span.duration()));

@@ -25,6 +25,7 @@
 #include "common/mutex.h"
 #include "common/sim_time.h"
 #include "common/thread_annotations.h"
+#include "obs/trace_context.h"
 
 namespace aer::obs {
 
@@ -42,6 +43,9 @@ struct Span {
   std::string name;          // "recovery", "action:REBOOT", "inject:drop"...
   std::string label;         // filter key, e.g. the initiating symptom name
   std::int64_t machine = -1; // -1 = not machine-scoped
+  // Distributed trace this span belongs to (kNoTrace = untraced). Dumps
+  // render it only when set, so untraced flows keep their byte format.
+  TraceId trace_id = kNoTrace;
   SimTime start = 0;
   SimTime end = -1;          // -1 while open
   // Set by Tracer::Snapshot() when `parent` names a span the ring has
@@ -69,6 +73,9 @@ class Tracer {
   // ids, so call sites need not track span lifetimes precisely.
   void SetLabel(SpanId id, std::string_view label);
   void SetMachine(SpanId id, std::int64_t machine);
+  // Tags the span with its distributed trace id (crash dumps and span dumps
+  // become filterable by trace).
+  void SetTraceId(SpanId id, TraceId trace_id);
   void AddEvent(SpanId id, SimTime time, std::string_view label);
   // Closes the span; `end` is clamped to the span's start so durations are
   // never negative even if an out-of-order event closes it.

@@ -17,6 +17,7 @@ change lands: build, then run with --update from the repo root.
 
 from __future__ import annotations
 
+import json
 import subprocess
 import sys
 import tempfile
@@ -37,6 +38,16 @@ CASES = [
       "--type", "DiskError", "--top", "3"]),
     ("trace.json",
      ["trace", "--incidents", "4", "--seed", "7", "--json"]),
+    # Distributed-tracing modes: the control-plane harness scenario behind
+    # them is pinned (3 coordinators, node-0 crash mid-recovery), so the
+    # stitched DAG, the critical-path attribution, and the Chrome export are
+    # part of the byte-exact surface (docs/OBSERVABILITY.md).
+    ("trace_dag.txt",
+     ["trace", "--dag", "--seed", "1"]),
+    ("trace_critical_path.txt",
+     ["trace", "--critical-path", "--seed", "1"]),
+    ("trace_chrome.json",
+     ["trace", "--chrome", "--seed", "1"]),
     ("summarize.txt",
      ["summarize", "--log", "{trace}"]),
     ("timeseries.txt",
@@ -87,6 +98,21 @@ def main() -> int:
                     and first.startswith(PROFILING_OFF_NOTICE)):
                 print(f"  skip {golden_name} (AER_PROFILING=OFF build)")
                 continue
+            if golden_name == "trace_chrome.json":
+                # Must be loadable Chrome trace-event JSON, not just stable
+                # bytes: a top-level traceEvents list whose entries all carry
+                # the mandatory ph (phase) field.
+                try:
+                    chrome = json.loads(first)
+                except json.JSONDecodeError as err:
+                    failures.append(f"{golden_name}: invalid JSON: {err}")
+                    continue
+                events = chrome.get("traceEvents")
+                if (not isinstance(events, list) or not events
+                        or any("ph" not in e for e in events)):
+                    failures.append(f"{golden_name}: not Chrome trace-event "
+                                    f"format (traceEvents list with ph)")
+                    continue
             golden_path = golden_dir / golden_name
             if update:
                 golden_path.parent.mkdir(parents=True, exist_ok=True)

@@ -66,6 +66,66 @@ TEST_F(FlightRecorderTest, ManualDumpContainsAllSections) {
   EXPECT_NE(dump.find("flight_probe"), std::string::npos);    // profile
 }
 
+TEST_F(FlightRecorderTest, DumpStitchesTraceRecordsIntoADag) {
+  MetricsRegistry metrics;
+  TraceCollector traces;
+  const TraceId id = MakeTraceId(3, 7, 1);
+  TraceRecord record;
+  record.trace_id = id;
+  record.time = 10;
+  record.kind = TraceEventKind::kIncident;
+  record.machine = 7;
+  traces.Record(record);
+  record.time = 12;
+  record.kind = TraceEventKind::kSymptom;
+  traces.Record(record);
+  record.time = 40;
+  record.kind = TraceEventKind::kCure;
+  traces.Record(record);
+
+  const std::string path = ::testing::TempDir() + "/aer_flight_traces.json";
+  std::remove(path.c_str());
+  FlightRecorder::Install({.path = path}, nullptr, &metrics, nullptr,
+                          &traces);
+  ASSERT_TRUE(FlightRecorder::DumpNow("trace dump"));
+
+  const std::string dump = ReadFileOrEmpty(path);
+  std::remove(path.c_str());
+  // The dump carries the stitched DAG, not raw records: one cured process
+  // with its causal node kinds.
+  EXPECT_NE(dump.find("\"trace_dag\""), std::string::npos);
+  EXPECT_NE(dump.find("\"incident\""), std::string::npos);
+  EXPECT_NE(dump.find("\"cure\""), std::string::npos);
+  EXPECT_NE(dump.find("\"cured\": true"), std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, MaxTraceRecordsKeepsOnlyTheMostRecent) {
+  MetricsRegistry metrics;
+  TraceCollector traces;
+  for (int episode = 1; episode <= 5; ++episode) {
+    TraceRecord record;
+    record.trace_id = MakeTraceId(3, 1, static_cast<std::uint64_t>(episode));
+    record.time = 10 * episode;
+    record.kind = TraceEventKind::kIncident;
+    record.machine = 1;
+    record.detail = "episode_" + std::to_string(episode);
+    traces.Record(record);
+  }
+
+  const std::string path = ::testing::TempDir() + "/aer_flight_trim.json";
+  std::remove(path.c_str());
+  FlightRecorder::Install({.path = path, .max_trace_records = 2}, nullptr,
+                          &metrics, nullptr, &traces);
+  ASSERT_TRUE(FlightRecorder::DumpNow("trim traces"));
+
+  const std::string dump = ReadFileOrEmpty(path);
+  std::remove(path.c_str());
+  // Only the newest records survive the cap.
+  EXPECT_EQ(dump.find("episode_3"), std::string::npos);
+  EXPECT_NE(dump.find("episode_4"), std::string::npos);
+  EXPECT_NE(dump.find("episode_5"), std::string::npos);
+}
+
 TEST_F(FlightRecorderTest, MaxSpansKeepsOnlyTheMostRecent) {
   Tracer tracer;
   for (int i = 0; i < 10; ++i) {

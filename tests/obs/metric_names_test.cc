@@ -20,8 +20,10 @@
 #include "inject/net_perturber.h"
 #include "fleet/fleet_sim.h"
 #include "mining/error_type.h"
+#include "obs/critical_path.h"
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
+#include "obs/trace_collector.h"
 #include "rl/telemetry.h"
 #include "sim/platform.h"
 
@@ -239,6 +241,35 @@ TEST(MetricNamesTest, TimeSeriesRecorderRegistersFrozenSet) {
   EXPECT_EQ(Sorted(registry.Names()), expected);
 }
 
+TEST(MetricNamesTest, TraceCollectorRegistersFrozenSet) {
+  obs::MetricsRegistry registry;
+  obs::TraceCollector collector;
+  collector.SetMetrics(&registry);
+  const std::vector<std::string> expected = {
+      "aer_trace_dropped_total",
+      "aer_trace_sampled_total",
+  };
+  EXPECT_EQ(Sorted(registry.Names()), expected);
+}
+
+TEST(MetricNamesTest, CriticalPathPublisherRegistersFrozenSet) {
+  obs::MetricsRegistry registry;
+  obs::PublishCriticalPathMetrics(registry, {});
+  const std::vector<std::string> expected = {
+      "aer_trace_end_to_end_seconds",
+      "aer_trace_stage_action_exec_seconds",
+      "aer_trace_stage_detect_seconds",
+      "aer_trace_stage_dispatch_queue_seconds",
+      "aer_trace_stage_dispatch_transit_seconds",
+      "aer_trace_stage_election_wait_seconds",
+      "aer_trace_stage_fence_admit_seconds",
+      "aer_trace_stage_result_transit_seconds",
+      "aer_trace_stage_takeover_gap_seconds",
+      "aer_trace_stage_timeout_wait_seconds",
+  };
+  EXPECT_EQ(Sorted(registry.Names()), expected);
+}
+
 TEST(MetricNamesTest, AllFrozenNamesAreValid) {
   obs::MetricsRegistry registry;
   UserDefinedPolicy primary;
@@ -252,6 +283,9 @@ TEST(MetricNamesTest, AllFrozenNamesAreValid) {
                                          NetFaultScript{});
   ctrl_harness.SetObservers(nullptr, &registry);
   PublishTrainingTelemetry(registry, {});
+  obs::TraceCollector collector;
+  collector.SetMetrics(&registry);
+  obs::PublishCriticalPathMetrics(registry, {});
   for (const std::string& name : registry.Names()) {
     EXPECT_TRUE(obs::IsValidMetricName(name)) << name;
     EXPECT_EQ(name.rfind("aer_", 0), 0u) << name;

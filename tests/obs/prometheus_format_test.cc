@@ -22,8 +22,10 @@ struct ParsedLine {
   std::string value;
 };
 
-// Parses `name{key="value",...} number` (labels optional). Returns false on
-// any deviation from that shape.
+// Parses `name{key="value",...} number` (labels optional). Label values are
+// unescaped per the exposition format (`\\`, `\"`, `\n`); any other escape
+// sequence, or a raw quote/newline inside a value, is a parse failure.
+// Returns false on any deviation from that shape.
 bool ParseExpositionLine(const std::string& line, ParsedLine& out) {
   out = ParsedLine{};
   std::size_t i = 0;
@@ -43,10 +45,26 @@ bool ParseExpositionLine(const std::string& line, ParsedLine& out) {
         return false;
       }
       const std::string key = line.substr(i, eq - i);
-      std::size_t close = line.find('"', eq + 2);
-      if (close == std::string::npos) return false;
-      out.labels.emplace_back(key, line.substr(eq + 2, close - (eq + 2)));
-      i = close + 1;
+      std::string value;
+      std::size_t j = eq + 2;
+      while (j < line.size() && line[j] != '"') {
+        if (line[j] == '\\') {
+          if (j + 1 >= line.size()) return false;
+          switch (line[j + 1]) {
+            case '\\': value += '\\'; break;
+            case '"': value += '"'; break;
+            case 'n': value += '\n'; break;
+            default: return false;
+          }
+          j += 2;
+        } else {
+          value += line[j];
+          ++j;
+        }
+      }
+      if (j >= line.size()) return false;  // unterminated value
+      out.labels.emplace_back(key, std::move(value));
+      i = j + 1;
       if (i < line.size() && line[i] == ',') ++i;
     }
     if (i >= line.size() || line[i] != '}') return false;
@@ -60,14 +78,16 @@ bool ParseExpositionLine(const std::string& line, ParsedLine& out) {
   return end != nullptr && *end == '\0';
 }
 
-// Re-renders a parse result; used to prove parsing is lossless.
+// Re-renders a parse result, re-escaping label values; used to prove
+// parsing is lossless.
 std::string Render(const ParsedLine& parsed) {
   std::string out = parsed.name;
   if (!parsed.labels.empty()) {
     out += "{";
     for (std::size_t i = 0; i < parsed.labels.size(); ++i) {
       if (i > 0) out += ",";
-      out += parsed.labels[i].first + "=\"" + parsed.labels[i].second + "\"";
+      out += parsed.labels[i].first + "=\"" +
+             EscapeLabelValue(parsed.labels[i].second) + "\"";
     }
     out += "}";
   }
@@ -168,6 +188,49 @@ TEST(PrometheusFormatTest, EveryTimeSeriesLineRoundTrips) {
   EXPECT_GE(samples, 9);
 }
 
+// Static labels carrying every byte the exposition format must escape —
+// quotes, backslashes, newlines, and adversarial combinations like a value
+// ending in a lone backslash — survive a byte round-trip: the exporter
+// escapes them, the parser recovers the original bytes, and re-escaping
+// reproduces the exported line exactly.
+TEST(PrometheusFormatTest, HostileLabelValuesRoundTrip) {
+  const std::vector<std::pair<std::string, std::string>> hostile = {
+      {"job", "say \"hi\""},
+      {"path", "C:\\temp\\x"},
+      {"note", "line1\nline2"},
+      {"tail", "ends with \\"},
+      {"mix", "\\\"\n\\\\\""},
+      {"brace", "a{b}=c,d"},
+  };
+  MetricsRegistry registry;
+  TimeSeriesRecorder recorder(registry, {.window_width = 50,
+                                         .labels = hostile});
+  for (int i = 1; i <= 2; ++i) {
+    registry.GetCounter("aer_hostile_total").Inc(i);
+    registry.GetGauge("aer_hostile_level").Set(1.5 * i);
+    recorder.AdvanceTo(50 * i);
+  }
+
+  int samples = 0;
+  for (const std::string& line : SplitLines(recorder.ExportText())) {
+    if (line.empty() || line[0] == '#') continue;
+    // The raw line must never leak an unescaped quote or newline: exactly
+    // the delimiting quotes remain unescaped.
+    ASSERT_EQ(line.find('\n'), std::string::npos) << line;
+    ParsedLine parsed;
+    ASSERT_TRUE(ParseExpositionLine(line, parsed)) << line;
+    EXPECT_EQ(Render(parsed), line);
+    ASSERT_EQ(parsed.labels.size(), hostile.size() + 3) << line;
+    // The parser recovered the original (unescaped) bytes.
+    for (std::size_t i = 0; i < hostile.size(); ++i) {
+      EXPECT_EQ(parsed.labels[i].first, hostile[i].first);
+      EXPECT_EQ(parsed.labels[i].second, hostile[i].second);
+    }
+    ++samples;
+  }
+  EXPECT_GE(samples, 4);
+}
+
 TEST(PrometheusFormatTest, ParserRejectsMalformedLines) {
   ParsedLine parsed;
   EXPECT_FALSE(ParseExpositionLine("", parsed));
@@ -176,6 +239,8 @@ TEST(PrometheusFormatTest, ParserRejectsMalformedLines) {
   EXPECT_FALSE(ParseExpositionLine("name{noquote=x} 1", parsed));
   EXPECT_FALSE(ParseExpositionLine("name notanumber", parsed));
   EXPECT_FALSE(ParseExpositionLine("Name 1", parsed));
+  EXPECT_FALSE(ParseExpositionLine("name{bad=\"\\t\"} 1", parsed));
+  EXPECT_FALSE(ParseExpositionLine("name{cut=\"x\\", parsed));
 }
 
 }  // namespace

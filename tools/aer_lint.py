@@ -53,6 +53,13 @@ trips them):
                     matches the raw source (names live inside string
                     literals); tests are exempt — their throwaway
                     aer_test_* names are not catalog entries.
+  stage-catalog     Every critical-path stage name wrapped in
+                    AER_TRACE_STAGE("...") (src/obs/critical_path.*) must
+                    appear as a `stage:<name>` token in the frozen stage
+                    catalog in docs/OBSERVABILITY.md. Stage names are API
+                    the same way metric names are: the per-stage
+                    aer_trace_stage_<name>_seconds histograms and the
+                    aerctl/Chrome export surfaces key on them.
 
 Suppress a finding on one line with:  // aer-lint: allow(<rule>)
 
@@ -140,6 +147,15 @@ METRIC_CATALOG_SCOPES = ("src/", "bench/")
 METRIC_REGISTRATION = re.compile(
     r'\bGet(?:Counter|Gauge|Histogram|Stat)\s*\(\s*"(aer_[a-z0-9_]*)"')
 METRIC_CATALOG_DOC = "docs/OBSERVABILITY.md"
+
+# Critical-path stage names are frozen the same way metric names are: every
+# name wrapped in AER_TRACE_STAGE("...") must appear as a `stage:<name>`
+# token in the documented stage catalog. Matched on the raw source (the
+# names live inside string literals, which the stripper blanks).
+STAGE_CATALOG_SCOPES = ("src/", "bench/")
+STAGE_REGISTRATION = re.compile(r'\bAER_TRACE_STAGE\s*\(\s*"([a-z0-9_]+)"')
+STAGE_CATALOG_DOC = METRIC_CATALOG_DOC
+STAGE_TOKEN = re.compile(r"stage:([a-z0-9_]+)")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -233,6 +249,7 @@ class Linter:
         self.root = root
         self.findings: list[str] = []
         self._catalog: set[str] | None | bool = False  # False = not loaded
+        self._stages: set[str] | None | bool = False   # False = not loaded
 
     def catalog_names(self) -> set[str] | None:
         """The aer_* names documented in docs/OBSERVABILITY.md, or None if
@@ -247,6 +264,19 @@ class Linter:
             else:
                 self._catalog = None
         return self._catalog
+
+    def stage_names(self) -> set[str] | None:
+        """The stage:<name> tokens documented in docs/OBSERVABILITY.md, or
+        None if the catalog document does not exist (scratch roots in the
+        self tests) — in which case the stage-catalog rule is skipped."""
+        if self._stages is False:
+            doc = self.root / STAGE_CATALOG_DOC
+            if doc.is_file():
+                self._stages = set(
+                    STAGE_TOKEN.findall(doc.read_text(encoding="utf-8")))
+            else:
+                self._stages = None
+        return self._stages
 
     def report(self, path: Path, lineno: int, rule: str, message: str,
                allows: dict[int, set[str]]) -> None:
@@ -310,6 +340,9 @@ class Linter:
         if rel.startswith(METRIC_CATALOG_SCOPES):
             self.lint_metric_catalog(path, text, allows)
 
+        if rel.startswith(STAGE_CATALOG_SCOPES):
+            self.lint_stage_catalog(path, text, allows)
+
     def lint_metric_catalog(self, path: Path, text: str,
                             allows: dict[int, set[str]]) -> None:
         catalog = self.catalog_names()
@@ -331,6 +364,26 @@ class Linter:
                 f"frozen catalog in {METRIC_CATALOG_DOC}; document it (and "
                 f"update tests/obs/metric_names_test.cc) in the same change",
                 allows)
+
+    def lint_stage_catalog(self, path: Path, text: str,
+                           allows: dict[int, set[str]]) -> None:
+        stages = self.stage_names()
+        if stages is None:
+            return
+        for m in STAGE_REGISTRATION.finditer(text):
+            name = m.group(1)
+            if name in stages:
+                continue
+            lineno = text.count("\n", 0, m.start()) + 1
+            name_lineno = text.count("\n", 0, m.start(1)) + 1
+            if "stage-catalog" in allows.get(name_lineno, set()):
+                continue
+            self.report(
+                path, lineno, "stage-catalog",
+                f"critical-path stage '{name}' is registered here but "
+                f"missing from the frozen stage catalog in "
+                f"{STAGE_CATALOG_DOC}; document it as `stage:{name}` in the "
+                f"same change", allows)
 
     def lint_mutex_members(self, path: Path, lines: list[str],
                            allows: dict[int, set[str]]) -> None:

@@ -351,6 +351,45 @@ class AerLintTest(unittest.TestCase):
             'metrics.GetCounter("aer_recovery_whatever_total");\n')
         self.assertEqual(findings, [])
 
+    # -- stage-catalog ------------------------------------------------------
+
+    def write_stage_catalog(self):
+        doc = self.repo.root / "docs/OBSERVABILITY.md"
+        doc.parent.mkdir(parents=True, exist_ok=True)
+        doc.write_text("# Observability\n\n"
+                       "Stage catalog: `stage:detect`, `stage:action_exec`.\n",
+                       encoding="utf-8")
+
+    def test_undocumented_stage_flagged(self):
+        self.write_stage_catalog()
+        findings = self.repo.lint(
+            "src/obs/critical_path.cc",
+            'return AER_TRACE_STAGE("warp_drive");\n')
+        self.assert_rule(findings, "stage-catalog")
+        self.assertIn("warp_drive", findings[0])
+
+    def test_documented_stage_ok(self):
+        self.write_stage_catalog()
+        findings = self.repo.lint(
+            "src/obs/critical_path.cc",
+            'return AER_TRACE_STAGE("detect");\n'
+            'return AER_TRACE_STAGE("action_exec");\n')
+        self.assertEqual(findings, [])
+
+    def test_stage_catalog_allow_pragma(self):
+        self.write_stage_catalog()
+        findings = self.repo.lint(
+            "src/obs/critical_path.cc",
+            'return AER_TRACE_STAGE("tmp");'
+            '  // aer-lint: allow(stage-catalog)\n')
+        self.assertEqual(findings, [])
+
+    def test_missing_catalog_doc_skips_stage_rule(self):
+        findings = self.repo.lint(
+            "src/obs/critical_path.cc",
+            'return AER_TRACE_STAGE("anything_goes");\n')
+        self.assertEqual(findings, [])
+
     # -- allow pragma & stripping -------------------------------------------
 
     def test_allow_pragma_suppresses(self):
